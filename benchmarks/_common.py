@@ -1,0 +1,40 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one paper artifact (an algorithm
+figure or analytic claim — see DESIGN.md §5) as a printed table, writes
+it to ``benchmarks/results/``, and wraps one representative run in a
+pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Iterable, Sequence
+
+from repro.orchestration.sweeps import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, headers: Sequence[str],
+           rows: Iterable[Sequence[Any]], notes: str = "", capsys=None) -> str:
+    """Render, persist and display one experiment table."""
+    table = format_table(headers, rows)
+    text = f"\n=== {title} ===\n{table}\n"
+    if notes:
+        text += f"{notes}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:
+        print(text)
+    return table
+
+
+def crash_pack(n: int, t: int):
+    """t crash adversaries on the top-t pids."""
+    from repro.adversary import crash
+
+    return {pid: crash() for pid in range(n - t + 1, n + 1)}

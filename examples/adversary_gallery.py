@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The adversary gallery: safety under every Byzantine strategy.
+
+Runs the same consensus instance against each strategy in the adversary
+library and shows that agreement and validity hold in every case — the
+decided value is always one proposed by a correct process, never the
+adversary's fake value, and every correct process decides the same thing.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from repro import RunConfig, run_consensus
+from repro.adversary import (
+    bot_relays,
+    collude,
+    crash,
+    crash_at,
+    mute_coordinator,
+    noise,
+    spam_decide,
+    two_faced,
+)
+from repro.orchestration.sweeps import format_table
+
+
+STRATEGIES = {
+    "crash (silent from start)": crash(),
+    "noise (forged reflections)": noise(0.5),
+    "crash at t=25 (mid-protocol)": crash_at(25.0),
+    "two-faced (equivocation everywhere)": two_faced("evil"),
+    "mute coordinator (sabotages own rounds)": mute_coordinator(),
+    "collusion (proposes common fake value)": collude("evil"),
+    "decide spam (forged DECIDE + relays)": spam_decide("evil"),
+    "⊥-relay spam (quorum poisoning)": bot_relays(),
+}
+
+
+def main() -> None:
+    rows = []
+    for name, spec in STRATEGIES.items():
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                      adversaries={4: spec}, seed=99)
+        )
+        assert result.all_decided
+        assert result.decided_value in {"a", "b"}, name
+        rows.append([
+            name,
+            result.decided_value,
+            result.max_round,
+            result.messages_sent,
+            "OK" if result.invariants.ok else "VIOLATED",
+        ])
+    print(format_table(
+        ["adversary", "decided", "rounds", "messages", "safety checks"],
+        rows,
+    ))
+    print(
+        "\nEvery strategy lost: agreement and validity held, and the fake\n"
+        "value 'evil' was never decided.  The t < n/3 quorums plus the\n"
+        "cooperative-broadcast validity filter do all the work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Quickstart: one Byzantine consensus run in ten lines.
+
+Four processes, one of which is Byzantine (fail-silent), agree on a value
+under the *minimal* synchrony assumption: a single eventual <t+1>bisource
+(every other channel fully asynchronous).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash
+
+
+def main() -> None:
+    config = RunConfig(
+        n=4,                                  # four processes, p1..p4
+        t=1,                                  # at most one Byzantine
+        proposals={1: "apply", 2: "apply", 3: "reject"},
+        adversaries={4: crash()},             # p4 is fail-silent Byzantine
+        seed=2015,                            # fully reproducible
+    )
+    result = run_consensus(config)
+
+    print("Decisions        :", result.decisions)
+    print("Common value     :", result.decided_value)
+    print("Rounds executed  :", result.rounds)
+    print("Messages sent    :", result.messages_sent)
+    print("Virtual latency  :", f"{result.finished_at:.1f} time units")
+    print("Safety re-check  :", "OK" if result.invariants.ok else "VIOLATED")
+
+    assert result.all_decided
+    assert result.decided_value in {"apply", "reject"}
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""State-machine replication on top of repeated Byzantine consensus.
+
+The paper's consensus object is the classic building block for
+replicating a service: replicas agree, slot by slot, on the next client
+command to apply.  This example replicates a tiny key-value store across
+n = 4 replicas while one replica is Byzantine (fail-silent), using only
+the public API: simulator, network, processes, reliable broadcast and
+namespaced consensus instances (one per log slot, all in one simulation).
+
+Run:  python examples/state_machine_replication.py
+"""
+
+from repro import Network, Process, Simulator, single_bisource
+from repro.adversary import RawByzantine
+from repro.broadcast import ReliableBroadcast
+from repro.core import Consensus
+from repro.sim import RngRegistry, gather
+
+
+class KeyValueStore:
+    """The replicated state machine: a dict with set/del commands."""
+
+    def __init__(self) -> None:
+        self.data: dict[str, str] = {}
+        self.applied: list[str] = []
+
+    def apply(self, command: str) -> None:
+        self.applied.append(command)
+        parts = command.split()
+        if parts[0] == "set":
+            key, value = parts[1].split("=")
+            self.data[key] = value
+        elif parts[0] == "del":
+            self.data.pop(parts[1], None)
+
+
+# One batch of (possibly conflicting) client commands per log slot.
+SLOTS = [
+    {1: "set x=1", 2: "set x=2", 3: "set x=1"},
+    {1: "set y=9", 2: "set y=9", 3: "set y=9"},
+    {1: "del x", 2: "set z=5", 3: "del x"},
+    {1: "set w=0", 2: "set w=0", 3: "set z=7"},
+]
+
+
+def main() -> None:
+    n, t = 4, 1
+    correct = {1, 2, 3}
+
+    # Substrate: virtual-time simulator + minimal-synchrony network.
+    sim = Simulator()
+    rng = RngRegistry(7)
+    topo = single_bisource(n, t, bisource=1, correct=correct)
+    network = Network(sim, n, timing=topo.overrides,
+                      default_timing=topo.default, rng=rng)
+
+    # p4 is Byzantine: registered so the network accepts traffic to it,
+    # but it never participates.
+    RawByzantine(4, sim, network, rng.stream("adv", 4))
+
+    processes = {pid: Process(pid, sim, network) for pid in correct}
+    rbs = {pid: ReliableBroadcast(processes[pid], n, t) for pid in correct}
+    stores = {pid: KeyValueStore() for pid in correct}
+
+    async def replica(pid: int):
+        process, rb = processes[pid], rbs[pid]
+        for slot, commands in enumerate(SLOTS):
+            consensus = Consensus(process, rb, n, t, m=2,
+                                  namespace=f"slot{slot}")
+            decided = await consensus.propose(commands[pid])
+            stores[pid].apply(decided)
+        return stores[pid].data
+
+    tasks = [processes[pid].create_task(replica(pid)) for pid in sorted(correct)]
+    states = sim.run_until_complete(gather(sim, tasks), max_time=10_000_000.0)
+
+    print("Replicated log (identical on every correct replica):")
+    for slot, command in enumerate(stores[1].applied):
+        proposals = ", ".join(f"p{p}:'{c}'" for p, c in SLOTS[slot].items())
+        print(f"  slot {slot}: decided '{command}'   (proposed: {proposals})")
+    print("\nFinal key-value state per replica:")
+    for pid, state in zip(sorted(correct), states):
+        print(f"  replica {pid}: {state}")
+
+    reference = stores[1].applied
+    assert all(stores[pid].applied == reference for pid in stores)
+    print("\nAll replica logs identical — state machine replicated. ✓")
+
+
+if __name__ == "__main__":
+    main()

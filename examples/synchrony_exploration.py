@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Exploring the synchrony spectrum — the paper's central question.
+
+"When considering the synchrony-to-asynchrony axis, which is the weakest
+synchrony assumption that allows Byzantine consensus to be solved?"
+
+This example walks the axis experimentally on n = 7, t = 2:
+
+1. fully timely network (classic synchrony) — decides fast;
+2. a single eventual <t+1>bisource, stabilizing late — decides after
+   stabilization;
+3. the same minimal bisource, stabilizing immediately — decides;
+4. no synchrony anywhere — termination is no longer *guaranteed* (FLP);
+   on friendly random schedules the run may still decide, but no bound
+   exists, and safety never breaks either way.  (The benchmark suite's
+   E8 experiment constructs the adversarial schedules under which the
+   guarantee actually makes the difference.)
+
+Run:  python examples/synchrony_exploration.py
+"""
+
+from repro import (
+    RunConfig,
+    fully_asynchronous,
+    fully_timely,
+    run_consensus,
+    single_bisource,
+)
+from repro.adversary import crash, two_faced
+from repro.orchestration.sweeps import format_table
+
+
+N, T = 7, 2
+CORRECT = {1, 2, 3, 4, 5}
+PROPOSALS = {1: "a", 2: "b", 3: "a", 4: "b", 5: "a"}
+ADVERSARIES = {6: two_faced("evil"), 7: crash()}
+
+
+def run_on(topology, budget=60_000.0, seed=11):
+    return run_consensus(
+        RunConfig(n=N, t=T, proposals=dict(PROPOSALS),
+                  adversaries=dict(ADVERSARIES), topology=topology,
+                  seed=seed, max_time=budget),
+        check_invariants=True,
+    )
+
+
+def main() -> None:
+    scenarios = [
+        ("fully timely", fully_timely(N, delta=1.0)),
+        ("<3>bisource, stabilizes at tau=200",
+         single_bisource(N, T, bisource=1, correct=CORRECT, tau=200.0)),
+        ("<3>bisource from the start",
+         single_bisource(N, T, bisource=1, correct=CORRECT, tau=0.0)),
+        ("fully asynchronous (no bisource)", fully_asynchronous(N)),
+    ]
+    guarantees = ["yes (synchrony)", "yes (eventual bisource)",
+                  "yes (bisource)", "NO (FLP)"]
+    rows = []
+    for (name, topology), guaranteed in zip(scenarios, guarantees):
+        result = run_on(topology)
+        decided = result.all_decided
+        rows.append([
+            name,
+            "yes" if decided else "no (budget hit)",
+            guaranteed,
+            result.decided_value if result.decisions else "-",
+            result.max_round,
+            f"{result.finished_at:.0f}",
+            "OK" if result.invariants.ok else "VIOLATED",
+        ])
+    print(format_table(
+        ["topology", "decided this run", "termination guaranteed?", "value",
+         "rounds", "virtual time", "safety"],
+        rows,
+    ))
+    print(
+        "\nReading: one eventual <t+1>bisource — t timely in-channels and t\n"
+        "timely out-channels at a single correct process — is all the\n"
+        "synchrony Byzantine consensus needs (and, by the paper's matching\n"
+        "lower bound, the least it can need).  Without any synchrony the\n"
+        "algorithm stays safe and may decide on friendly schedules, but no\n"
+        "schedule-independent guarantee exists (FLP)."
+    )
+
+
+if __name__ == "__main__":
+    main()

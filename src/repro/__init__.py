@@ -1,0 +1,145 @@
+"""repro — a reproduction of *Minimal Synchrony for Byzantine Consensus*.
+
+Bouzid, Mostéfaoui, Raynal (PODC 2015): deterministic, signature-free
+Byzantine consensus for asynchronous message-passing systems whose only
+synchrony requirement is one eventual ``<t+1>bisource`` — the weakest
+assumption under which the problem is solvable.
+
+The library provides, on a deterministic virtual-time simulator:
+
+* the full broadcast stack (best-effort, Bracha reliable broadcast, the
+  paper's cooperative broadcast — Figure 1);
+* the Byzantine adopt-commit object (Figure 2);
+* the eventual-agreement object with rotating coordinators and witness
+  sets (Figure 3), including the Section 5.4 parameterization;
+* the synchrony-optimal consensus algorithm (Figure 4) and the Section 7
+  ⊥-validity variant;
+* an adversary library, baselines, analytic predictions, invariant
+  checkers and an experiment runner.
+
+Quickstart::
+
+    from repro import RunConfig, run_consensus
+    from repro.adversary import crash
+
+    config = RunConfig(
+        n=4, t=1,
+        proposals={1: "apply", 2: "apply", 3: "apply"},
+        adversaries={4: crash()},
+    )
+    result = run_consensus(config)
+    print(result.decisions)       # {1: 'apply', 2: 'apply', 3: 'apply'}
+"""
+
+from . import adversary, analysis, baselines, broadcast, core, net, orchestration
+from . import runtime, sim
+from .analysis import (
+    MessageCounter,
+    Tracer,
+    first_good_round,
+    is_feasible,
+    max_values,
+    verify_consensus_run,
+    worst_case_round_bound,
+)
+from .core import (
+    BOT,
+    AdoptCommit,
+    BotConsensus,
+    Consensus,
+    EventualAgreement,
+    ParameterizedEventualAgreement,
+    Tag,
+    alpha,
+    beta,
+    coordinator,
+    f_set,
+)
+from .errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    FeasibilityError,
+    InvariantViolation,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+)
+from .net import (
+    Asynchronous,
+    EventuallyTimely,
+    Network,
+    Timely,
+    Topology,
+    fully_asynchronous,
+    fully_timely,
+    is_bisource,
+    single_bisource,
+)
+from .orchestration import (
+    ConsensusRunResult,
+    RunConfig,
+    run_consensus,
+    run_randomized,
+    standard_proposals,
+)
+from .runtime import Process, RoundTimer
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # subpackages
+    "adversary",
+    "analysis",
+    "baselines",
+    "broadcast",
+    "core",
+    "net",
+    "orchestration",
+    "runtime",
+    "sim",
+    # frequently used names
+    "MessageCounter",
+    "Tracer",
+    "first_good_round",
+    "is_feasible",
+    "max_values",
+    "verify_consensus_run",
+    "worst_case_round_bound",
+    "BOT",
+    "AdoptCommit",
+    "BotConsensus",
+    "Consensus",
+    "EventualAgreement",
+    "ParameterizedEventualAgreement",
+    "Tag",
+    "alpha",
+    "beta",
+    "coordinator",
+    "f_set",
+    "ConfigurationError",
+    "DeadlineExceeded",
+    "FeasibilityError",
+    "InvariantViolation",
+    "ProtocolViolation",
+    "ReproError",
+    "SimulationError",
+    "Asynchronous",
+    "EventuallyTimely",
+    "Network",
+    "Timely",
+    "Topology",
+    "fully_asynchronous",
+    "fully_timely",
+    "is_bisource",
+    "single_bisource",
+    "ConsensusRunResult",
+    "RunConfig",
+    "run_consensus",
+    "run_randomized",
+    "standard_proposals",
+    "Process",
+    "RoundTimer",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Byzantine adversary library: actors, outbound filters, named strategies."""
+
+from .behaviors import DROP, MisbehavingProcess, OutboundFilter, RawByzantine
+from .strategies import (
+    AdversarySpec,
+    bot_relays,
+    collude,
+    compose_filters,
+    crash,
+    crash_at,
+    crash_at_filter,
+    flip_flop,
+    flip_flop_filter,
+    honest_filter,
+    mute_coordinator,
+    mute_coordinator_filter,
+    noise,
+    spam_decide,
+    two_faced,
+    two_faced_filter,
+)
+
+__all__ = [
+    "DROP",
+    "MisbehavingProcess",
+    "OutboundFilter",
+    "RawByzantine",
+    "AdversarySpec",
+    "bot_relays",
+    "collude",
+    "compose_filters",
+    "crash",
+    "crash_at",
+    "crash_at_filter",
+    "flip_flop",
+    "flip_flop_filter",
+    "honest_filter",
+    "mute_coordinator",
+    "mute_coordinator_filter",
+    "noise",
+    "spam_decide",
+    "two_faced",
+    "two_faced_filter",
+]

@@ -1,0 +1,65 @@
+"""Analytics: feasibility bounds, round predictions, metrics, invariants."""
+
+from .complexity import (
+    ConsensusBudget,
+    consensus_budget,
+    consensus_round_messages,
+    rb_instance_messages,
+)
+from .combinatorics import (
+    alpha,
+    beta,
+    cycle_length,
+    first_good_round,
+    good_round_density,
+    is_good_round,
+    worst_case_round_bound,
+)
+from .feasibility import check_feasibility, is_feasible, max_values, min_processes
+from .invariants import (
+    InvariantReport,
+    Violation,
+    check_agreement,
+    check_validity,
+    verify_consensus_run,
+)
+from .metrics import LatencySummary, MessageCounter, summarize
+from .reporting import EnsembleReport, aggregate, render_ensemble_table
+from .search import SearchOutcome, find_non_converging_seed, find_worst_seed
+from .timeline import render_timeline
+from .traces import TraceEvent, Tracer
+
+__all__ = [
+    "ConsensusBudget",
+    "consensus_budget",
+    "consensus_round_messages",
+    "rb_instance_messages",
+    "alpha",
+    "beta",
+    "cycle_length",
+    "first_good_round",
+    "good_round_density",
+    "is_good_round",
+    "worst_case_round_bound",
+    "check_feasibility",
+    "is_feasible",
+    "max_values",
+    "min_processes",
+    "InvariantReport",
+    "Violation",
+    "check_agreement",
+    "check_validity",
+    "verify_consensus_run",
+    "LatencySummary",
+    "MessageCounter",
+    "summarize",
+    "EnsembleReport",
+    "aggregate",
+    "render_ensemble_table",
+    "SearchOutcome",
+    "find_non_converging_seed",
+    "find_worst_seed",
+    "render_timeline",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,120 @@
+"""Analytic predictions from Sections 5.2 and 5.4.
+
+These functions compute, without running the simulator, the quantities
+the round-complexity experiments (E5, E6) compare against:
+
+* ``alpha``/``beta`` witness-set counts and the ``beta * n`` worst-case
+  horizon (re-exported from :mod:`repro.core.coord`);
+* the *first good round* for a concrete fault pattern and bisource
+  placement — the round at which Lemma 3's conditions are first met, a
+  sharp per-configuration prediction of the EA convergence round in the
+  timely-from-the-start model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.coord import (  # noqa: F401  (re-exported analytic surface)
+    alpha,
+    beta,
+    combination_unrank,
+    coordinator,
+    f_set,
+    f_set_index,
+    worst_case_round_bound,
+)
+from ..errors import ConfigurationError
+
+__all__ = [
+    "alpha",
+    "beta",
+    "combination_unrank",
+    "coordinator",
+    "f_set",
+    "f_set_index",
+    "worst_case_round_bound",
+    "cycle_length",
+    "is_good_round",
+    "first_good_round",
+    "good_round_density",
+]
+
+
+def cycle_length(n: int, t: int, k: int = 0) -> int:
+    """Rounds after which the (coordinator, F) pair sequence repeats."""
+    return worst_case_round_bound(n, t, k)
+
+
+def is_good_round(
+    r: int,
+    n: int,
+    t: int,
+    bisource: int,
+    x_plus: Iterable[int],
+    correct: Iterable[int],
+    k: int = 0,
+) -> bool:
+    """Whether round ``r`` satisfies Lemma 3's structural conditions.
+
+    A round is *good* when (a) its coordinator is the bisource, (b) its
+    witness set contains the bisource's timely output set ``X+``, and
+    (c) the witness set contains at most ``k`` faulty processes (for
+    ``k = 0`` this is the paper's ``F(r) ⊆ C``).
+    """
+    correct_set = frozenset(correct)
+    x_plus_set = frozenset(x_plus)
+    if coordinator(r, n) != bisource:
+        return False
+    members = f_set(r, n, t, k)
+    if not x_plus_set <= members:
+        return False
+    return len(members - correct_set) <= k
+
+
+def first_good_round(
+    n: int,
+    t: int,
+    bisource: int,
+    x_plus: Iterable[int],
+    correct: Iterable[int],
+    k: int = 0,
+) -> int:
+    """The first good round for this configuration.
+
+    In the ``<t+1+k>bisource``-from-the-start model with round timeouts
+    exceeding ``2 * delta`` by that round, the EA object returns a common
+    value at the first good round at the latest, so this is the analytic
+    convergence-round prediction for experiment E5/E6.  Searches one full
+    (coordinator, F) cycle; a good round always exists within it.
+    """
+    horizon = cycle_length(n, t, k)
+    for r in range(1, horizon + 1):
+        if is_good_round(r, n, t, bisource, x_plus, correct, k):
+            return r
+    raise ConfigurationError(
+        f"no good round within {horizon} rounds — x_plus must contain only "
+        f"correct processes and have at most n - t members"
+    )
+
+
+def good_round_density(
+    n: int,
+    t: int,
+    bisource: int,
+    x_plus: Iterable[int],
+    correct: Iterable[int],
+    k: int = 0,
+) -> float:
+    """Fraction of rounds in one full cycle that are good.
+
+    A coarse indicator of how often the algorithm gets a convergence
+    opportunity once stabilized.
+    """
+    horizon = cycle_length(n, t, k)
+    good = sum(
+        1
+        for r in range(1, horizon + 1)
+        if is_good_round(r, n, t, bisource, x_plus, correct, k)
+    )
+    return good / horizon

@@ -1,0 +1,95 @@
+"""Analytic message-complexity accounting.
+
+The algorithms' costs decompose cleanly:
+
+* one Bracha RB instance: ``n`` INIT + ``n²`` ECHO + ``n²`` READY sends
+  when every process participates (Byzantine silence only lowers this);
+* one CB instance: ``n`` RB instances (one per proposer);
+* one adopt-commit: one CB instance + ``n`` RB instances (the AC_EST
+  messages are RB-broadcast);
+* one EA round: one CB instance + three plain all-to-all stages
+  (EA_PROP2, EA_COORD — coordinator only, EA_RELAY);
+* one consensus round: one EA round + one adopt-commit;
+* consensus setup/closure: the ``CB[0]`` instance plus up to ``n - t``
+  DECIDE RB instances.
+
+These formulas give the Θ(n³)-per-round shape the E4 experiment
+measures; helpers here expose the per-abstraction budget so tests and
+benchmarks can assert measured counts against predicted ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "rb_instance_messages",
+    "cb_instance_messages",
+    "adopt_commit_messages",
+    "ea_round_messages",
+    "consensus_round_messages",
+    "consensus_overhead_messages",
+    "ConsensusBudget",
+    "consensus_budget",
+]
+
+
+def rb_instance_messages(n: int) -> int:
+    """Upper bound on sends in one fully-participated RB instance."""
+    return n + 2 * n * n
+
+
+def cb_instance_messages(n: int) -> int:
+    """Upper bound on sends in one CB instance (n proposer RBs)."""
+    return n * rb_instance_messages(n)
+
+
+def adopt_commit_messages(n: int) -> int:
+    """Upper bound for one adopt-commit: its CB + n AC_EST RBs."""
+    return cb_instance_messages(n) + n * rb_instance_messages(n)
+
+
+def ea_round_messages(n: int) -> int:
+    """Upper bound for one EA round.
+
+    One CB instance, an EA_PROP2 all-to-all (n² sends), one EA_COORD
+    broadcast (n sends) and an EA_RELAY all-to-all (n² sends).
+    """
+    return cb_instance_messages(n) + n * n + n + n * n
+
+
+def consensus_round_messages(n: int) -> int:
+    """Upper bound for one consensus round (EA round + adopt-commit)."""
+    return ea_round_messages(n) + adopt_commit_messages(n)
+
+
+def consensus_overhead_messages(n: int, t: int) -> int:
+    """Setup + closure outside the round loop: CB[0] + DECIDE RBs."""
+    return cb_instance_messages(n) + (n - t) * rb_instance_messages(n)
+
+
+@dataclass(frozen=True)
+class ConsensusBudget:
+    """Predicted message budget for a whole consensus run."""
+
+    n: int
+    t: int
+    rounds: int
+    per_round: int
+    overhead: int
+
+    @property
+    def total(self) -> int:
+        """Ceiling on total sends for the run."""
+        return self.rounds * self.per_round + self.overhead
+
+
+def consensus_budget(n: int, t: int, rounds: int) -> ConsensusBudget:
+    """The full predicted budget for a run of ``rounds`` rounds."""
+    return ConsensusBudget(
+        n=n,
+        t=t,
+        rounds=rounds,
+        per_round=consensus_round_messages(n),
+        overhead=consensus_overhead_messages(n, t),
+    )

@@ -1,0 +1,60 @@
+"""The m-valued feasibility condition (paper Sections 2.3 and 3).
+
+CB-broadcast, adopt-commit and m-valued consensus exclude values proposed
+only by Byzantine processes; this is possible iff some value is proposed
+by at least ``t + 1`` correct processes, which — with ``n - t`` correct
+processes proposing at most ``m`` distinct values — is guaranteed exactly
+when ``n - t > m * t``.
+"""
+
+from __future__ import annotations
+
+from ..errors import FeasibilityError
+
+__all__ = [
+    "is_feasible",
+    "check_feasibility",
+    "max_values",
+    "min_processes",
+]
+
+
+def is_feasible(n: int, t: int, m: int) -> bool:
+    """Whether ``m`` distinct correct proposals are admissible: ``n-t > m*t``.
+
+    ``t = 0`` systems are always feasible (no Byzantine noise to exclude).
+    """
+    if m < 1:
+        return False
+    if t == 0:
+        return True
+    return n - t > m * t
+
+
+def check_feasibility(n: int, t: int, m: int) -> None:
+    """Raise :class:`FeasibilityError` unless ``is_feasible(n, t, m)``."""
+    if not is_feasible(n, t, m):
+        raise FeasibilityError(
+            f"m-valued feasibility violated: need n - t > m*t, got "
+            f"n={n}, t={t}, m={m} (n-t={n - t}, m*t={m * t}); "
+            f"max admissible m is {max_values(n, t)}"
+        )
+
+
+def max_values(n: int, t: int) -> int:
+    """Largest admissible ``m``: ``floor((n - (t+1)) / t)`` (paper §2.3).
+
+    Returns a large sentinel when ``t = 0`` (no restriction).
+    """
+    if t == 0:
+        return n  # no Byzantine processes: any profile is fine
+    return (n - (t + 1)) // t
+
+
+def min_processes(t: int, m: int) -> int:
+    """Smallest ``n`` supporting ``m``-valued agreement with ``t`` faults.
+
+    Combines the resilience bound ``n > 3t`` with the feasibility bound
+    ``n > m*t + t``.
+    """
+    return max(3 * t + 1, m * t + t + 1)

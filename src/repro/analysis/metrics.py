@@ -1,0 +1,76 @@
+"""Run metrics: message counts, decision latency, round statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.network import Network
+
+__all__ = ["MessageCounter", "summarize", "LatencySummary"]
+
+
+class MessageCounter:
+    """Network hook counting sends and deliveries by tag and by sender."""
+
+    def __init__(self) -> None:
+        self.sends_by_tag: dict[str, int] = {}
+        self.delivers_by_tag: dict[str, int] = {}
+        self.sends_by_sender: dict[int, int] = {}
+        self.total_sends = 0
+        self.total_delivers = 0
+
+    def attach(self, network: "Network") -> "MessageCounter":
+        """Register this counter on a network; returns self for chaining."""
+        network.add_hook(self._on_event)
+        return self
+
+    def _on_event(self, kind: str, message: Message, time: float) -> None:
+        if kind == "send":
+            self.total_sends += 1
+            self.sends_by_tag[message.tag] = self.sends_by_tag.get(message.tag, 0) + 1
+            self.sends_by_sender[message.sender] = (
+                self.sends_by_sender.get(message.sender, 0) + 1
+            )
+        elif kind == "deliver":
+            self.total_delivers += 1
+            self.delivers_by_tag[message.tag] = (
+                self.delivers_by_tag.get(message.tag, 0) + 1
+            )
+
+
+@dataclass
+class LatencySummary:
+    """Five-number-ish summary of a sample of latencies/rounds."""
+
+    count: int = 0
+    mean: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    p50: float = 0.0
+    p90: float = 0.0
+    values: list[float] = field(default_factory=list, repr=False)
+
+
+def summarize(values: list[float]) -> LatencySummary:
+    """Summarize a sample (empty input yields an all-zero summary)."""
+    if not values:
+        return LatencySummary()
+    ordered = sorted(values)
+
+    def percentile(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=percentile(0.5),
+        p90=percentile(0.9),
+        values=list(values),
+    )

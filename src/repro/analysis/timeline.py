@@ -1,0 +1,89 @@
+"""ASCII timelines from execution traces.
+
+Renders selected trace events on one lane per process, scaled to
+virtual time — a quick visual answer to "who was doing what when"
+without leaving the terminal.
+
+Example output::
+
+    virtual time 0.0 .. 49.9
+    p1 |S···········R·······D|
+    p2 |S········R······D····|
+    p3 |S·············R····D·|
+      markers: S=first send, R=first rb_deliver, D=decide
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .traces import Tracer
+
+__all__ = ["render_timeline", "DEFAULT_MARKERS"]
+
+#: Default mapping of trace-event kinds to single-character markers.
+DEFAULT_MARKERS: dict[str, str] = {
+    "send": "S",
+    "deliver": "d",
+    "rb_deliver": "R",
+    "decide": "D",
+}
+
+
+def render_timeline(
+    tracer: Tracer,
+    pids: Iterable[int],
+    markers: Mapping[str, str] | None = None,
+    width: int = 72,
+    first_only: bool = True,
+) -> str:
+    """Render one text lane per process.
+
+    Args:
+        tracer: The trace to visualise.
+        pids: Which process lanes to draw, in order.
+        markers: ``kind -> single char``; kinds absent from the mapping
+            are skipped.  Defaults to :data:`DEFAULT_MARKERS`.
+        width: Character width of each lane.
+        first_only: Plot only the first occurrence of each (pid, kind) —
+            the usual view; ``False`` plots every event (later events
+            overwrite earlier ones in a shared cell).
+
+    Returns:
+        The multi-line drawing, including a legend.
+    """
+    marks = dict(DEFAULT_MARKERS if markers is None else markers)
+    pid_list = list(pids)
+    events = [
+        event
+        for event in tracer.events
+        if event.kind in marks and event.pid in pid_list
+    ]
+    if not events:
+        return "(no matching trace events)"
+    start = min(event.time for event in events)
+    end = max(event.time for event in events)
+    span = max(end - start, 1e-9)
+
+    def column(time: float) -> int:
+        return min(width - 1, int((time - start) / span * (width - 1)))
+
+    lanes = {pid: ["·"] * width for pid in pid_list}
+    seen: set[tuple[int, str]] = set()
+    for event in events:
+        key = (event.pid, event.kind)
+        if first_only and key in seen:
+            continue
+        seen.add(key)
+        lanes[event.pid][column(event.time)] = marks[event.kind]
+
+    label_width = max(len(f"p{pid}") for pid in pid_list)
+    lines = [f"virtual time {start:g} .. {end:g}"]
+    for pid in pid_list:
+        label = f"p{pid}".rjust(label_width)
+        lines.append(f"{label} |{''.join(lanes[pid])}|")
+    legend = ", ".join(
+        f"{char}={kind}" for kind, char in sorted(marks.items(), key=lambda x: x[1])
+    )
+    lines.append(f"{' ' * label_width}  markers: {legend}")
+    return "\n".join(lines)

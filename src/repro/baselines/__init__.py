@@ -1,0 +1,11 @@
+"""Comparator algorithms for the separation experiments (DESIGN.md E8)."""
+
+from .randomized import BinaryValueBroadcast, CommonCoin, RandomizedBinaryConsensus
+from .strong_bisource import StrongBisourceEA
+
+__all__ = [
+    "BinaryValueBroadcast",
+    "CommonCoin",
+    "RandomizedBinaryConsensus",
+    "StrongBisourceEA",
+]

@@ -1,0 +1,18 @@
+"""Broadcast stack: best-effort, Bracha reliable, cooperative (Figure 1)."""
+
+from .cooperative import (
+    BotCooperativeBroadcast,
+    CooperativeBroadcast,
+    bot_witness_exists,
+)
+from .reliable import ReliableBroadcast, rb_quorums
+from .unreliable import BestEffortBroadcast
+
+__all__ = [
+    "BestEffortBroadcast",
+    "ReliableBroadcast",
+    "rb_quorums",
+    "CooperativeBroadcast",
+    "BotCooperativeBroadcast",
+    "bot_witness_exists",
+]

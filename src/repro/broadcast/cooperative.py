@@ -1,0 +1,158 @@
+"""Cooperative broadcast (CB) — paper Section 2.3, Figure 1.
+
+A one-shot all-to-all abstraction.  Each correct process cb-broadcasts a
+value; the operation returns a value cb-broadcast by a *correct* process,
+and every process additionally gets a growing read-only set ``cb_valid``
+whose contents converge at all correct processes to values proposed by
+correct processes only.
+
+Implementation = Figure 1 verbatim: RB-broadcast the value; a value joins
+``cb_valid`` once RB-delivered from ``t+1`` distinct origins (at least one
+of which is then correct); the operation returns as soon as ``cb_valid``
+is non-empty.
+
+Feasibility: the abstraction is implementable iff some value is proposed
+by at least ``t+1`` correct processes, guaranteed when at most
+``m <= floor((n-(t+1))/t)`` distinct values are proposed by correct
+processes (equivalently ``n - t > m*t``).
+
+The module also provides :class:`BotCooperativeBroadcast`, the ⊥-capable
+extension used by the Section 7 variant: ``BOT`` joins ``cb_valid`` once
+the process can exhibit ``n-t`` delivered proposals among which no value
+reaches ``t+1`` support — a monotone predicate, so the sets still
+converge, and if all correct processes propose the same value ⊥ provably
+stays out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.values import BOT, Selector, first_added
+from ..runtime.process import Process
+from .reliable import ReliableBroadcast
+
+__all__ = ["CooperativeBroadcast", "BotCooperativeBroadcast", "bot_witness_exists"]
+
+
+def bot_witness_exists(support_counts: list[int], n: int, t: int) -> bool:
+    """Whether ⊥ may join ``cb_valid`` given per-value support counts.
+
+    True iff there exist ``n - t`` delivered proposals among which no
+    value reaches ``t + 1`` support — equivalently, capping each value's
+    contribution at ``t`` still covers ``n - t`` proposals.  The
+    predicate is monotone in every count, which is what makes the
+    ⊥-extension convergent across processes (CB-Set Agreement).
+    """
+    return sum(min(count, t) for count in support_counts) >= n - t
+
+
+class CooperativeBroadcast:
+    """One CB instance bound to one process (Figure 1).
+
+    Args:
+        process: The owning process.
+        rb: The process's reliable-broadcast engine.
+        n, t: System parameters (``t < n/3``).
+        instance: Hashable identifier of this CB instance; all correct
+            processes must use equal identifiers for the same instance.
+        selector: Deterministic choice among ``cb_valid`` for the return
+            value of :meth:`cb_broadcast` (paper: "any value"; default:
+            first value added).
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        rb: ReliableBroadcast,
+        n: int,
+        t: int,
+        instance: Any,
+        selector: Selector = first_added,
+    ) -> None:
+        self.process = process
+        self.rb = rb
+        self.n = n
+        self.t = t
+        self.instance = instance
+        self.selector = selector
+        # Values in cb_valid, in the order they were added.
+        self._valid_order: list[Any] = []
+        self._valid_set: set[Any] = set()
+        # value -> origins whose CB_VAL carried it.
+        self._support: dict[Any, set[int]] = {}
+        rb.subscribe(("CB_VAL", instance), self._on_rb_deliver)
+
+    # ------------------------------------------------------------------
+    # The cb_valid read-only view
+    # ------------------------------------------------------------------
+    @property
+    def cb_valid(self) -> tuple[Any, ...]:
+        """Snapshot of the ``cb_valid`` set, in insertion order."""
+        return tuple(self._valid_order)
+
+    def in_valid(self, value: Any) -> bool:
+        """Membership test against the live ``cb_valid`` set."""
+        return value in self._valid_set
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    async def cb_broadcast(self, value: Any) -> Any:
+        """Figure 1 lines 1-3: RB-broadcast, wait, return a valid value."""
+        self.rb.broadcast(("CB_VAL", self.instance), value)
+        await self.process.wait_until(lambda: bool(self._valid_order))
+        return self.selector(self.cb_valid)
+
+    # ------------------------------------------------------------------
+    # Figure 1 line 4
+    # ------------------------------------------------------------------
+    def _on_rb_deliver(self, origin: int, instance_key: Any, value: Any) -> None:
+        supporters = self._support.setdefault(value, set())
+        supporters.add(origin)
+        if len(supporters) >= self.t + 1 and value not in self._valid_set:
+            self._add_valid(value)
+        self._after_delivery()
+
+    def _add_valid(self, value: Any) -> None:
+        self._valid_set.add(value)
+        self._valid_order.append(value)
+        # cb_valid growth can satisfy waits in *other* protocol layers
+        # (e.g. AC line 3), so recheck the process's predicates.
+        self.process.notify()
+
+    def _after_delivery(self) -> None:
+        """Extension hook for subclasses (runs after every RB delivery)."""
+
+    @property
+    def support(self) -> dict[Any, frozenset[int]]:
+        """Read-only view of per-value supporting origins (diagnostics)."""
+        return {value: frozenset(origins) for value, origins in self._support.items()}
+
+
+class BotCooperativeBroadcast(CooperativeBroadcast):
+    """CB extended with the default value ⊥ (Section 7 variant).
+
+    In addition to Figure 1's rule, ``BOT`` joins ``cb_valid`` as soon as
+    the sum over values of ``min(support(value), t)`` reaches ``n - t``:
+    this holds iff there exist ``n - t`` delivered proposals among which
+    no value has ``t + 1`` support (cap each value's contribution at
+    ``t``), and is monotone in the delivery history, so CB-Set Agreement
+    is preserved.
+
+    *If all correct processes propose the same value* ``v``: the capped
+    sum is at most ``min(c_v, t) + t <= 2t < n - t`` (using ``n > 3t``),
+    so ⊥ never becomes valid and the classic obligation survives.
+
+    *Termination without feasibility*: once all ``n - t`` correct
+    proposals are delivered, either some value has ``t+1`` support (it
+    becomes valid) or the capped sum over correct proposals alone is
+    already ``n - t`` (⊥ becomes valid).
+    """
+
+    def _after_delivery(self) -> None:
+        if BOT in self._valid_set:
+            return
+        counts = [len(origins) for origins in self._support.values()]
+        if bot_witness_exists(counts, self.n, self.t):
+            self._add_valid(BOT)

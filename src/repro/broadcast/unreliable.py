@@ -1,0 +1,55 @@
+"""Best-effort (unreliable) broadcast — paper Section 2.1.
+
+``broadcast TAG(m)`` is a macro for sending ``TAG(m)`` to every process.
+A message broadcast by a correct process is received by all correct
+processes; a *faulty* process may instead send different messages to
+different processes, or none at all (it simply does not use the macro).
+
+This thin layer also provides first-message-per-sender bookkeeping, which
+implements the model's rule that when a process is supposed to send a
+single ``TAG()`` message, only the first copy from each sender is
+processed and the rest are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..net.messages import Message
+from ..runtime.process import Process
+
+__all__ = ["BestEffortBroadcast"]
+
+
+class BestEffortBroadcast:
+    """Named best-effort broadcast with per-sender dedup per instance.
+
+    Payloads are ``(instance, value)`` pairs; for each ``instance`` only
+    the first value received from each sender is retained, in arrival
+    order (Python dicts preserve insertion order, which the quorum
+    predicates rely on for determinism).
+    """
+
+    def __init__(self, process: Process, tag: str) -> None:
+        self.process = process
+        self.tag = tag
+        self._received: dict[Any, dict[int, Any]] = {}
+        process.register_handler(tag, self._on_message)
+
+    def broadcast(self, instance: Any, value: Any) -> None:
+        """Send ``(instance, value)`` to every process, self included."""
+        self.process.broadcast(self.tag, (instance, value))
+
+    def received(self, instance: Any) -> dict[int, Any]:
+        """First value received from each sender for ``instance``.
+
+        The returned mapping is live (it grows as messages arrive); quorum
+        predicates should copy it when they fire.
+        """
+        return self._received.setdefault(instance, {})
+
+    def _on_message(self, message: Message) -> None:
+        instance, value = message.payload
+        per_sender = self._received.setdefault(instance, {})
+        if message.sender not in per_sender:
+            per_sender[message.sender] = value

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — execute one consensus run and print the outcome;
+* ``sweep`` — run a seed ensemble and print aggregate statistics;
+* ``bounds`` — print the Section 5.4 round-bound table for (n, t);
+* ``feasibility`` — print the m-valued feasibility envelope.
+
+Every command is deterministic given ``--seed`` and prints plain text;
+``run --json`` emits a machine-readable summary instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from .adversary import strategies
+from .analysis.combinatorics import beta, worst_case_round_bound
+from .analysis.feasibility import max_values, min_processes
+from .analysis.metrics import summarize
+from .core.values import BOT
+from .net.topology import fully_asynchronous, fully_timely
+from .orchestration.config import RunConfig
+from .orchestration.runner import run_consensus
+from .orchestration.sweeps import format_table, standard_proposals
+
+__all__ = ["main", "build_parser"]
+
+ADVERSARY_KINDS = {
+    "crash": lambda arg: strategies.crash(),
+    "noise": lambda arg: strategies.noise(float(arg) if arg else 0.5),
+    "two_faced": lambda arg: strategies.two_faced(arg or "evil"),
+    "mute_coord": lambda arg: strategies.mute_coordinator(),
+    "collude": lambda arg: strategies.collude(arg or "evil"),
+    "spam_decide": lambda arg: strategies.spam_decide(arg or "evil"),
+    "bot_relays": lambda arg: strategies.bot_relays(int(arg) if arg else 500),
+    "crash_at": lambda arg: strategies.crash_at(float(arg) if arg else 25.0),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimal Synchrony for Byzantine Consensus — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute one consensus run")
+    _add_system_args(run_p)
+    run_p.add_argument("--json", action="store_true",
+                       help="emit a JSON summary instead of text")
+
+    sweep_p = sub.add_parser("sweep", help="run a seed ensemble")
+    _add_system_args(sweep_p)
+    sweep_p.add_argument("--seeds", type=int, default=10,
+                         help="number of seeds (0..seeds-1)")
+
+    bounds_p = sub.add_parser("bounds", help="Section 5.4 round-bound table")
+    bounds_p.add_argument("--n", type=int, required=True)
+    bounds_p.add_argument("--t", type=int, required=True)
+
+    feas_p = sub.add_parser("feasibility", help="m-valued feasibility envelope")
+    feas_p.add_argument("--n", type=int)
+    feas_p.add_argument("--t", type=int, required=True)
+    feas_p.add_argument("--m", type=int)
+    return parser
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=4, help="number of processes")
+    parser.add_argument("--t", type=int, default=1, help="fault threshold")
+    parser.add_argument("--values", default="a,b",
+                        help="comma-separated proposal values (round-robin)")
+    parser.add_argument(
+        "--adversary", default="crash",
+        help="KIND or KIND:ARG, e.g. two_faced:evil "
+             f"(kinds: {', '.join(sorted(ADVERSARY_KINDS))}; 'none' for none)",
+    )
+    parser.add_argument("--faults", type=int, default=None,
+                        help="number of Byzantine processes (default: t)")
+    parser.add_argument("--topology", default="minimal",
+                        choices=["minimal", "timely", "async"])
+    parser.add_argument("--variant", default="standard",
+                        choices=["standard", "bot"])
+    parser.add_argument("--k", type=int, default=0, help="Section 5.4 knob")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-time", type=float, default=1_000_000.0)
+
+
+def _build_config(args: argparse.Namespace, seed: int) -> RunConfig:
+    n, t = args.n, args.t
+    faults = t if args.faults is None else args.faults
+    adversaries: dict[int, Any] = {}
+    if args.adversary != "none" and faults > 0:
+        kind, _, arg = args.adversary.partition(":")
+        if kind not in ADVERSARY_KINDS:
+            raise SystemExit(f"unknown adversary kind {kind!r}")
+        for pid in range(n - faults + 1, n + 1):
+            adversaries[pid] = ADVERSARY_KINDS[kind](arg)
+    correct = [pid for pid in range(1, n + 1) if pid not in adversaries]
+    values = [v for v in args.values.split(",") if v]
+    proposals = standard_proposals(correct, values)
+    topology = None
+    if args.topology == "timely":
+        topology = fully_timely(n)
+    elif args.topology == "async":
+        topology = fully_asynchronous(n)
+    return RunConfig(
+        n=n, t=t, proposals=proposals, adversaries=adversaries,
+        topology=topology, variant=args.variant, k=args.k, seed=seed,
+        max_time=args.max_time,
+    )
+
+
+def _render(value: Any) -> str:
+    return "⊥" if value is BOT else repr(value)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_consensus(_build_config(args, args.seed))
+    if args.json:
+        payload = {
+            "decisions": {pid: _render(v) for pid, v in result.decisions.items()},
+            "all_decided": result.all_decided,
+            "timed_out": result.timed_out,
+            "rounds": result.rounds,
+            "messages_sent": result.messages_sent,
+            "finished_at": result.finished_at,
+            "invariants_ok": result.invariants.ok,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if result.all_decided else 1
+    print(f"decided      : {result.all_decided}"
+          + ("" if result.all_decided else " (budget hit)"))
+    if result.decisions:
+        print(f"value        : {_render(result.decided_value)}")
+    print(f"rounds       : {result.rounds}")
+    print(f"messages     : {result.messages_sent}")
+    print(f"virtual time : {result.finished_at:.1f}")
+    print(f"safety       : {'OK' if result.invariants.ok else 'VIOLATED'}")
+    return 0 if result.all_decided else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    results = [
+        run_consensus(_build_config(args, seed)) for seed in range(args.seeds)
+    ]
+    decided = [r for r in results if r.all_decided]
+    rounds = summarize([float(r.max_round) for r in decided])
+    latency = summarize([r.finished_at for r in decided])
+    messages = summarize([float(r.messages_sent) for r in decided])
+    values: dict[str, int] = {}
+    for r in decided:
+        key = _render(r.decided_value)
+        values[key] = values.get(key, 0) + 1
+    print(format_table(
+        ["metric", "mean", "min", "max", "p90"],
+        [
+            ["rounds", f"{rounds.mean:.2f}", rounds.minimum, rounds.maximum,
+             rounds.p90],
+            ["virtual latency", f"{latency.mean:.1f}", f"{latency.minimum:.1f}",
+             f"{latency.maximum:.1f}", f"{latency.p90:.1f}"],
+            ["messages", f"{messages.mean:.0f}", f"{messages.minimum:.0f}",
+             f"{messages.maximum:.0f}", f"{messages.p90:.0f}"],
+        ],
+    ))
+    print(f"\ndecided      : {len(decided)}/{len(results)} seeds")
+    print(f"values       : {values}")
+    print(f"safety       : "
+          f"{'OK' if all(r.invariants.ok for r in results) else 'VIOLATED'}")
+    return 0 if len(decided) == len(results) else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    n, t = args.n, args.t
+    if not n > 3 * t:
+        raise SystemExit(f"need n > 3t, got n={n}, t={t}")
+    rows = [
+        [k, t + 1 + k, beta(n, t, k), worst_case_round_bound(n, t, k)]
+        for k in range(t + 1)
+    ]
+    print(format_table(
+        ["k", "bisource width", "beta = C(n, n-t+k)", "round bound beta*n"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    t = args.t
+    if args.m is not None:
+        n = min_processes(t, args.m)
+        print(f"m={args.m} values with t={t} faults needs n >= {n} processes")
+        return 0
+    if args.n is None:
+        raise SystemExit("feasibility needs --n or --m")
+    if not args.n > 3 * t:
+        raise SystemExit(f"need n > 3t, got n={args.n}, t={t}")
+    m = max_values(args.n, t)
+    print(f"n={args.n}, t={t}: correct processes may propose at most "
+          f"m_max={m} distinct values (n - t > m*t)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "bounds": _cmd_bounds,
+        "feasibility": _cmd_feasibility,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

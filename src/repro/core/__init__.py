@@ -1,0 +1,40 @@
+"""The paper's primary contribution: AC, EA and synchrony-optimal consensus."""
+
+from .adopt_commit import AdoptCommit, Tag, most_frequent
+from .consensus import Consensus
+from .consensus_variant import BotConsensus
+from .coord import (
+    alpha,
+    beta,
+    combination_unrank,
+    coordinator,
+    f_set,
+    f_set_index,
+    worst_case_round_bound,
+)
+from .ea_parameterized import ParameterizedEventualAgreement
+from .eventual_agreement import EventualAgreement, default_timeout
+from .values import BOT, Bot, Selector, first_added, smallest
+
+__all__ = [
+    "AdoptCommit",
+    "Tag",
+    "most_frequent",
+    "Consensus",
+    "BotConsensus",
+    "alpha",
+    "beta",
+    "combination_unrank",
+    "coordinator",
+    "f_set",
+    "f_set_index",
+    "worst_case_round_bound",
+    "ParameterizedEventualAgreement",
+    "EventualAgreement",
+    "default_timeout",
+    "BOT",
+    "Bot",
+    "Selector",
+    "first_added",
+    "smallest",
+]

@@ -1,0 +1,121 @@
+"""Byzantine m-valued adopt-commit — paper Section 3, Figure 2.
+
+An adopt-commit (AC) object encapsulates the *safety* part of agreement:
+``AC_propose(v)`` returns ``(COMMIT, v')`` or ``(ADOPT, v')`` such that
+
+* AC-Termination: invocations by correct processes terminate (given all
+  correct processes invoke);
+* AC-Output domain: ``v'`` was proposed by a correct process;
+* AC-Obligation: unanimous correct proposals can only be committed;
+* AC-Quasi-agreement: if anyone commits ``v``, nobody adopts or commits
+  a different value.
+
+This is, per the paper, the first adopt-commit implementation tolerating
+Byzantine processes.  One instance is consumed per consensus round.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..analysis.feasibility import check_feasibility
+from ..broadcast.cooperative import CooperativeBroadcast
+from ..broadcast.reliable import ReliableBroadcast
+from ..errors import ConfigurationError
+from ..runtime.process import Process
+from .values import Selector, first_added
+
+__all__ = ["AdoptCommit", "Tag", "most_frequent"]
+
+
+class Tag(enum.Enum):
+    """The control tag of an adopt-commit decision."""
+
+    COMMIT = "commit"
+    ADOPT = "adopt"
+
+
+def most_frequent(values: list[Any]) -> Any:
+    """Most frequent value; ties break to the earliest-seen (Figure 2 line 4
+    allows any tie-break, deterministic here for reproducibility)."""
+    counts: dict[Any, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    best = None
+    best_count = -1
+    for value, count in counts.items():  # insertion order = first-seen order
+        if count > best_count:
+            best, best_count = value, count
+    return best
+
+
+class AdoptCommit:
+    """One m-valued Byzantine adopt-commit object (Figure 2).
+
+    Args:
+        process: Owning process.
+        rb: The process's reliable-broadcast engine.
+        n, t: System parameters (``t < n/3``).
+        m: Bound on distinct correct proposals (checked against the
+            feasibility condition); pass ``None`` to skip the check when a
+            ⊥-capable CB class is supplied.
+        instance: Identifier shared by all processes for this object
+            (the consensus layer uses the round number).
+        cb_factory: CB class to instantiate (the Section 7 variant swaps
+            in :class:`~repro.broadcast.cooperative.BotCooperativeBroadcast`).
+        selector: Deterministic "any value in cb_valid" choice.
+    """
+
+    EST = "AC_EST"
+
+    def __init__(
+        self,
+        process: Process,
+        rb: ReliableBroadcast,
+        n: int,
+        t: int,
+        m: int | None,
+        instance: Any,
+        cb_factory: type[CooperativeBroadcast] = CooperativeBroadcast,
+        selector: Selector = first_added,
+    ) -> None:
+        if not n > 3 * t:
+            raise ConfigurationError(f"adopt-commit requires n > 3t, got n={n}, t={t}")
+        if m is not None:
+            check_feasibility(n, t, m)
+        self.process = process
+        self.rb = rb
+        self.n = n
+        self.t = t
+        self.instance = instance
+        self.cb = cb_factory(
+            process, rb, n, t, instance=("AC", instance), selector=selector
+        )
+
+    async def propose(self, value: Any) -> tuple[Tag, Any]:
+        """Figure 2: returns ``(Tag.COMMIT, v)`` or ``(Tag.ADOPT, v)``."""
+        est = await self.cb.cb_broadcast(value)  # line 1
+        self.rb.broadcast((self.EST, self.instance), est)  # line 2
+        witness = await self.process.wait_until(self._est_quorum)  # line 3
+        estimates = list(witness.values())
+        mfa = most_frequent(estimates)  # line 4
+        if all(v == mfa for v in estimates):  # line 5
+            return (Tag.COMMIT, mfa)  # line 6
+        return (Tag.ADOPT, mfa)  # line 7
+
+    def _est_quorum(self) -> dict[int, Any] | None:
+        """Line 3 predicate: ``n - t`` RB-delivered estimates, all valid.
+
+        Scans deliveries in delivery order and takes the first ``n - t``
+        whose value currently belongs to ``cb_valid`` (the set can still
+        grow after becoming non-empty, so a delivery may qualify late).
+        Returns the witnessing ``{origin: value}`` snapshot, or None.
+        """
+        qualifying: dict[int, Any] = {}
+        for origin, value in self.rb.delivered_from((self.EST, self.instance)).items():
+            if self.cb.in_valid(value):
+                qualifying[origin] = value
+                if len(qualifying) == self.n - self.t:
+                    return dict(qualifying)
+        return None

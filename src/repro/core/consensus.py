@@ -1,0 +1,185 @@
+"""m-valued Byzantine consensus — paper Section 6, Figure 4.
+
+``CONS_propose(v)`` satisfies, in
+``BZ_AS[t < n/3, <>(t+1)bisource]``:
+
+* CONS-Termination: invocations by correct processes terminate;
+* CONS-Validity: a decided value was proposed by a correct process;
+* CONS-Agreement: no two correct processes decide differently.
+
+Structure (Figure 4): an initial CB instance ``CB[0]`` pins down the set
+of correct proposals; each round runs the EA object (liveness: eventually
+all correct processes push the same estimate) and a fresh adopt-commit
+object (safety: commits lock the value); a process that obtains
+``commit`` RB-broadcasts ``DECIDE(v)``, and any process that RB-delivers
+``DECIDE(v)`` from ``t + 1`` distinct origins decides ``v`` and stops its
+round loop (its broadcast handlers keep serving, so lagging processes
+still make progress).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..analysis.feasibility import check_feasibility
+from ..broadcast.cooperative import CooperativeBroadcast
+from ..broadcast.reliable import ReliableBroadcast
+from ..errors import ConfigurationError
+from ..runtime.process import Process
+from ..sim.futures import Future
+from ..sim.tasks import Task
+from .adopt_commit import AdoptCommit, Tag
+from .eventual_agreement import EventualAgreement, default_timeout
+from .values import Selector, first_added
+
+__all__ = ["Consensus"]
+
+EaFactory = Callable[..., EventualAgreement]
+
+
+class Consensus:
+    """One consensus instance bound to one process (Figure 4).
+
+    Args:
+        process: Owning process.
+        rb: Reliable-broadcast engine.
+        n, t: System parameters (``t < n/3``).
+        m: Bound on distinct correct proposals (feasibility-checked);
+            ``None`` skips the check (used by the Section 7 variant).
+        k: Section 5.4 tuning parameter forwarded to the EA object.
+        timeout_fn: EA round-timeout schedule.
+        cb_factory: CB class used for ``CB[0]`` and all nested instances.
+        ea_factory: EA implementation (baselines substitute their own).
+        selector: Deterministic "any value in cb_valid" choice.
+        max_rounds: Optional cap on executed rounds; when hit, the round
+            loop stops silently and the decision future stays pending
+            (used by benchmarks measuring non-convergence).
+    """
+
+    DECIDE_KEY = ("CONS_DECIDE",)
+
+    def __init__(
+        self,
+        process: Process,
+        rb: ReliableBroadcast,
+        n: int,
+        t: int,
+        m: int | None,
+        k: int = 0,
+        timeout_fn: Callable[[int], float] = default_timeout,
+        cb_factory: type[CooperativeBroadcast] = CooperativeBroadcast,
+        ea_factory: EaFactory | None = None,
+        selector: Selector = first_added,
+        max_rounds: int | None = None,
+        namespace: str = "",
+    ) -> None:
+        if not n > 3 * t:
+            raise ConfigurationError(f"consensus requires n > 3t, got n={n}, t={t}")
+        if m is not None:
+            check_feasibility(n, t, m)
+        self.process = process
+        self.rb = rb
+        self.n = n
+        self.t = t
+        self.m = m
+        self.k = k
+        self.timeout_fn = timeout_fn
+        self.cb_factory = cb_factory
+        self.selector = selector
+        self.max_rounds = max_rounds
+        self.namespace = namespace
+        self._decide_key = (
+            ("CONS_DECIDE", namespace) if namespace else self.DECIDE_KEY
+        )
+        cb0_instance = ("CONS_VALID", namespace) if namespace else "CONS_VALID"
+        self.cb0 = cb_factory(
+            process, rb, n, t, instance=cb0_instance, selector=selector
+        )
+        factory = ea_factory if ea_factory is not None else EventualAgreement
+        self.ea = factory(
+            process,
+            rb,
+            n,
+            t,
+            m=m,
+            k=k,
+            timeout_fn=timeout_fn,
+            cb_factory=cb_factory,
+            selector=selector,
+            namespace=namespace,
+        )
+        self._adopt_commits: dict[int, AdoptCommit] = {}
+        #: Resolves with the decided value (Figure 4 line 9).
+        self.decision: Future = Future(name=f"p{process.pid}.decision")
+        self._decide_support: dict[Any, set[int]] = {}
+        self._decide_broadcast = False
+        self._loop_task: Task | None = None
+        #: Rounds this process entered (Figure 4 line 3).
+        self.rounds_executed = 0
+        #: Per-round (round, tag, estimate) history for analysis.
+        self.est_history: list[tuple[int, Tag, Any]] = []
+        rb.subscribe(self._decide_key, self._on_decide)
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    async def propose(self, value: Any) -> Any:
+        """Figure 4 ``CONS_propose``: returns the decided value."""
+        est = await self.cb0.cb_broadcast(value)  # line 1
+        self._loop_task = self.process.create_task(
+            self._round_loop(est), name=f"p{self.process.pid}.rounds"
+        )
+        decided = await self.decision  # set by the DECIDE handler (line 9)
+        if not self._loop_task.done():
+            self._loop_task.cancel()
+        return decided
+
+    @property
+    def decided(self) -> bool:
+        """Whether this process has decided."""
+        return self.decision.done()
+
+    # ------------------------------------------------------------------
+    # Round loop (Figure 4 lines 2-8)
+    # ------------------------------------------------------------------
+    async def _round_loop(self, est: Any) -> None:
+        r = 0
+        while self.max_rounds is None or r < self.max_rounds:
+            r += 1  # line 3
+            self.rounds_executed = r
+            v = await self.ea.propose(r, est)  # line 4 (liveness)
+            if self.cb0.in_valid(v):  # line 5 (validity)
+                est = v
+            tag, est = await self._adopt_commit(r).propose(est)  # line 6
+            self.est_history.append((r, tag, est))
+            if tag is Tag.COMMIT and not self._decide_broadcast:  # line 7
+                self._decide_broadcast = True
+                self.rb.broadcast(self._decide_key, est)
+
+    def _adopt_commit(self, r: int) -> AdoptCommit:
+        ac = self._adopt_commits.get(r)
+        if ac is None:
+            instance = (self.namespace, r) if self.namespace else r
+            ac = AdoptCommit(
+                self.process,
+                self.rb,
+                self.n,
+                self.t,
+                m=self.m,
+                instance=instance,
+                cb_factory=self.cb_factory,
+                selector=self.selector,
+            )
+            self._adopt_commits[r] = ac
+        return ac
+
+    # ------------------------------------------------------------------
+    # Decision handler (Figure 4 line 9)
+    # ------------------------------------------------------------------
+    def _on_decide(self, origin: int, instance_key: Any, value: Any) -> None:
+        supporters = self._decide_support.setdefault(value, set())
+        supporters.add(origin)
+        if len(supporters) >= self.t + 1 and not self.decision.done():
+            # At least one of the t+1 DECIDE RB-broadcasts is from a
+            # correct process, so the value is safe to decide.
+            self.decision.set_result(value)

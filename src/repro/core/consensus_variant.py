@@ -1,0 +1,69 @@
+"""The ⊥-default-validity consensus variant — paper Section 7.
+
+The m-valued algorithms restrict correct processes to at most
+``m <= floor((n-(t+1))/t)`` distinct proposals so that no value proposed
+only by Byzantine processes can ever be decided.  The variant sketched in
+the conclusion (following Correia et al. and Mostéfaoui-Raynal's
+intrusion-tolerant validity) lifts the restriction: correct processes may
+propose arbitrarily many distinct values, and the decided value is either
+a correct proposal or the default value ⊥ — with ⊥ possible only when
+correct processes are *not* unanimous.
+
+Realisation: every cooperative-broadcast instance in the stack (``CB[0]``,
+the per-round EA and AC instances) is replaced by
+:class:`~repro.broadcast.cooperative.BotCooperativeBroadcast`, whose
+``cb_valid`` additionally admits ⊥ via a monotone no-(t+1)-support
+witness rule.  All liveness waits then terminate without the feasibility
+condition, while unanimity still forces the classic outcome (see the
+BotCooperativeBroadcast docstring for the argument).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..broadcast.cooperative import BotCooperativeBroadcast
+from ..broadcast.reliable import ReliableBroadcast
+from ..runtime.process import Process
+from .consensus import Consensus, EaFactory
+from .eventual_agreement import default_timeout
+from .values import Selector, first_added
+
+__all__ = ["BotConsensus"]
+
+
+class BotConsensus(Consensus):
+    """Byzantine consensus deciding a correct proposal or ⊥ (Section 7).
+
+    Identical to :class:`~repro.core.consensus.Consensus` except that the
+    value domain is unrestricted (no ``m``) and ⊥ (:data:`repro.core.values.BOT`)
+    may be decided when correct processes disagree.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        rb: ReliableBroadcast,
+        n: int,
+        t: int,
+        k: int = 0,
+        timeout_fn: Callable[[int], float] = default_timeout,
+        ea_factory: EaFactory | None = None,
+        selector: Selector = first_added,
+        max_rounds: int | None = None,
+        namespace: str = "",
+    ) -> None:
+        super().__init__(
+            process,
+            rb,
+            n,
+            t,
+            m=None,  # no feasibility restriction in the variant
+            k=k,
+            timeout_fn=timeout_fn,
+            cb_factory=BotCooperativeBroadcast,
+            ea_factory=ea_factory,
+            selector=selector,
+            max_rounds=max_rounds,
+            namespace=namespace,
+        )

@@ -1,0 +1,57 @@
+"""Value-domain helpers shared by the agreement objects.
+
+Defines the default decision value ``BOT`` (the paper's ⊥, used by the
+Section 7 variant), and the deterministic selectors used wherever the
+paper allows an arbitrary choice ("return any value in cb_valid").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["BOT", "Bot", "Selector", "first_added", "smallest"]
+
+
+class Bot:
+    """The default decision value ⊥ of the Section 7 variant.
+
+    A singleton: ``BOT`` is falsy-free (always truthy), hashable, and
+    orders *after* every other value under :func:`smallest` so a real
+    proposal wins ties deterministically.
+    """
+
+    _instance: "Bot | None" = None
+
+    def __new__(cls) -> "Bot":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (Bot, ())
+
+
+BOT = Bot()
+
+#: A selector picks one value from a non-empty ``cb_valid`` snapshot.
+Selector = Callable[[Sequence[Any]], Any]
+
+
+def first_added(values: Sequence[Any]) -> Any:
+    """Pick the value that entered ``cb_valid`` first (arrival order)."""
+    return values[0]
+
+
+def smallest(values: Sequence[Any]) -> Any:
+    """Pick the smallest comparable value; ⊥ loses every comparison.
+
+    Useful when runs across different schedules should agree on the
+    chosen value whenever their ``cb_valid`` sets are equal.
+    """
+    real = [v for v in values if v is not BOT]
+    if not real:
+        return BOT
+    return min(real)

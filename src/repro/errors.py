@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime anomalies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "FeasibilityError",
+    "SimulationError",
+    "DeadlockError",
+    "DeadlineExceeded",
+    "CancelledError",
+    "InvalidStateError",
+    "ProtocolViolation",
+    "InvariantViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A run or object was configured with inconsistent parameters."""
+
+
+class FeasibilityError(ConfigurationError):
+    """The m-valued feasibility condition ``n - t > m * t`` is violated.
+
+    The paper (Sections 2.3 and 3) shows that CB-broadcast, adopt-commit and
+    m-valued consensus are implementable only when some value is guaranteed
+    to be proposed by at least ``t + 1`` correct processes, which requires
+    ``n - t > m * t``.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation could not make progress as requested."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while some awaited future was still pending."""
+
+
+class DeadlineExceeded(SimulationError):
+    """Virtual time or the event budget ran out before the goal was reached."""
+
+
+class CancelledError(ReproError):
+    """A simulated task was cancelled before producing a result."""
+
+
+class InvalidStateError(ReproError):
+    """An operation was applied to a future/task in an incompatible state."""
+
+
+class ProtocolViolation(ReproError):
+    """A *correct* process observed behaviour forbidden by the protocol.
+
+    This is raised only for conditions that the algorithms of the paper rule
+    out for correct processes (e.g. delivering two different values for one
+    reliable-broadcast instance); it never fires merely because a Byzantine
+    process misbehaves.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A post-hoc trace check (``repro.analysis.invariants``) failed."""

@@ -1,0 +1,50 @@
+"""Point-to-point network substrate with per-channel timing models."""
+
+from .channel import Channel, ChannelStats
+from .messages import Message
+from .network import Network
+from .timing import (
+    Asynchronous,
+    ChannelTiming,
+    ConstantDelay,
+    DelayDistribution,
+    EventuallyTimely,
+    ExponentialDelay,
+    PerTagTiming,
+    ScriptedDelay,
+    ScriptedTiming,
+    Timely,
+    UniformDelay,
+)
+from .topology import (
+    Topology,
+    bisource_sets,
+    fully_asynchronous,
+    fully_timely,
+    is_bisource,
+    single_bisource,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Message",
+    "Network",
+    "Asynchronous",
+    "ChannelTiming",
+    "ConstantDelay",
+    "DelayDistribution",
+    "EventuallyTimely",
+    "ExponentialDelay",
+    "PerTagTiming",
+    "ScriptedDelay",
+    "ScriptedTiming",
+    "Timely",
+    "UniformDelay",
+    "Topology",
+    "bisource_sets",
+    "fully_asynchronous",
+    "fully_timely",
+    "is_bisource",
+    "single_bisource",
+]

@@ -1,0 +1,42 @@
+"""Message representation for the point-to-point network.
+
+A message carries its sender identity (the network model of the paper,
+Section 2.1, guarantees that receivers can identify senders — no process
+can impersonate another), a protocol ``tag`` and an arbitrary ``payload``.
+Protocol layers encode instance identifiers (round numbers, broadcast
+instance keys) inside the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable network message.
+
+    Attributes:
+        sender: Process id of the sender (authenticated by the channel).
+        dest: Process id of the destination.
+        tag: Protocol message type (e.g. ``"RB_ECHO"``, ``"EA_COORD"``).
+        payload: Arbitrary, protocol-defined content.
+        sent_at: Virtual send time (stamped by the network).
+        uid: Per-network unique, monotonically increasing message id.
+    """
+
+    sender: int
+    dest: int
+    tag: str
+    payload: Any
+    sent_at: float = field(default=0.0, compare=False)
+    uid: int = field(default=-1, compare=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.sender}->{self.dest} {self.tag} {self.payload!r} "
+            f"@{self.sent_at:g})"
+        )

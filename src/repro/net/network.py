@@ -1,0 +1,156 @@
+"""The n-process point-to-point network (paper Section 2.1).
+
+The network is *reliable*: it neither loses nor duplicates nor corrupts
+messages, and every transfer delay is finite.  It is *authenticated at the
+channel level*: a message handed to process ``j`` always carries the true
+identity of its sender, so Byzantine processes cannot impersonate others.
+Byzantine processes also cannot influence the delivery schedule — delays
+are drawn by the channel timing models alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from ..errors import ConfigurationError
+from ..sim.random import RngRegistry
+from .channel import Channel
+from .messages import Message
+from .timing import Asynchronous, ChannelTiming, Timely
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.loop import Simulator
+
+__all__ = ["Network"]
+
+#: Delivery bound used for the "virtual" self channel each process has to
+#: itself (the paper assumes it exists and is always timely).
+_SELF_CHANNEL_DELTA = 1e-9
+
+DeliverFn = Callable[[Message], None]
+HookFn = Callable[[str, Message, float], None]
+
+
+class Network:
+    """The full n×n channel matrix plus delivery plumbing and counters.
+
+    Args:
+        sim: The simulator that owns virtual time.
+        n: Number of processes; process ids are ``1..n`` as in the paper.
+        timing: Mapping ``(src, dst) -> ChannelTiming`` for specific pairs.
+            Pairs not present fall back to ``default_timing``.
+        default_timing: Timing model for unspecified pairs
+            (default: asynchronous with exponential delays).
+        rng: Seed registry; each channel gets stream ``("chan", src, dst)``.
+        fifo: Whether channels deliver in FIFO order (default False).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        n: int,
+        timing: Mapping[tuple[int, int], ChannelTiming] | None = None,
+        default_timing: ChannelTiming | None = None,
+        rng: RngRegistry | None = None,
+        fifo: bool = False,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 processes, got {n}")
+        self.sim = sim
+        self.n = n
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self._default_timing = (
+            default_timing if default_timing is not None else Asynchronous()
+        )
+        overrides = dict(timing) if timing else {}
+        for (src, dst) in overrides:
+            if not (1 <= src <= n and 1 <= dst <= n):
+                raise ConfigurationError(
+                    f"timing override for out-of-range pair ({src}, {dst})"
+                )
+        self_timing = Timely(delta=_SELF_CHANNEL_DELTA)
+        self._channels: dict[tuple[int, int], Channel] = {}
+        for src in range(1, n + 1):
+            for dst in range(1, n + 1):
+                if src == dst:
+                    model: ChannelTiming = overrides.get((src, dst), self_timing)
+                else:
+                    model = overrides.get((src, dst), self._default_timing)
+                self._channels[(src, dst)] = Channel(
+                    src, dst, model, self.rng.stream("chan", src, dst), fifo=fifo
+                )
+        self._processes: dict[int, DeliverFn] = {}
+        self._hooks: list[HookFn] = []
+        self._next_uid = 0
+        #: Total messages sent through the network.
+        self.messages_sent = 0
+        #: Message counts keyed by tag.
+        self.sent_by_tag: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_process(self, pid: int, deliver: DeliverFn) -> None:
+        """Attach the delivery callback for process ``pid``."""
+        if not 1 <= pid <= self.n:
+            raise ConfigurationError(f"process id {pid} out of range 1..{self.n}")
+        if pid in self._processes:
+            raise ConfigurationError(f"process {pid} registered twice")
+        self._processes[pid] = deliver
+
+    def add_hook(self, hook: HookFn) -> None:
+        """Register a tracing hook ``hook(kind, message, time)``.
+
+        ``kind`` is ``"send"`` or ``"deliver"``.
+        """
+        self._hooks.append(hook)
+
+    def channel(self, src: int, dst: int) -> Channel:
+        """Return the channel object for the ordered pair ``(src, dst)``."""
+        return self._channels[(src, dst)]
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, tag: str, payload: Any) -> Message:
+        """Send one message; returns the stamped :class:`Message`.
+
+        The ``src`` argument is trusted because only the process runtime
+        (or the adversary harness, for its own pid) calls this — matching
+        the model's no-impersonation guarantee.
+        """
+        if dst not in self._processes:
+            raise ConfigurationError(f"no process registered with id {dst}")
+        message = Message(
+            sender=src,
+            dest=dst,
+            tag=tag,
+            payload=payload,
+            sent_at=self.sim.now,
+            uid=self._next_uid,
+        )
+        self._next_uid += 1
+        self.messages_sent += 1
+        self.sent_by_tag[tag] = self.sent_by_tag.get(tag, 0) + 1
+        for hook in self._hooks:
+            hook("send", message, self.sim.now)
+        self._channels[(src, dst)].transmit(self.sim, message, self._deliver)
+        return message
+
+    def broadcast(self, src: int, tag: str, payload: Any) -> None:
+        """Best-effort broadcast: send to every process, self included.
+
+        This is the unreliable broadcast of Section 2.1; a *Byzantine*
+        sender is free not to use it and send different payloads to
+        different destinations via :meth:`send`.
+        """
+        for dst in range(1, self.n + 1):
+            self.send(src, dst, tag, payload)
+
+    def _deliver(self, message: Message) -> None:
+        for hook in self._hooks:
+            hook("deliver", message, self.sim.now)
+        self._processes[message.dest](message)
+
+    def __repr__(self) -> str:
+        return f"Network(n={self.n}, sent={self.messages_sent})"

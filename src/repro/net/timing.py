@@ -1,0 +1,279 @@
+"""Channel timing models implementing the paper's Section 4 definitions.
+
+The central definition: a channel from ``p_i`` to ``p_j`` is *eventually
+timely* if there exist a finite time ``tau`` and a bound ``delta`` such
+that any message sent at time ``tau'`` is received by
+``max(tau, tau') + delta``.  Neither ``tau`` nor ``delta`` is known to the
+processes.
+
+A *timely* channel is the ``tau = 0`` special case.  An *asynchronous*
+channel has no bound but — the network being reliable — every delay is
+finite.
+
+Delay draws come from per-channel seeded random streams, so the whole
+network schedule is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DelayDistribution",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "ScriptedDelay",
+    "ChannelTiming",
+    "Timely",
+    "EventuallyTimely",
+    "Asynchronous",
+    "PerTagTiming",
+    "ScriptedTiming",
+]
+
+
+# ----------------------------------------------------------------------
+# Delay distributions (relative delays, in virtual time units)
+# ----------------------------------------------------------------------
+class DelayDistribution(ABC):
+    """A distribution of finite, strictly positive message delays."""
+
+    @abstractmethod
+    def sample(self, send_time: float, rng: random.Random) -> float:
+        """Draw a delay for a message sent at ``send_time``."""
+
+    def describe(self) -> str:
+        """Human-readable summary for reports."""
+        return type(self).__name__
+
+
+class ConstantDelay(DelayDistribution):
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ConfigurationError(f"delay must be positive, got {value!r}")
+        self.value = float(value)
+
+    def sample(self, send_time: float, rng: random.Random) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"Constant({self.value:g})"
+
+
+class UniformDelay(DelayDistribution):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError(
+                f"need 0 < low <= high, got low={low!r}, high={high!r}"
+            )
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, send_time: float, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"Uniform({self.low:g}, {self.high:g})"
+
+
+class ExponentialDelay(DelayDistribution):
+    """Exponential delays: finite with probability 1, but unbounded.
+
+    This is the canonical model for the paper's asynchronous channels —
+    every delay is finite (the network is reliable) yet no bound exists.
+    A small floor keeps delays strictly positive.
+    """
+
+    def __init__(self, mean: float, floor: float = 1e-6) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean!r}")
+        self.mean = float(mean)
+        self.floor = float(floor)
+
+    def sample(self, send_time: float, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def describe(self) -> str:
+        return f"Exponential(mean={self.mean:g})"
+
+
+class ScriptedDelay(DelayDistribution):
+    """Delays computed by an arbitrary function of the send time.
+
+    Used by adversarial tests to build worst-case (but finite) schedules.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[float, random.Random], float],
+        description: str = "Scripted",
+    ) -> None:
+        self.fn = fn
+        self._description = description
+
+    def sample(self, send_time: float, rng: random.Random) -> float:
+        delay = float(self.fn(send_time, rng))
+        if not (delay > 0 and math.isfinite(delay)):
+            raise ConfigurationError(
+                f"scripted delay must be finite and positive, got {delay!r}"
+            )
+        return delay
+
+    def describe(self) -> str:
+        return self._description
+
+
+# ----------------------------------------------------------------------
+# Channel timing models (absolute delivery times)
+# ----------------------------------------------------------------------
+class ChannelTiming(ABC):
+    """Maps a send time to an absolute delivery time."""
+
+    @abstractmethod
+    def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        """Absolute virtual time at which the message is delivered."""
+
+    def delivery_time_for(
+        self, message: object, send_time: float, rng: random.Random
+    ) -> float:
+        """Delivery time possibly depending on the message itself.
+
+        The paper's asynchronous model lets the (network) adversary pick
+        each message's delay individually; message-aware models override
+        this hook.  The default ignores the message.
+        """
+        return self.delivery_time(send_time, rng)
+
+    @property
+    def is_eventually_timely(self) -> bool:
+        """Whether this model guarantees the Section 4 timeliness bound."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable summary for reports."""
+        return type(self).__name__
+
+
+class EventuallyTimely(ChannelTiming):
+    """The paper's eventually timely channel.
+
+    Before stabilization the channel behaves like ``pre`` (any finite
+    distribution), but delivery never exceeds ``max(tau, send_time) + delta``
+    — exactly the Section 4 definition, which also forces messages sent
+    *before* ``tau`` to arrive by ``tau + delta``.
+    """
+
+    def __init__(
+        self,
+        tau: float,
+        delta: float,
+        pre: DelayDistribution | None = None,
+    ) -> None:
+        if tau < 0:
+            raise ConfigurationError(f"tau must be >= 0, got {tau!r}")
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta!r}")
+        self.tau = float(tau)
+        self.delta = float(delta)
+        self.pre = pre if pre is not None else ExponentialDelay(mean=4.0 * delta)
+
+    def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        natural = send_time + self.pre.sample(send_time, rng)
+        bound = max(self.tau, send_time) + self.delta
+        return min(natural, bound)
+
+    @property
+    def is_eventually_timely(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"EventuallyTimely(tau={self.tau:g}, delta={self.delta:g})"
+
+
+class Timely(EventuallyTimely):
+    """A channel timely from the very beginning (``tau = 0``).
+
+    Used to build the ``<t+1>bisource``-from-the-start model of Section 5.4
+    in which the round-complexity bounds are stated.
+    """
+
+    def __init__(self, delta: float, pre: DelayDistribution | None = None) -> None:
+        super().__init__(tau=0.0, delta=delta, pre=pre)
+
+    def describe(self) -> str:
+        return f"Timely(delta={self.delta:g})"
+
+
+class Asynchronous(ChannelTiming):
+    """A reliable channel with finite but unbounded delays."""
+
+    def __init__(self, dist: DelayDistribution | None = None) -> None:
+        self.dist = dist if dist is not None else ExponentialDelay(mean=5.0)
+
+    def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        return send_time + self.dist.sample(send_time, rng)
+
+    def describe(self) -> str:
+        return f"Asynchronous({self.dist.describe()})"
+
+
+class PerTagTiming(ChannelTiming):
+    """An asynchronous channel whose delays depend on the message tag.
+
+    Legal adversarial behaviour: an asynchronous channel may delay *each
+    message* by any finite amount, so the worst-case schedules used in
+    the separation experiments slow down specific protocol messages
+    (e.g. ``EA_COORD``) while the rest of the traffic flows normally.
+    Tags without an override use ``base``.
+    """
+
+    def __init__(self, base: ChannelTiming, overrides: dict) -> None:
+        self.base = base
+        self.overrides = dict(overrides)
+
+    def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        return self.base.delivery_time(send_time, rng)
+
+    def delivery_time_for(
+        self, message: object, send_time: float, rng: random.Random
+    ) -> float:
+        tag = getattr(message, "tag", None)
+        model = self.overrides.get(tag, self.base)
+        return model.delivery_time(send_time, rng)
+
+    def describe(self) -> str:
+        slowed = ", ".join(sorted(self.overrides))
+        return f"PerTag(base={self.base.describe()}, overrides=[{slowed}])"
+
+
+class ScriptedTiming(ChannelTiming):
+    """Delivery times computed by an arbitrary (finite) schedule function."""
+
+    def __init__(
+        self,
+        fn: Callable[[float, random.Random], float],
+        description: str = "ScriptedTiming",
+    ) -> None:
+        self.fn = fn
+        self._description = description
+
+    def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        time = float(self.fn(send_time, rng))
+        if not (time >= send_time and math.isfinite(time)):
+            raise ConfigurationError(
+                f"scripted delivery must be finite and >= send time, got {time!r}"
+            )
+        return time
+
+    def describe(self) -> str:
+        return self._description

@@ -1,0 +1,213 @@
+"""Topology builders: where the synchrony lives in the channel matrix.
+
+The paper's synchrony assumption is purely structural: *one* correct
+process must be an eventual ``<t+1>bisource`` (timely input channels from
+``t`` correct processes and timely output channels to ``t`` correct
+processes, plus itself; the input and output sets may differ).  These
+helpers build channel-timing matrices realising exactly that assumption —
+including the *minimal* case where every other channel in the system is
+asynchronous — as well as the fully timely and fully asynchronous
+extremes used by tests and baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .timing import (
+    Asynchronous,
+    ChannelTiming,
+    EventuallyTimely,
+    ExponentialDelay,
+    Timely,
+)
+
+__all__ = [
+    "Topology",
+    "fully_timely",
+    "fully_asynchronous",
+    "single_bisource",
+    "bisource_sets",
+    "is_bisource",
+]
+
+
+@dataclass
+class Topology:
+    """A channel-timing matrix plus metadata about where synchrony lives.
+
+    Attributes:
+        n: Number of processes (ids ``1..n``).
+        overrides: Specific ``(src, dst) -> ChannelTiming`` assignments.
+        default: Timing model for every pair not in ``overrides``.
+        description: Human-readable summary used in reports.
+        bisource: Process id of the designated bisource, if any.
+        x_minus: Processes with an eventually timely channel *into* the
+            bisource (bisource included), if a bisource was designated.
+        x_plus: Processes the bisource has an eventually timely channel
+            *to* (bisource included), if a bisource was designated.
+    """
+
+    n: int
+    overrides: dict[tuple[int, int], ChannelTiming] = field(default_factory=dict)
+    default: ChannelTiming = field(default_factory=Asynchronous)
+    description: str = ""
+    bisource: int | None = None
+    x_minus: frozenset[int] | None = None
+    x_plus: frozenset[int] | None = None
+
+    def timing_for(self, src: int, dst: int) -> ChannelTiming:
+        """Timing model for the ordered pair ``(src, dst)``."""
+        return self.overrides.get((src, dst), self.default)
+
+
+def fully_timely(n: int, delta: float = 1.0) -> Topology:
+    """Every channel timely from the start — the synchronous extreme."""
+    return Topology(
+        n=n,
+        default=Timely(delta=delta),
+        description=f"fully timely (delta={delta:g})",
+    )
+
+
+def fully_asynchronous(n: int, mean_delay: float = 5.0) -> Topology:
+    """No synchrony anywhere: consensus is unsolvable here (FLP/paper §1).
+
+    Used to validate that the algorithms never violate *safety* even when
+    the liveness assumption is absent, and as the environment for the
+    randomized baseline (which needs no synchrony).
+    """
+    return Topology(
+        n=n,
+        default=Asynchronous(ExponentialDelay(mean=mean_delay)),
+        description=f"fully asynchronous (mean={mean_delay:g})",
+    )
+
+
+def bisource_sets(
+    bisource: int,
+    correct: Iterable[int],
+    width: int,
+    disjoint: bool = True,
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Pick the input set ``X-`` and output set ``X+`` for a bisource.
+
+    Both sets include the bisource itself and have exactly ``width``
+    members (``width = t + 1`` for a ``<t+1>bisource``).  When
+    ``disjoint`` is true and enough correct processes exist, the two sets
+    share only the bisource — exercising the paper's remark that the
+    timely input and output channels may connect the bisource to
+    *different* subsets of processes.
+    """
+    others = sorted(p for p in set(correct) if p != bisource)
+    needed = width - 1
+    if needed < 0:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if len(others) < needed:
+        raise ConfigurationError(
+            f"not enough correct processes for width {width}: "
+            f"have {len(others)} besides the bisource"
+        )
+    x_minus = frozenset([bisource] + others[:needed])
+    if disjoint and len(others) >= 2 * needed:
+        x_plus = frozenset([bisource] + others[needed : 2 * needed])
+    else:
+        x_plus = frozenset([bisource] + others[-needed:] if needed else [bisource])
+    return x_minus, x_plus
+
+
+def single_bisource(
+    n: int,
+    t: int,
+    bisource: int,
+    correct: Iterable[int],
+    tau: float = 0.0,
+    delta: float = 1.0,
+    k: int = 0,
+    x_minus: Iterable[int] | None = None,
+    x_plus: Iterable[int] | None = None,
+    mean_async_delay: float = 5.0,
+    disjoint: bool = True,
+) -> Topology:
+    """The minimal synchrony topology: one ``<t+1+k>bisource``, rest async.
+
+    Exactly ``t + k`` eventually timely input channels (from ``x_minus``
+    minus the bisource) and ``t + k`` eventually timely output channels
+    (to ``x_plus`` minus the bisource) are created, with stabilization
+    time ``tau`` and bound ``delta``.  Every other inter-process channel
+    is asynchronous.  ``tau = 0`` gives the ``<t+1+k>bisource``-from-the-
+    start model in which the paper states its round-complexity bounds.
+    """
+    correct_set = frozenset(correct)
+    if bisource not in correct_set:
+        raise ConfigurationError(
+            f"the bisource must be a correct process, got {bisource}"
+        )
+    width = t + 1 + k
+    if x_minus is None or x_plus is None:
+        chosen_minus, chosen_plus = bisource_sets(
+            bisource, correct_set, width, disjoint=disjoint
+        )
+        x_minus_set = frozenset(x_minus) if x_minus is not None else chosen_minus
+        x_plus_set = frozenset(x_plus) if x_plus is not None else chosen_plus
+    else:
+        x_minus_set = frozenset(x_minus)
+        x_plus_set = frozenset(x_plus)
+    for name, members in (("x_minus", x_minus_set), ("x_plus", x_plus_set)):
+        if bisource not in members:
+            raise ConfigurationError(f"{name} must contain the bisource")
+        if not members <= correct_set:
+            raise ConfigurationError(f"{name} must contain only correct processes")
+        if len(members) < width:
+            raise ConfigurationError(
+                f"{name} needs at least {width} members, got {len(members)}"
+            )
+    overrides: dict[tuple[int, int], ChannelTiming] = {}
+    for p in x_minus_set:
+        if p != bisource:
+            overrides[(p, bisource)] = EventuallyTimely(tau=tau, delta=delta)
+    for q in x_plus_set:
+        if q != bisource:
+            overrides[(bisource, q)] = EventuallyTimely(tau=tau, delta=delta)
+    return Topology(
+        n=n,
+        overrides=overrides,
+        default=Asynchronous(ExponentialDelay(mean=mean_async_delay)),
+        description=(
+            f"single <{width}>bisource at p{bisource} "
+            f"(tau={tau:g}, delta={delta:g}), all other channels asynchronous"
+        ),
+        bisource=bisource,
+        x_minus=x_minus_set,
+        x_plus=x_plus_set,
+    )
+
+
+def is_bisource(
+    topology: Topology,
+    pid: int,
+    correct: Iterable[int],
+    width: int,
+) -> bool:
+    """Check whether ``pid`` is an eventual ``<width>bisource``.
+
+    Counts eventually timely input channels from correct processes and
+    eventually timely output channels to correct processes; the always-
+    timely virtual self channel contributes one to each side, matching the
+    paper's convention that the sets include the process itself.
+    """
+    correct_set = frozenset(correct)
+    if pid not in correct_set:
+        return False
+    timely_in = 1  # the self channel
+    timely_out = 1
+    for other in correct_set:
+        if other == pid:
+            continue
+        if topology.timing_for(other, pid).is_eventually_timely:
+            timely_in += 1
+        if topology.timing_for(pid, other).is_eventually_timely:
+            timely_out += 1
+    return timely_in >= width and timely_out >= width

@@ -1,0 +1,23 @@
+"""Experiment orchestration: configs, the runner, sweep helpers."""
+
+from .config import RunConfig
+from .runner import (
+    ConsensusRunResult,
+    RandomizedRunResult,
+    default_topology,
+    run_consensus,
+    run_randomized,
+)
+from .sweeps import format_table, standard_proposals, sweep_seeds
+
+__all__ = [
+    "RunConfig",
+    "ConsensusRunResult",
+    "RandomizedRunResult",
+    "default_topology",
+    "run_consensus",
+    "run_randomized",
+    "format_table",
+    "standard_proposals",
+    "sweep_seeds",
+]

@@ -1,0 +1,55 @@
+"""Parameter-sweep helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..analysis.feasibility import max_values
+from .config import RunConfig
+from .runner import ConsensusRunResult, run_consensus
+
+__all__ = ["standard_proposals", "sweep_seeds", "format_table"]
+
+
+def standard_proposals(
+    correct: Iterable[int], values: Sequence[Any]
+) -> dict[int, Any]:
+    """Assign ``values`` to correct processes round-robin.
+
+    With ``len(values) = m`` this produces a maximal-diversity profile:
+    every value is proposed, and the profile is feasible whenever
+    ``m <= max_values(n, t)``.
+    """
+    ordered = sorted(correct)
+    return {pid: values[i % len(values)] for i, pid in enumerate(ordered)}
+
+
+def sweep_seeds(
+    make_config: Callable[[int], RunConfig],
+    seeds: Iterable[int],
+    check_invariants: bool = True,
+) -> list[ConsensusRunResult]:
+    """Run one configuration across many seeds; returns all results."""
+    return [
+        run_consensus(make_config(seed), check_invariants=check_invariants)
+        for seed in seeds
+    ]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table (benchmark report output)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def feasible_value_count(n: int, t: int, requested: int) -> int:
+    """Clamp a requested value-diversity to the feasibility bound."""
+    return max(1, min(requested, max_values(n, t)))

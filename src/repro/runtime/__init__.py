@@ -1,0 +1,6 @@
+"""Process runtime: event-driven processes and paper-semantics timers."""
+
+from .process import Process
+from .timers import RoundTimer
+
+__all__ = ["Process", "RoundTimer"]

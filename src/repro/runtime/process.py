@@ -1,0 +1,121 @@
+"""The process runtime: mailboxes, handlers and predicate waits.
+
+Every correct process in the paper's algorithms is an event-driven state
+machine with two kinds of activity:
+
+* ``when <message> ... do`` handlers — registered per message tag with
+  :meth:`Process.register_handler`;
+* blocking operations containing ``wait (<predicate>)`` lines — written as
+  ``await self.wait_until(lambda: ...)``.
+
+Predicates are re-evaluated after every handled message and whenever a
+component (e.g. a timer callback) calls :meth:`Process.notify`, which is
+exactly the paper's implicit model: local predicates change only when
+local state changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Coroutine
+
+from ..errors import ConfigurationError
+from ..net.messages import Message
+from ..sim.futures import Future
+from ..sim.sync import ConditionVar
+from ..sim.tasks import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.network import Network
+    from ..sim.loop import Simulator
+
+__all__ = ["Process"]
+
+HandlerFn = Callable[[Message], None]
+
+
+class Process:
+    """A correct process attached to the network.
+
+    Protocol objects (reliable broadcast, adopt-commit, ...) bind to a
+    process and register message handlers; the process dispatches each
+    delivered message to the matching handler and then rechecks every
+    pending ``wait_until`` predicate.
+    """
+
+    def __init__(self, pid: int, sim: "Simulator", network: "Network") -> None:
+        self.pid = pid
+        self.sim = sim
+        self.network = network
+        self._handlers: dict[str, HandlerFn] = {}
+        self._cond = ConditionVar(name=f"p{pid}")
+        self._tasks: list[Task] = []
+        #: Messages delivered to this process so far.
+        self.delivered_count = 0
+        network.register_process(pid, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Handler registration and dispatch
+    # ------------------------------------------------------------------
+    def register_handler(self, tag: str, handler: HandlerFn) -> None:
+        """Register the ``when <tag> ... do`` handler for a message tag."""
+        if tag in self._handlers:
+            raise ConfigurationError(
+                f"process {self.pid}: handler for tag {tag!r} registered twice"
+            )
+        self._handlers[tag] = handler
+
+    def _on_message(self, message: Message) -> None:
+        self.delivered_count += 1
+        handler = self._handlers.get(message.tag)
+        if handler is not None:
+            handler(message)
+        # State may have changed: wake any satisfied ``wait`` lines.
+        self._cond.recheck()
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def wait_until(self, predicate: Callable[[], Any]) -> Future:
+        """Await a local predicate (the paper's ``wait (...)`` statement).
+
+        Resolves with the predicate's truthy return value, so quorum
+        predicates can hand back the witnessing message set.
+        """
+        return self._cond.wait_until(predicate)
+
+    def notify(self) -> None:
+        """Recheck pending predicates after a non-message state change.
+
+        Must be called by timer callbacks and any other event that mutates
+        protocol state outside a message handler.
+        """
+        self._cond.recheck()
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def send(self, dst: int, tag: str, payload: Any) -> None:
+        """Point-to-point send (paper's ``send TAG(m) to p_j``)."""
+        self.network.send(self.pid, dst, tag, payload)
+
+    def broadcast(self, tag: str, payload: Any) -> None:
+        """Best-effort broadcast: the same message to every process."""
+        self.network.broadcast(self.pid, tag, payload)
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+    def create_task(self, coro: Coroutine[Any, Any, Any], name: str = "") -> Task:
+        """Run a protocol coroutine on behalf of this process."""
+        task = self.sim.create_task(coro, name=name or f"p{self.pid}")
+        self._tasks.append(task)
+        return task
+
+    def cancel_tasks(self) -> None:
+        """Cancel all coroutines started via :meth:`create_task`."""
+        for task in self._tasks:
+            if not task.done():
+                task.cancel()
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid})"

@@ -1,0 +1,99 @@
+"""Round timers with the semantics of Figure 3 (lines 5 and 15-17).
+
+A timer can be *set* with a duration, can *expire*, and can be *disabled*.
+Once expired, it stays expired (the EA algorithm inspects
+``timer.expired`` after disabling it, line 17); disabling an unset or
+running timer prevents any future expiry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import InvalidStateError
+from ..sim.handles import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.loop import Simulator
+
+__all__ = ["RoundTimer"]
+
+
+class RoundTimer:
+    """A one-shot virtual-time timer.
+
+    States: *unset* -> *running* -> (*expired* | *disabled*).
+    ``on_expire`` runs at expiry time, before ``expired`` readers observe
+    the flag at later instants.
+    """
+
+    __slots__ = ("_sim", "_on_expire", "_handle", "_set_at", "_expired", "_disabled")
+
+    def __init__(
+        self, sim: "Simulator", on_expire: Callable[[], None] | None = None
+    ) -> None:
+        self._sim = sim
+        self._on_expire = on_expire
+        self._handle: EventHandle | None = None
+        self._set_at: float | None = None
+        self._expired = False
+        self._disabled = False
+
+    @property
+    def running(self) -> bool:
+        """True while set and neither expired nor disabled."""
+        return self._handle is not None and not self._expired and not self._disabled
+
+    @property
+    def expired(self) -> bool:
+        """True once the timer has fired (sticky, survives disable)."""
+        return self._expired
+
+    @property
+    def disabled(self) -> bool:
+        """True once :meth:`disable` was called."""
+        return self._disabled
+
+    @property
+    def was_set(self) -> bool:
+        """True once :meth:`set` was called (in any later state)."""
+        return self._set_at is not None
+
+    def set(self, duration: float) -> None:
+        """Arm the timer to fire ``duration`` time units from now.
+
+        A timer can be set only once; the EA object uses one timer per
+        round (``timer_i[r]``).
+        """
+        if self._set_at is not None:
+            raise InvalidStateError("round timer set twice")
+        if self._disabled:
+            # Disabled before being set (possible if EA_COORD arrives before
+            # the proposer reaches line 5): stay silent forever.
+            return
+        self._set_at = self._sim.now
+        self._handle = self._sim.call_later(max(duration, 0.0), self._fire)
+
+    def disable(self) -> None:
+        """Stop the timer from firing later; ``expired`` stays as-is."""
+        self._disabled = True
+        if self._handle is not None and not self._expired:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._disabled:
+            return
+        self._expired = True
+        if self._on_expire is not None:
+            self._on_expire()
+
+    def __repr__(self) -> str:
+        if self._expired:
+            state = "expired"
+        elif self._disabled:
+            state = "disabled"
+        elif self._handle is not None:
+            state = "running"
+        else:
+            state = "unset"
+        return f"RoundTimer({state})"

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which the whole reproduction runs: a
+virtual clock, an event heap with total deterministic order, awaitable
+futures/tasks, predicate-based waiting, and reproducible hierarchical
+random streams.
+"""
+
+from .clock import VirtualClock
+from .futures import Future
+from .handles import EventHandle
+from .loop import Simulator
+from .random import RngRegistry, derive_seed, substream
+from .sync import ConditionVar, SimEvent
+from .tasks import Task, gather
+
+__all__ = [
+    "VirtualClock",
+    "Future",
+    "EventHandle",
+    "Simulator",
+    "RngRegistry",
+    "derive_seed",
+    "substream",
+    "ConditionVar",
+    "SimEvent",
+    "Task",
+    "gather",
+]

@@ -1,0 +1,48 @@
+"""Virtual clock for the discrete-event simulator.
+
+The clock only moves forward, and only when the simulator processes an
+event scheduled at a later instant.  All protocol timers and channel
+delays are expressed in these virtual time units; the paper's bound
+``delta`` and the round timers of Figure 3 share this unit.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The clock starts at ``0.0``.  Only the simulator is expected to call
+    :meth:`advance_to`; protocol code reads :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`~repro.errors.SimulationError` if ``time`` lies in
+        the past, which would indicate a scheduling bug.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {time!r} < {self._now!r}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now!r})"

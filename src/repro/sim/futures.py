@@ -1,0 +1,133 @@
+"""Awaitable futures for the virtual-time simulator.
+
+These mirror the small useful core of :mod:`asyncio` futures, but are
+driven by :class:`repro.sim.loop.Simulator` instead of a wall-clock event
+loop, so protocol code written with ``async``/``await`` runs entirely in
+deterministic virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..errors import CancelledError, InvalidStateError
+
+__all__ = ["Future"]
+
+_PENDING = "PENDING"
+_DONE = "DONE"
+_CANCELLED = "CANCELLED"
+
+
+class Future:
+    """A one-shot container for a value that will exist later in virtual time.
+
+    A future is *done* once :meth:`set_result`, :meth:`set_exception` or
+    :meth:`cancel` has been called.  Done callbacks run synchronously at
+    completion time (completion always happens inside a simulator event, so
+    "synchronously" still means "at one virtual instant").
+    """
+
+    __slots__ = ("_state", "_result", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """True once a result, exception or cancellation has been set."""
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        """True if the future was cancelled."""
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        """Return the result, raising the stored exception if there is one."""
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.name or id(self)} was cancelled")
+        if self._state == _PENDING:
+            raise InvalidStateError("result() called on a pending future")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        """Return the stored exception (or None) without raising it."""
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.name or id(self)} was cancelled")
+        if self._state == _PENDING:
+            raise InvalidStateError("exception() called on a pending future")
+        return self._exception
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def set_result(self, value: Any) -> None:
+        """Complete the future successfully with ``value``."""
+        if self._state != _PENDING:
+            raise InvalidStateError(f"future already {self._state}")
+        self._result = value
+        self._state = _DONE
+        self._invoke_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Complete the future with an exception."""
+        if self._state != _PENDING:
+            raise InvalidStateError(f"future already {self._state}")
+        if isinstance(exc, type):
+            exc = exc()
+        self._exception = exc
+        self._state = _DONE
+        self._invoke_callbacks()
+
+    def cancel(self) -> bool:
+        """Cancel the future.  Returns False if it was already done."""
+        if self._state != _PENDING:
+            return False
+        self._state = _CANCELLED
+        self._invoke_callbacks()
+        return True
+
+    # ------------------------------------------------------------------
+    # Callbacks and await protocol
+    # ------------------------------------------------------------------
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when the future completes.
+
+        If the future is already done the callback runs immediately.
+        """
+        if self.done():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_done_callback(self, callback: Callable[["Future"], None]) -> int:
+        """Remove all registered instances of ``callback``; return the count."""
+        before = len(self._callbacks)
+        # Equality (not identity): bound methods compare equal across
+        # attribute accesses while being distinct objects.
+        self._callbacks = [cb for cb in self._callbacks if cb != callback]
+        return before - len(self._callbacks)
+
+    def _invoke_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __await__(self) -> Generator["Future", None, Any]:
+        if not self.done():
+            yield self
+        return self.result()
+
+    __iter__ = __await__
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Future{label} {self._state}>"

@@ -1,0 +1,63 @@
+"""Cancellable handles for scheduled simulator callbacks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["EventHandle"]
+
+
+class EventHandle:
+    """A callback scheduled at a virtual-time instant.
+
+    Handles are ordered by ``(time, seq)`` where ``seq`` is a global
+    scheduling sequence number; this makes event execution order fully
+    deterministic (FIFO among events scheduled for the same instant).
+    """
+
+    __slots__ = ("time", "seq", "_callback", "_args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.
+
+        Cancelling an already-executed or already-cancelled handle is a
+        harmless no-op, matching the asyncio convention.
+        """
+        self._cancelled = True
+        # Drop references eagerly so cancelled timers do not pin protocol
+        # objects in memory for the rest of the run.
+        self._callback = _noop
+        self._args = ()
+
+    def _run(self) -> None:
+        """Execute the callback (simulator internal)."""
+        self._callback(*self._args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"EventHandle(time={self.time!r}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Replacement callback installed by :meth:`EventHandle.cancel`."""

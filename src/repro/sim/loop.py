@@ -1,0 +1,187 @@
+"""The deterministic discrete-event simulator.
+
+:class:`Simulator` owns a virtual clock and a priority queue of scheduled
+callbacks.  Events are ordered by ``(time, sequence-number)``: two events
+scheduled for the same virtual instant run in the order they were
+scheduled, so a run is a pure function of its configuration and seeds.
+
+The paper's system model (Section 2.1) assumes local processing time is
+zero relative to message delays; accordingly, protocol handlers run
+"instantaneously" at the virtual instant their triggering message arrives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Coroutine
+
+from ..errors import DeadlineExceeded, DeadlockError, SimulationError
+from .clock import VirtualClock
+from .futures import Future
+from .handles import EventHandle
+from .tasks import Task
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A virtual-time event loop for distributed-protocol simulation.
+
+    Typical use::
+
+        sim = Simulator()
+        task = sim.create_task(protocol.run())
+        result = sim.run_until_complete(task, max_time=10_000)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._clock = VirtualClock(start_time)
+        self._heap: list[EventHandle] = []
+        self._next_seq = 0
+        #: Total events executed so far (cancelled events excluded).
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._clock.now
+
+    def call_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at virtual time ``time``."""
+        if time < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time!r} < {self._clock.now!r}"
+            )
+        handle = EventHandle(float(time), self._next_seq, callback, args)
+        self._next_seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_later(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._clock.now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current instant (FIFO)."""
+        return self.call_at(self._clock.now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Coroutines
+    # ------------------------------------------------------------------
+    def create_task(
+        self, coro: Coroutine[Any, Any, Any], name: str = ""
+    ) -> Task:
+        """Wrap ``coro`` in a :class:`~repro.sim.tasks.Task` and schedule it."""
+        return Task(coro, self, name=name)
+
+    def sleep(self, delay: float) -> Future:
+        """Return a future that resolves ``delay`` time units from now."""
+        fut = Future(name=f"sleep({delay})")
+        handle = self.call_later(delay, _resolve_sleep, fut)
+        fut.add_done_callback(lambda f: handle.cancel() if f.cancelled() else None)
+        return fut
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next scheduled event; return False if none remain."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._clock.advance_to(handle.time)
+            self.events_processed += 1
+            handle._run()
+            return True
+        return False
+
+    def peek_time(self) -> float | None:
+        """Virtual time of the next pending event, or None if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Process events until the queue drains.
+
+        ``until`` bounds virtual time (events after it stay queued and the
+        clock advances to ``until``); ``max_events`` bounds the number of
+        events executed and raises :class:`DeadlineExceeded` when hit.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._clock.advance_to(until)
+                return
+            if max_events is not None and executed >= max_events:
+                raise DeadlineExceeded(
+                    f"run() exceeded max_events={max_events} at t={self.now}"
+                )
+            self.step()
+            executed += 1
+        if until is not None and until > self._clock.now:
+            self._clock.advance_to(until)
+
+    def run_until_complete(
+        self,
+        future: Future,
+        max_time: float | None = None,
+        max_events: int | None = None,
+    ) -> Any:
+        """Drive the simulation until ``future`` completes; return its result.
+
+        Raises :class:`DeadlockError` if the event queue drains first, and
+        :class:`DeadlineExceeded` if ``max_time`` (virtual) or
+        ``max_events`` would be exceeded.
+        """
+        executed = 0
+        while not future.done():
+            next_time = self.peek_time()
+            if next_time is None:
+                raise DeadlockError(
+                    f"event queue drained at t={self.now} while waiting for "
+                    f"{future!r}"
+                )
+            if max_time is not None and next_time > max_time:
+                raise DeadlineExceeded(
+                    f"virtual deadline {max_time} reached while waiting for "
+                    f"{future!r}"
+                )
+            if max_events is not None and executed >= max_events:
+                raise DeadlineExceeded(
+                    f"event budget {max_events} exhausted while waiting for "
+                    f"{future!r}"
+                )
+            self.step()
+            executed += 1
+        return future.result()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now}, pending={self.pending_events})"
+
+
+def _resolve_sleep(fut: Future) -> None:
+    if not fut.done():
+        fut.set_result(None)

@@ -1,0 +1,155 @@
+"""Coroutine tasks driven by the virtual-time simulator.
+
+A :class:`Task` wraps an ``async def`` coroutine and steps it whenever the
+future it awaits completes.  Protocol code therefore reads exactly like the
+paper's pseudocode (``wait (...)`` becomes ``await self.wait_until(...)``)
+while executing deterministically in virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Coroutine, Iterable
+
+from ..errors import CancelledError
+from .futures import Future
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .loop import Simulator
+
+__all__ = ["Task", "gather"]
+
+
+class Task(Future):
+    """A coroutine scheduled on a :class:`~repro.sim.loop.Simulator`.
+
+    The task completes with the coroutine's return value, with its raised
+    exception, or as cancelled.  Awaiting anything other than a
+    :class:`~repro.sim.futures.Future` (or a bare ``yield``) is an error.
+    """
+
+    __slots__ = ("_coro", "_sim", "_waiting_on", "_must_cancel")
+
+    def __init__(
+        self,
+        coro: Coroutine[Any, Any, Any],
+        sim: "Simulator",
+        name: str = "",
+    ) -> None:
+        super().__init__(name=name or getattr(coro, "__qualname__", "task"))
+        self._coro = coro
+        self._sim = sim
+        self._waiting_on: Future | None = None
+        self._must_cancel = False
+        sim.call_soon(self._step, None, None)
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation: the coroutine sees :class:`CancelledError`.
+
+        Returns False if the task already finished.
+        """
+        if self.done():
+            return False
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.done():
+            # Futures handed to awaiters are always per-waiter, so
+            # cancelling the awaited future only affects this task.
+            return waiting.cancel()
+        self._must_cancel = True
+        self._sim.call_soon(self._step, None, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Stepping machinery
+    # ------------------------------------------------------------------
+    def _wakeup(self, fut: Future) -> None:
+        if fut.cancelled():
+            self._step(None, CancelledError(f"awaited future cancelled in {self.name}"))
+            return
+        exc = fut.exception()
+        if exc is not None:
+            self._step(None, exc)
+        else:
+            self._step(fut.result(), None)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        if self.done():
+            # The task was completed (e.g. cancelled) while a wakeup was in
+            # flight; drop the stale step.
+            return
+        self._waiting_on = None
+        if self._must_cancel:
+            self._must_cancel = False
+            exc = CancelledError(f"task {self.name} cancelled")
+        try:
+            if exc is not None:
+                result = self._coro.throw(exc)
+            else:
+                result = self._coro.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+        except CancelledError:
+            super().cancel()
+        except BaseException as error:  # noqa: BLE001 - forwarded to awaiter
+            self.set_exception(error)
+        else:
+            if isinstance(result, Future):
+                self._waiting_on = result
+                result.add_done_callback(self._wakeup)
+            elif result is None:
+                # A bare ``yield`` cooperatively reschedules at the same
+                # virtual instant.
+                self._sim.call_soon(self._step, None, None)
+            else:
+                self._step(
+                    None,
+                    TypeError(
+                        f"task {self.name} awaited a non-Future: {result!r}"
+                    ),
+                )
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name!r} {'done' if self.done() else 'running'}>"
+
+
+def gather(sim: "Simulator", futures: Iterable[Future], name: str = "gather") -> Future:
+    """Return a future completing with the list of all results, in order.
+
+    If any child fails, the gather future fails with the *first* (by
+    completion time) exception; remaining children keep running.  A
+    cancelled child counts as a :class:`CancelledError` failure.
+    """
+    children = list(futures)
+    outer = Future(name=name)
+    if not children:
+        outer.set_result([])
+        return outer
+    results: list[Any] = [None] * len(children)
+    remaining = len(children)
+
+    def make_callback(index: int):
+        def on_done(fut: Future) -> None:
+            nonlocal remaining
+            if outer.done():
+                return
+            if fut.cancelled():
+                outer.set_exception(
+                    CancelledError(f"gather child {index} was cancelled")
+                )
+                return
+            exc = fut.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            results[index] = fut.result()
+            remaining -= 1
+            if remaining == 0:
+                outer.set_result(list(results))
+
+        return on_done
+
+    for index, child in enumerate(children):
+        child.add_done_callback(make_callback(index))
+    return outer

@@ -1,0 +1,103 @@
+"""Unit tests for Byzantine actor machinery."""
+
+from repro.adversary import DROP, MisbehavingProcess, RawByzantine
+from repro.adversary.strategies import (
+    compose_filters,
+    crash_at_filter,
+    honest_filter,
+    mute_coordinator_filter,
+    two_faced_filter,
+)
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def wired_network(n=4, seed=0):
+    sim = Simulator()
+    network = Network(sim, n, rng=RngRegistry(seed))
+    inboxes = {pid: [] for pid in range(1, n + 1)}
+    return sim, network, inboxes
+
+
+class TestMisbehavingProcess:
+    def test_honest_filter_passes_through(self):
+        sim, network, inboxes = wired_network()
+        for pid in (2, 3, 4):
+            network.register_process(pid, inboxes[pid].append)
+        proc = MisbehavingProcess(1, sim, network, honest_filter)
+        proc.broadcast("T", ("i", "v"))
+        sim.run()
+        assert inboxes[2][0].payload == ("i", "v")
+        assert inboxes[3][0].payload == ("i", "v")
+
+    def test_two_faced_rewrites_for_even_destinations(self):
+        sim, network, inboxes = wired_network()
+        for pid in (2, 3, 4):
+            network.register_process(pid, inboxes[pid].append)
+        proc = MisbehavingProcess(1, sim, network, two_faced_filter("FAKE"))
+        proc.broadcast("T", ("i", "real"))
+        sim.run()
+        assert inboxes[2][0].payload == ("i", "FAKE")
+        assert inboxes[3][0].payload == ("i", "real")
+        assert inboxes[4][0].payload == ("i", "FAKE")
+
+    def test_mute_coordinator_drops_only_coord(self):
+        sim, network, inboxes = wired_network()
+        network.register_process(2, inboxes[2].append)
+        proc = MisbehavingProcess(1, sim, network, mute_coordinator_filter())
+        proc.send(2, "EA_COORD", (1, "v"))
+        proc.send(2, "EA_PROP2", (1, "v"))
+        sim.run()
+        assert [m.tag for m in inboxes[2]] == ["EA_PROP2"]
+
+    def test_crash_at_goes_silent(self):
+        sim, network, inboxes = wired_network()
+        network.register_process(2, inboxes[2].append)
+        proc = MisbehavingProcess(1, sim, network, crash_at_filter(5.0))
+        proc.send(2, "T", "before")
+        sim.call_at(10.0, lambda: proc.send(2, "T", "after"))
+        sim.run()
+        assert [m.payload for m in inboxes[2]] == ["before"]
+
+    def test_compose_filters_drop_wins(self):
+        filt = compose_filters(two_faced_filter("F"), crash_at_filter(0.0))
+        assert filt(2, "T", ("i", "v"), 1.0) is DROP
+
+    def test_compose_filters_chains_rewrites(self):
+        upper = lambda dst, tag, payload, now: (payload[0], str(payload[1]).upper())
+        filt = compose_filters(two_faced_filter("fake"), upper)
+        assert filt(2, "T", ("i", "v"), 0.0) == ("i", "FAKE")
+        assert filt(3, "T", ("i", "v"), 0.0) == ("i", "V")
+
+
+class TestRawByzantine:
+    def test_silent_by_default(self):
+        sim, network, inboxes = wired_network()
+        network.register_process(2, inboxes[2].append)
+        actor = RawByzantine(1, sim, network, RngRegistry(0).stream("a"))
+        network.send(2, 1, "PING", None)
+        sim.run()
+        assert inboxes[2] == []
+        assert actor.received == 1
+
+    def test_noise_reflects_mutations(self):
+        sim, network, inboxes = wired_network()
+        for pid in (2, 3, 4):
+            network.register_process(pid, inboxes[pid].append)
+        RawByzantine(
+            1, sim, network, RngRegistry(0).stream("a"), noise_probability=1.0
+        )
+        network.send(2, 1, "PING", ("inst", "value"))
+        sim.run()
+        forged = [m for pid in (2, 3, 4) for m in inboxes[pid] if m.sender == 1]
+        assert len(forged) == 1
+        assert forged[0].tag == "PING"
+
+    def test_cannot_impersonate(self):
+        # Raw sends always carry the actor's own pid.
+        sim, network, inboxes = wired_network()
+        network.register_process(2, inboxes[2].append)
+        actor = RawByzantine(1, sim, network, RngRegistry(0).stream("a"))
+        actor.send_raw(2, "T", None)
+        sim.run()
+        assert inboxes[2][0].sender == 1

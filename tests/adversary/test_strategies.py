@@ -1,0 +1,93 @@
+"""Unit tests for named adversary strategies and their deployment."""
+
+import pytest
+
+from repro import RunConfig, run_consensus
+from repro.adversary import (
+    AdversarySpec,
+    bot_relays,
+    collude,
+    crash,
+    crash_at,
+    flip_flop,
+    mute_coordinator,
+    noise,
+    spam_decide,
+    two_faced,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpecConstruction:
+    def test_crash_is_non_protocol(self):
+        assert not crash().runs_protocol
+
+    def test_two_faced_carries_fake_value(self):
+        spec = two_faced("evil")
+        assert spec.params["fake_value"] == "evil"
+        assert spec.runs_protocol
+
+    def test_crash_at_records_time(self):
+        assert crash_at(42.0).params["time"] == 42.0
+
+    def test_noise_probability(self):
+        assert noise(0.25).params["noise_probability"] == 0.25
+
+    def test_unknown_kind_rejected_at_deploy(self):
+        config = RunConfig(
+            n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+            adversaries={4: AdversarySpec(kind="nonsense")},
+        )
+        with pytest.raises(ConfigurationError):
+            run_consensus(config)
+
+
+def run_with(spec, seed=0, proposals=None):
+    return run_consensus(
+        RunConfig(
+            n=4, t=1,
+            proposals=proposals or {1: "a", 2: "a", 3: "b"},
+            adversaries={4: spec},
+            seed=seed,
+        )
+    )
+
+
+class TestSafetyUnderEveryStrategy:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            crash(),
+            noise(0.5),
+            crash_at(20.0),
+            two_faced("evil"),
+            mute_coordinator(),
+            collude("evil"),
+            spam_decide("evil"),
+            bot_relays(),
+            flip_flop(["evil1", "evil2"]),
+        ],
+        ids=lambda s: s.kind,
+    )
+    def test_agreement_validity_and_termination(self, spec):
+        result = run_with(spec, seed=13)
+        assert result.all_decided
+        assert len(set(result.decisions.values())) == 1
+        assert result.decided_value in {"a", "b"}
+        assert result.invariants.ok
+
+    def test_spam_decide_never_tricks_anyone(self, seeds):
+        for seed in seeds:
+            result = run_with(spam_decide("forged"), seed=seed)
+            assert result.decided_value != "forged"
+
+    def test_collusion_value_never_enters_cb_valid(self, seeds):
+        for seed in seeds:
+            result = run_with(collude("evil"), seed=seed)
+            for consensus in result.consensi.values():
+                assert not consensus.cb0.in_valid("evil")
+
+    def test_crash_mid_run_still_decides(self, seeds):
+        for seed in seeds:
+            result = run_with(crash_at(10.0), seed=seed)
+            assert result.all_decided

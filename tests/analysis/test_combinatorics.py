@@ -1,0 +1,97 @@
+"""Unit tests for the analytic round predictions (E5/E6 analytics)."""
+
+import pytest
+
+from repro.analysis.combinatorics import (
+    cycle_length,
+    first_good_round,
+    good_round_density,
+    is_good_round,
+)
+from repro.core.coord import coordinator, f_set
+from repro.errors import ConfigurationError
+
+
+class TestIsGoodRound:
+    def test_requires_bisource_coordinator(self):
+        n, t = 4, 1
+        correct = {1, 2, 3}
+        x_plus = {1, 2}
+        for r in range(1, 20):
+            if is_good_round(r, n, t, 1, x_plus, correct):
+                assert coordinator(r, n) == 1
+
+    def test_requires_x_plus_in_f(self):
+        n, t = 4, 1
+        correct = {1, 2, 3}
+        x_plus = {1, 2}
+        for r in range(1, 50):
+            if is_good_round(r, n, t, 1, x_plus, correct):
+                assert x_plus <= f_set(r, n, t)
+
+    def test_requires_correct_witnesses_for_k0(self):
+        n, t = 4, 1
+        correct = {1, 2, 3}
+        for r in range(1, 50):
+            if is_good_round(r, n, t, 1, {1, 2}, correct):
+                assert f_set(r, n, t) <= correct
+
+
+class TestFirstGoodRound:
+    def test_exists_within_one_cycle(self):
+        n, t = 4, 1
+        r = first_good_round(n, t, bisource=1, x_plus={1, 2}, correct={1, 2, 3})
+        assert 1 <= r <= cycle_length(n, t)
+
+    def test_is_actually_good(self):
+        n, t = 7, 2
+        correct = {1, 2, 3, 4, 5}
+        r = first_good_round(n, t, bisource=1, x_plus={1, 4, 5}, correct=correct)
+        assert is_good_round(r, n, t, 1, {1, 4, 5}, correct)
+
+    def test_nothing_earlier_is_good(self):
+        n, t = 7, 2
+        correct = {1, 2, 3, 4, 5}
+        r = first_good_round(n, t, bisource=3, x_plus={3, 4, 5}, correct=correct)
+        for earlier in range(1, r):
+            assert not is_good_round(earlier, n, t, 3, {3, 4, 5}, correct)
+
+    def test_k_shrinks_the_horizon(self):
+        n, t = 7, 2
+        correct = {1, 2, 3, 4, 5}
+        base = first_good_round(n, t, 1, {1, 4, 5}, correct, k=0)
+        tuned = first_good_round(n, t, 1, {1, 2, 3, 4, 5}, correct, k=2)
+        assert tuned <= max(base, 7)  # k=t: horizon n
+
+    def test_worst_case_placement_bounded_by_cycle(self):
+        # Every (bisource, X+) placement has a good round within beta*n.
+        n, t = 5, 1
+        correct = {1, 2, 3, 4}
+        bound = cycle_length(n, t)
+        import itertools
+
+        for bisource in correct:
+            others = sorted(correct - {bisource})
+            for extra in itertools.combinations(others, t):
+                x_plus = {bisource, *extra}
+                r = first_good_round(n, t, bisource, x_plus, correct)
+                assert r <= bound
+
+    def test_impossible_x_plus_raises(self):
+        with pytest.raises(ConfigurationError):
+            # x_plus contains a faulty process: never a good round.
+            first_good_round(4, 1, 1, x_plus={1, 4}, correct={1, 2, 3})
+
+
+class TestGoodRoundDensity:
+    def test_between_zero_and_one(self):
+        density = good_round_density(4, 1, 1, {1, 2}, {1, 2, 3})
+        assert 0 < density < 1
+
+    def test_k_equals_t_density_is_one_over_n(self):
+        # One witness set, so every round coordinated by the bisource with
+        # F containing X+ ... with k=t the only F is everyone, and the
+        # faulty-member allowance is k: density = 1/n.
+        n, t = 4, 1
+        density = good_round_density(n, t, 1, {1, 2, 3}, {1, 2, 3}, k=1)
+        assert density == pytest.approx(1 / n)

@@ -1,0 +1,89 @@
+"""Unit tests: analytic message budgets bound the measured counts."""
+
+import pytest
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash
+from repro.analysis.complexity import (
+    adopt_commit_messages,
+    cb_instance_messages,
+    consensus_budget,
+    consensus_round_messages,
+    ea_round_messages,
+    rb_instance_messages,
+)
+from repro.broadcast import CooperativeBroadcast
+from repro.core.adopt_commit import AdoptCommit
+from repro.sim import gather
+from tests.helpers import build_system
+
+
+class TestFormulas:
+    def test_rb_formula(self):
+        assert rb_instance_messages(4) == 4 + 32
+
+    def test_cb_is_n_rbs(self):
+        assert cb_instance_messages(7) == 7 * rb_instance_messages(7)
+
+    def test_round_is_ea_plus_ac(self):
+        n = 10
+        assert consensus_round_messages(n) == (
+            ea_round_messages(n) + adopt_commit_messages(n)
+        )
+
+    def test_budget_total(self):
+        budget = consensus_budget(4, 1, rounds=3)
+        assert budget.total == 3 * budget.per_round + budget.overhead
+
+    def test_cubic_growth(self):
+        small = consensus_round_messages(4)
+        large = consensus_round_messages(8)
+        assert 6 < large / small < 10  # ~ (8/4)^3 with lower-order terms
+
+
+class TestBoundsMeasured:
+    def test_rb_measured_within_bound(self):
+        system = build_system(7, 2)
+        system.rbs[1].broadcast("k", "v")
+        system.settle()
+        assert system.network.messages_sent <= rb_instance_messages(7)
+
+    def test_cb_measured_within_bound(self):
+        system = build_system(4, 1)
+        cbs = {
+            pid: CooperativeBroadcast(proc, system.rbs[pid], 4, 1, "c")
+            for pid, proc in system.processes.items()
+        }
+        tasks = [
+            system.processes[pid].create_task(cbs[pid].cb_broadcast("v"))
+            for pid in cbs
+        ]
+        system.run(gather(system.sim, tasks))
+        system.settle()
+        assert system.network.messages_sent <= cb_instance_messages(4)
+
+    def test_ac_measured_within_bound(self):
+        system = build_system(4, 1)
+        acs = {
+            pid: AdoptCommit(proc, system.rbs[pid], 4, 1, m=1, instance="i")
+            for pid, proc in system.processes.items()
+        }
+        tasks = [
+            system.processes[pid].create_task(acs[pid].propose("v"))
+            for pid in acs
+        ]
+        system.run(gather(system.sim, tasks))
+        system.settle()
+        assert system.network.messages_sent <= adopt_commit_messages(4)
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+    def test_consensus_run_within_budget(self, n, t):
+        byz = {pid: crash() for pid in range(n - t + 1, n + 1)}
+        proposals = {pid: "v" for pid in range(1, n - t + 1)}
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=1)
+        )
+        # +1 round of slack: laggards may touch round max_round + 1
+        # message instances before deciding.
+        budget = consensus_budget(n, t, rounds=result.max_round + 1)
+        assert result.messages_sent <= budget.total

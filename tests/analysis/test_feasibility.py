@@ -1,0 +1,74 @@
+"""Unit tests for the m-valued feasibility condition (E7 analytics)."""
+
+import pytest
+
+from repro.analysis.feasibility import (
+    check_feasibility,
+    is_feasible,
+    max_values,
+    min_processes,
+)
+from repro.errors import FeasibilityError
+
+
+class TestIsFeasible:
+    def test_paper_examples(self):
+        # n=4, t=1: m_max = 2.
+        assert is_feasible(4, 1, 2)
+        assert not is_feasible(4, 1, 3)
+        # n=7, t=2: m_max = 2.
+        assert is_feasible(7, 2, 2)
+        assert not is_feasible(7, 2, 3)
+
+    def test_binary_consensus_feasible_at_max_resilience(self):
+        # n = 3t+1 always supports m = 2 (the n-t > 2t bound).
+        for t in range(1, 10):
+            assert is_feasible(3 * t + 1, t, 2)
+
+    def test_m_must_be_positive(self):
+        assert not is_feasible(4, 1, 0)
+
+    def test_t_zero_always_feasible(self):
+        assert is_feasible(2, 0, 100)
+
+
+class TestMaxValues:
+    def test_formula(self):
+        assert max_values(4, 1) == 2
+        assert max_values(7, 2) == 2
+        assert max_values(10, 3) == 2
+        assert max_values(10, 1) == 8
+
+    def test_consistency_with_is_feasible(self):
+        for n in range(4, 20):
+            for t in range(1, (n - 1) // 3 + 1):
+                m = max_values(n, t)
+                assert is_feasible(n, t, m)
+                assert not is_feasible(n, t, m + 1)
+
+    def test_t_zero_sentinel(self):
+        assert max_values(5, 0) == 5
+
+
+class TestCheckFeasibility:
+    def test_passes_quietly(self):
+        check_feasibility(7, 2, 2)
+
+    def test_raises_with_helpful_message(self):
+        with pytest.raises(FeasibilityError, match="max admissible m is 2"):
+            check_feasibility(7, 2, 3)
+
+
+class TestMinProcesses:
+    def test_resilience_dominates_for_small_m(self):
+        assert min_processes(t=2, m=1) == 7  # 3t+1
+
+    def test_feasibility_dominates_for_large_m(self):
+        assert min_processes(t=2, m=5) == 13  # m*t + t + 1
+
+    def test_round_trip(self):
+        for t in range(1, 6):
+            for m in range(1, 6):
+                n = min_processes(t, m)
+                assert is_feasible(n, t, m)
+                assert n > 3 * t

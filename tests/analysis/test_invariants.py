@@ -1,0 +1,91 @@
+"""Unit tests for the trace invariant checkers."""
+
+import pytest
+
+from repro.analysis.invariants import (
+    InvariantReport,
+    check_agreement,
+    check_rb_consistency,
+    check_validity,
+    verify_consensus_run,
+)
+from repro.core.values import BOT
+from repro.errors import InvariantViolation
+
+
+class TestAgreement:
+    def test_clean(self):
+        assert check_agreement({1: "v", 2: "v"}) == []
+
+    def test_violation_detected(self):
+        violations = check_agreement({1: "v", 2: "w"})
+        assert len(violations) == 1
+        assert violations[0].check == "agreement"
+
+    def test_empty_decisions_fine(self):
+        assert check_agreement({}) == []
+
+
+class TestValidity:
+    def test_clean(self):
+        assert check_validity({1: "a"}, {1: "a", 2: "b"}) == []
+
+    def test_unproposed_value_flagged(self):
+        violations = check_validity({1: "evil"}, {1: "a", 2: "b"})
+        assert violations and violations[0].check == "validity"
+
+    def test_bot_rejected_in_standard_mode(self):
+        assert check_validity({1: BOT}, {1: "a"}) != []
+
+    def test_bot_allowed_in_variant_mode(self):
+        assert check_validity({1: BOT}, {1: "a"}, allow_bot=True) == []
+
+
+class FakeRB:
+    def __init__(self, delivered):
+        self.delivered = delivered
+
+
+class TestRBConsistency:
+    def test_clean(self):
+        engines = {
+            1: FakeRB({(1, "k"): "v"}),
+            2: FakeRB({(1, "k"): "v"}),
+        }
+        assert check_rb_consistency(engines) == []
+
+    def test_conflicting_deliveries_flagged(self):
+        engines = {
+            1: FakeRB({(1, "k"): "v"}),
+            2: FakeRB({(1, "k"): "w"}),
+        }
+        violations = check_rb_consistency(engines)
+        assert violations and violations[0].check == "rb-consistency"
+
+    def test_partial_delivery_is_not_a_violation(self):
+        engines = {
+            1: FakeRB({(1, "k"): "v"}),
+            2: FakeRB({}),
+        }
+        assert check_rb_consistency(engines) == []
+
+
+class TestReport:
+    def test_ok_report(self):
+        report = InvariantReport()
+        assert report.ok
+        report.raise_if_failed()  # no-op
+
+    def test_raise_lists_violations(self):
+        report = verify_consensus_run({1: "v", 2: "w"}, {1: "v", 2: "w"})
+        assert not report.ok
+        with pytest.raises(InvariantViolation, match="agreement"):
+            report.raise_if_failed()
+
+    def test_verify_full_surface(self):
+        report = verify_consensus_run(
+            {1: "v"},
+            {1: "v"},
+            rb_engines={1: FakeRB({})},
+        )
+        assert report.ok

@@ -1,0 +1,94 @@
+"""Negative tests: the invariant checkers must actually catch violations."""
+
+from repro.analysis.invariants import (
+    check_ac_round_safety,
+    check_cb_validity,
+    verify_consensus_run,
+)
+from repro.core.adopt_commit import Tag
+
+
+class FakeConsensus:
+    def __init__(self, est_history, cb_valid=()):
+        self.est_history = est_history
+        self.cb0 = FakeCB(cb_valid)
+
+
+class FakeCB:
+    def __init__(self, cb_valid):
+        self.cb_valid = tuple(cb_valid)
+
+
+class TestACRoundSafetyNegative:
+    def test_two_committed_values_flagged(self):
+        consensi = {
+            1: FakeConsensus([(1, Tag.COMMIT, "a")]),
+            2: FakeConsensus([(1, Tag.COMMIT, "b")]),
+        }
+        violations = check_ac_round_safety(consensi)
+        assert violations
+        assert violations[0].check == "ac-quasi-agreement"
+
+    def test_commit_with_divergent_adopt_flagged(self):
+        consensi = {
+            1: FakeConsensus([(1, Tag.COMMIT, "a")]),
+            2: FakeConsensus([(1, Tag.ADOPT, "b")]),
+        }
+        assert check_ac_round_safety(consensi)
+
+    def test_commit_with_matching_adopt_clean(self):
+        consensi = {
+            1: FakeConsensus([(1, Tag.COMMIT, "a")]),
+            2: FakeConsensus([(1, Tag.ADOPT, "a")]),
+        }
+        assert check_ac_round_safety(consensi) == []
+
+    def test_adopts_only_never_flagged(self):
+        consensi = {
+            1: FakeConsensus([(1, Tag.ADOPT, "a")]),
+            2: FakeConsensus([(1, Tag.ADOPT, "b")]),
+        }
+        assert check_ac_round_safety(consensi) == []
+
+    def test_rounds_checked_independently(self):
+        consensi = {
+            1: FakeConsensus([(1, Tag.ADOPT, "a"), (2, Tag.COMMIT, "a")]),
+            2: FakeConsensus([(1, Tag.ADOPT, "b"), (2, Tag.COMMIT, "a")]),
+        }
+        assert check_ac_round_safety(consensi) == []
+
+
+class TestCBValidityNegative:
+    def test_foreign_value_flagged(self):
+        violations = check_cb_validity(
+            {1: FakeCB(["evil"])}, correct_proposals={1: "a"}
+        )
+        assert violations and violations[0].check == "cb-set-validity"
+
+    def test_bot_flagged_in_standard_mode(self):
+        from repro.core.values import BOT
+
+        violations = check_cb_validity(
+            {1: FakeCB([BOT])}, correct_proposals={1: "a"}
+        )
+        assert violations
+
+    def test_bot_allowed_in_variant_mode(self):
+        from repro.core.values import BOT
+
+        violations = check_cb_validity(
+            {1: FakeCB([BOT, "a"])}, correct_proposals={1: "a"}, allow_bot=True
+        )
+        assert violations == []
+
+
+class TestFullReportNegative:
+    def test_report_collects_multiple_violations(self):
+        report = verify_consensus_run(
+            decisions={1: "x", 2: "y"},          # disagreement
+            correct_proposals={1: "a", 2: "b"},  # and both invalid
+        )
+        checks = {violation.check for violation in report.violations}
+        assert "agreement" in checks
+        assert "validity" in checks
+        assert len(report.violations) >= 3

@@ -1,0 +1,62 @@
+"""Unit tests for metrics collection."""
+
+from repro.analysis.metrics import MessageCounter, summarize
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+class TestMessageCounter:
+    def test_counts_by_tag_and_sender(self):
+        sim = Simulator()
+        network = Network(sim, 3, rng=RngRegistry(0))
+        for pid in range(1, 4):
+            network.register_process(pid, lambda m: None)
+        counter = MessageCounter().attach(network)
+        network.broadcast(1, "A", None)
+        network.send(2, 3, "B", None)
+        sim.run()
+        assert counter.total_sends == 4
+        assert counter.sends_by_tag == {"A": 3, "B": 1}
+        assert counter.sends_by_sender == {1: 3, 2: 1}
+        assert counter.total_delivers == 4
+        assert counter.delivers_by_tag == {"A": 3, "B": 1}
+
+    def test_delivers_lag_sends_mid_flight(self):
+        sim = Simulator()
+        network = Network(sim, 3, rng=RngRegistry(0))
+        for pid in range(1, 4):
+            network.register_process(pid, lambda m: None)
+        counter = MessageCounter().attach(network)
+        network.send(1, 2, "X", None)
+        assert counter.total_sends == 1
+        assert counter.total_delivers == 0
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.count == 1
+        assert summary.mean == summary.minimum == summary.maximum == 5.0
+        assert summary.p50 == summary.p90 == 5.0
+
+    def test_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_unsorted_input(self):
+        summary = summarize([5.0, 1.0, 3.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_values_preserved(self):
+        values = [2.0, 1.0]
+        assert summarize(values).values == values

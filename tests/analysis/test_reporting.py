@@ -1,0 +1,74 @@
+"""Unit tests for ensemble aggregation and reporting."""
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash
+from repro.analysis.reporting import (
+    EnsembleReport,
+    aggregate,
+    render_ensemble_table,
+)
+
+
+def make_results(seeds, **overrides):
+    results = []
+    for seed in seeds:
+        defaults = dict(
+            n=4, t=1, proposals={1: "a", 2: "a", 3: "b"},
+            adversaries={4: crash()}, seed=seed,
+        )
+        defaults.update(overrides)
+        results.append(run_consensus(RunConfig(**defaults)))
+    return results
+
+
+class TestAggregate:
+    def test_counts_and_rate(self):
+        report = aggregate(make_results([1, 2, 3]))
+        assert report.runs == 3
+        assert report.decided_runs == 3
+        assert report.decision_rate == 1.0
+
+    def test_value_histogram(self):
+        report = aggregate(make_results([1, 2, 3, 4]))
+        assert sum(report.values.values()) == 4
+        assert set(report.values) <= {"'a'", "'b'"}
+
+    def test_summaries_populated(self):
+        report = aggregate(make_results([1, 2]))
+        assert report.rounds.count == 2
+        assert report.latency.mean > 0
+        assert report.messages.mean > 0
+
+    def test_safety_flag(self):
+        report = aggregate(make_results([1]))
+        assert report.all_safe
+
+    def test_timed_out_runs_counted_but_not_decided(self):
+        results = make_results([1], max_rounds=0, max_time=200.0)
+        report = aggregate(results)
+        assert report.runs == 1
+        assert report.decided_runs == 0
+        assert report.decision_rate == 0.0
+        assert report.rounds.count == 0
+
+    def test_decision_spread_tracked(self):
+        report = aggregate(make_results([1, 2, 3]))
+        assert report.max_decision_spread >= 0.0
+
+    def test_empty(self):
+        report = aggregate([])
+        assert report.runs == 0
+        assert report.decision_rate == 0.0
+
+
+class TestRender:
+    def test_table_contains_labels_and_rates(self):
+        report = aggregate(make_results([1, 2]))
+        text = render_ensemble_table([("baseline", report)])
+        assert "baseline" in text
+        assert "2/2" in text
+        assert "OK" in text
+
+    def test_dash_for_empty_summaries(self):
+        text = render_ensemble_table([("none", EnsembleReport(runs=1))])
+        assert "-" in text

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash
+from repro.analysis.timeline import DEFAULT_MARKERS, render_timeline
+from repro.analysis.traces import Tracer
+
+
+def synthetic_trace():
+    tracer = Tracer()
+    tracer.record(0.0, "send", pid=1)
+    tracer.record(5.0, "rb_deliver", pid=1)
+    tracer.record(10.0, "decide", pid=1, value="v")
+    tracer.record(0.0, "send", pid=2)
+    tracer.record(10.0, "decide", pid=2, value="v")
+    return tracer
+
+
+class TestRenderTimeline:
+    def test_lanes_and_legend(self):
+        text = render_timeline(synthetic_trace(), [1, 2])
+        lines = text.splitlines()
+        assert lines[0].startswith("virtual time 0 ..")
+        assert lines[1].startswith("p1 |")
+        assert lines[2].startswith("p2 |")
+        assert "markers:" in lines[-1]
+
+    def test_markers_positioned(self):
+        text = render_timeline(synthetic_trace(), [1], width=21)
+        lane = text.splitlines()[1]
+        body = lane.split("|")[1]
+        assert body[0] == "S"
+        assert body[-1] == "D"
+        assert "R" in body
+
+    def test_first_only_skips_repeats(self):
+        tracer = Tracer()
+        tracer.record(0.0, "send", pid=1)
+        tracer.record(50.0, "send", pid=1)
+        text = render_timeline(tracer, [1], width=11)
+        body = text.splitlines()[1].split("|")[1]
+        assert body.count("S") == 1
+
+    def test_all_events_mode(self):
+        tracer = Tracer()
+        tracer.record(0.0, "send", pid=1)
+        tracer.record(100.0, "send", pid=1)
+        text = render_timeline(tracer, [1], width=11, first_only=False)
+        body = text.splitlines()[1].split("|")[1]
+        assert body.count("S") == 2
+
+    def test_empty_trace(self):
+        assert "no matching" in render_timeline(Tracer(), [1])
+
+    def test_custom_markers_filter_kinds(self):
+        text = render_timeline(synthetic_trace(), [1], markers={"decide": "X"})
+        body = text.splitlines()[1].split("|")[1]
+        assert "X" in body and "S" not in body
+
+    def test_real_run_timeline(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1, trace=True)
+        )
+        text = render_timeline(result.trace, [1, 2, 3])
+        assert text.count("D") >= 3  # every correct process decided
+
+    def test_default_markers_cover_expected_kinds(self):
+        assert {"send", "deliver", "rb_deliver", "decide"} <= set(DEFAULT_MARKERS)

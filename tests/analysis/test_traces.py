@@ -1,0 +1,60 @@
+"""Unit tests for execution tracing."""
+
+import json
+
+from repro.analysis.traces import TraceEvent, Tracer
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+class TestTracer:
+    def test_records_protocol_events(self):
+        tracer = Tracer()
+        tracer.record(1.0, "decide", pid=2, value="v")
+        assert len(tracer) == 1
+        event = tracer.events[0]
+        assert event.kind == "decide"
+        assert event.pid == 2
+        assert event.detail == {"value": "v"}
+
+    def test_network_attachment(self):
+        sim = Simulator()
+        network = Network(sim, 3, rng=RngRegistry(0))
+        for pid in range(1, 4):
+            network.register_process(pid, lambda m: None)
+        tracer = Tracer().attach_network(network)
+        network.send(1, 2, "T", ("x",))
+        sim.run()
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["send", "deliver"]
+        assert tracer.events[0].pid == 1  # sender on send events
+        assert tracer.events[1].pid == 2  # receiver on deliver events
+
+    def test_filter_by_kind_and_pid(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", pid=1)
+        tracer.record(2.0, "b", pid=1)
+        tracer.record(3.0, "a", pid=2)
+        assert len(list(tracer.filter(kind="a"))) == 2
+        assert len(list(tracer.filter(pid=1))) == 2
+        assert len(list(tracer.filter(kind="a", pid=2))) == 1
+
+    def test_max_events_truncation(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.record(float(i), "e")
+        assert len(tracer) == 2
+        assert tracer.truncated
+
+    def test_json_roundtrip(self):
+        tracer = Tracer()
+        tracer.record(1.5, "decide", pid=3, value="v", extra=object())
+        parsed = json.loads(tracer.to_json())
+        assert parsed[0]["time"] == 1.5
+        assert parsed[0]["detail"]["value"] == "v"
+        assert isinstance(parsed[0]["detail"]["extra"], str)
+
+    def test_trace_event_json_obj_coerces_payloads(self):
+        event = TraceEvent(time=0.0, kind="send", detail={"payload": ("a", 1)})
+        obj = event.to_json_obj()
+        assert isinstance(obj["detail"]["payload"], str)

@@ -1,0 +1,155 @@
+"""Unit tests for the randomized binary baseline ([22]-style)."""
+
+import pytest
+
+from repro import run_randomized
+from repro.adversary import crash, noise
+from repro.baselines import BinaryValueBroadcast, CommonCoin
+from repro.errors import ConfigurationError
+from repro.net import fully_asynchronous
+from tests.helpers import build_system
+
+
+class TestCommonCoin:
+    def test_deterministic_per_round(self):
+        coin = CommonCoin(seed=5)
+        assert coin.flip(3) == CommonCoin(seed=5).flip(3)
+
+    def test_binary(self):
+        coin = CommonCoin(seed=5)
+        assert all(coin.flip(r) in (0, 1) for r in range(1, 50))
+
+    def test_roughly_fair(self):
+        coin = CommonCoin(seed=5)
+        heads = sum(coin.flip(r) for r in range(1, 401))
+        assert 140 < heads < 260
+
+
+class TestBinaryValueBroadcast:
+    def make(self, system):
+        return {
+            pid: BinaryValueBroadcast(proc, system.n, system.t)
+            for pid, proc in system.processes.items()
+        }
+
+    def test_unanimous_value_enters_bin_values(self):
+        system = build_system(4, 1, byzantine=(4,))
+        bvs = self.make(system)
+        for bv in bvs.values():
+            bv.broadcast(1, 1)
+        system.settle()
+        for bv in bvs.values():
+            assert bv.bin_values(1) == {1}
+
+    def test_byzantine_only_value_filtered(self):
+        # t Byzantine pushing bit 0 alone (< t+1 senders) never reaches
+        # bin_values.
+        system = build_system(4, 1, byzantine=(4,))
+        bvs = self.make(system)
+        system.byzantine[4].broadcast_raw("BV_VAL", (1, 0))
+        for bv in bvs.values():
+            bv.broadcast(1, 1)
+        system.settle()
+        for bv in bvs.values():
+            assert bv.bin_values(1) == {1}
+
+    def test_mixed_proposals_both_values(self):
+        system = build_system(4, 1)
+        bvs = self.make(system)
+        bvs[1].broadcast(1, 0)
+        bvs[2].broadcast(1, 0)
+        bvs[3].broadcast(1, 1)
+        bvs[4].broadcast(1, 1)
+        system.settle()
+        for bv in bvs.values():
+            assert bv.bin_values(1) == {0, 1}
+
+    def test_malformed_payloads_ignored(self):
+        system = build_system(4, 1, byzantine=(4,))
+        bvs = self.make(system)
+        system.byzantine[4].broadcast_raw("BV_VAL", "junk")
+        system.byzantine[4].broadcast_raw("BV_VAL", (1, 7))
+        for bv in bvs.values():
+            bv.broadcast(1, 1)
+        system.settle()
+        for bv in bvs.values():
+            assert bv.bin_values(1) == {1}
+
+
+class TestRandomizedConsensus:
+    def test_unanimous_decides_that_bit(self):
+        topo = fully_asynchronous(4)
+        result = run_randomized(4, 1, {1: 1, 2: 1, 3: 1}, topo,
+                                adversaries={4: crash()}, seed=3)
+        assert result.decisions == {1: 1, 2: 1, 3: 1}
+
+    def test_split_decides_some_common_bit(self, seeds):
+        topo = fully_asynchronous(4)
+        for seed in seeds:
+            result = run_randomized(4, 1, {1: 0, 2: 1, 3: 0}, topo,
+                                    adversaries={4: crash()}, seed=seed)
+            assert len(set(result.decisions.values())) == 1
+            assert set(result.decisions) == {1, 2, 3}
+
+    def test_no_synchrony_needed(self, seeds):
+        # Fully asynchronous network, no bisource anywhere: the
+        # randomized algorithm still terminates (probabilistically).
+        topo = fully_asynchronous(5, mean_delay=10.0)
+        for seed in seeds:
+            result = run_randomized(5, 1, {1: 0, 2: 1, 3: 0, 4: 1}, topo,
+                                    adversaries={5: crash()}, seed=seed)
+            assert not result.timed_out
+
+    def test_noise_adversary_does_not_break_agreement(self, seeds):
+        topo = fully_asynchronous(4)
+        for seed in seeds:
+            result = run_randomized(4, 1, {1: 0, 2: 1, 3: 1}, topo,
+                                    adversaries={4: noise(0.5)}, seed=seed)
+            assert len(set(result.decisions.values())) == 1
+
+    def test_equivocating_adversary_does_not_break_agreement(self, seeds):
+        # A protocol-running two-faced adversary lying bit 0 to half the
+        # processes: BV-broadcast's t+1 filter must absorb it.
+        from repro.adversary import two_faced
+
+        topo = fully_asynchronous(4)
+        for seed in seeds:
+            result = run_randomized(4, 1, {1: 0, 2: 1, 3: 1}, topo,
+                                    adversaries={4: two_faced(0, proposal=1)},
+                                    seed=seed)
+            assert len(set(result.decisions.values())) == 1
+            assert set(result.decisions) == {1, 2, 3}
+
+    def test_crash_at_adversary(self, seeds):
+        from repro.adversary import crash_at
+
+        topo = fully_asynchronous(4)
+        for seed in seeds[:3]:
+            result = run_randomized(4, 1, {1: 0, 2: 1, 3: 0}, topo,
+                                    adversaries={4: crash_at(10.0, proposal=1)},
+                                    seed=seed)
+            assert len(set(result.decisions.values())) == 1
+
+    def test_decision_rounds_recorded(self):
+        topo = fully_asynchronous(4)
+        result = run_randomized(4, 1, {1: 1, 2: 1, 3: 1}, topo,
+                                adversaries={4: crash()}, seed=3)
+        assert all(r >= 1 for r in result.decision_rounds.values())
+
+    def test_rejects_non_binary_proposal(self):
+        system = build_system(4, 1)
+        from repro.baselines import RandomizedBinaryConsensus
+
+        rbc = RandomizedBinaryConsensus(
+            system.processes[1], 4, 1, CommonCoin(0)
+        )
+        task = system.processes[1].create_task(rbc.propose(7))
+        system.settle()
+        assert isinstance(task.exception(), ConfigurationError)
+
+    def test_resilience_bound(self):
+        system = build_system(7, 2)
+        from repro.baselines import RandomizedBinaryConsensus
+
+        with pytest.raises(ConfigurationError):
+            RandomizedBinaryConsensus(system.processes[1], 6, 2, CommonCoin(0))

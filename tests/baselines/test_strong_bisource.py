@@ -1,0 +1,161 @@
+"""Unit tests for the strong-bisource baseline EA (the E8 separation).
+
+The separation is sharpest at the EA-object level: processes re-propose
+fixed (split) values round after round, so convergence (one round where
+*all* correct processes return the same value) can only come from the
+coordinator machinery — not from estimate drift in the consensus layer.
+
+Under the minimal ``<t+1>bisource`` topology with ⊥-spamming Byzantine
+processes, the counting argument of Lemma 3 guarantees a witness for the
+paper's 1-of-F(r) rule in every good round, while the baseline's
+``t+1``-witness rule only ever sees the members of ``X+`` relay the
+championed value and needs schedule luck to collect them early.
+"""
+
+from typing import Any
+
+from repro import RunConfig, run_consensus
+from repro.adversary import bot_relays, crash
+from repro.baselines import StrongBisourceEA
+from repro.core.eventual_agreement import EventualAgreement
+from repro.core.values import BOT
+from repro.net import fully_timely, single_bisource
+from tests.helpers import build_system
+
+
+class ScriptedCB:
+    """CB double: deterministic split aux values, both values valid."""
+
+    def __init__(self, process, rb, n, t, instance, selector=None) -> None:
+        self.process = process
+
+    async def cb_broadcast(self, value: Any) -> Any:
+        # Odd pids push "a", even pids push "b" — a persistent split.
+        return "a" if self.process.pid % 2 == 1 else "b"
+
+    def in_valid(self, value: Any) -> bool:
+        return value in ("a", "b")
+
+    @property
+    def cb_valid(self):
+        return ("a", "b")
+
+
+def adversarial_minimal_topology(n, t, correct):
+    """Minimal <t+1>bisource plus the legal worst-case async schedule.
+
+    On every asynchronous channel the (network) adversary singles out the
+    coordinator's EA_COORD messages and delays them by an amount that
+    grows with virtual time — finite per message, hence a legal
+    asynchronous behaviour.  Round timers then always expire before an
+    asynchronous EA_COORD arrives, so championed values propagate only
+    through the bisource's *timely* output channels — exactly the regime
+    the paper's <t+1>bisource guarantee covers.
+    """
+    from repro.net import Asynchronous, ExponentialDelay, PerTagTiming, ScriptedDelay
+
+    topo = single_bisource(n, t, bisource=1, correct=correct, delta=1.0)
+    slow_coord = Asynchronous(
+        ScriptedDelay(lambda send, rng: 100.0 + 2.0 * send, "coord-starved")
+    )
+    topo.default = PerTagTiming(
+        base=Asynchronous(ExponentialDelay(mean=4.0)),
+        overrides={"EA_COORD": slow_coord},
+    )
+    return topo
+
+
+def drive_ea_rounds(ea_cls, seed, rounds=12):
+    """Run `rounds` EA rounds under the minimal topology; return, per
+    round, the set of values returned by correct processes."""
+    n, t = 7, 2
+    correct = {1, 2, 3, 4, 5}
+    topo = adversarial_minimal_topology(n, t, correct)
+    system = build_system(n, t, topology=topo, seed=seed, byzantine=(6, 7))
+    # ⊥-spamming adversary: poison every round's relay quorum instantly.
+    for byz in system.byzantine.values():
+        for r in range(1, rounds + 1):
+            byz.broadcast_raw("EA_RELAY", (r, BOT))
+    eas = {
+        pid: ea_cls(proc, system.rbs[pid], n, t, m=2, cb_factory=ScriptedCB)
+        for pid, proc in system.processes.items()
+    }
+    proposals = {pid: ("a" if pid % 2 == 1 else "b") for pid in eas}
+    outcomes = []
+    for r in range(1, rounds + 1):
+        tasks = {
+            pid: system.processes[pid].create_task(eas[pid].propose(r, proposals[pid]))
+            for pid in sorted(eas)
+        }
+        results = system.run_all([tasks[pid] for pid in sorted(tasks)])
+        outcomes.append(set(results))
+    return outcomes
+
+
+def first_agreement_round(outcomes):
+    for index, values in enumerate(outcomes, start=1):
+        if len(values) == 1:
+            return index
+    return None
+
+
+class TestStrongEAUnderStrongAssumption:
+    def test_decides_under_full_timeliness(self, seeds):
+        # The <n-t>source assumption of [1] holds in a fully timely
+        # system: the baseline must work there.
+        for seed in seeds:
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "a", 3: "b"},
+                          adversaries={4: crash()}, topology=fully_timely(4),
+                          ea_factory=StrongBisourceEA, seed=seed)
+            )
+            assert result.all_decided, f"seed {seed}"
+            assert result.decided_value in {"a", "b"}
+
+    def test_safety_holds_everywhere(self, seeds):
+        # Whatever topology, the baseline never violates safety.
+        n, t = 7, 2
+        correct = {1, 2, 3, 4, 5}
+        topo = single_bisource(n, t, bisource=1, correct=correct)
+        for seed in seeds:
+            result = run_consensus(
+                RunConfig(n=n, t=t,
+                          proposals={1: "a", 2: "b", 3: "a", 4: "b", 5: "a"},
+                          adversaries={6: bot_relays(), 7: bot_relays()},
+                          topology=topo, ea_factory=StrongBisourceEA,
+                          seed=seed, max_rounds=12, max_time=50_000.0),
+            )
+            assert len(set(result.decisions.values())) <= 1
+            for value in result.decisions.values():
+                assert value in {"a", "b"}
+
+
+class TestSeparation:
+    """Minimal <t+1>bisource suffices for the paper's EA, not for the
+    strong-assumption baseline."""
+
+    def test_paper_ea_always_converges(self, seeds):
+        for seed in seeds:
+            outcomes = drive_ea_rounds(EventualAgreement, seed)
+            assert first_agreement_round(outcomes) is not None, f"seed {seed}"
+
+    def test_paper_ea_converges_much_more_often(self, seeds):
+        # Convergence density over 12 rounds: the 1-of-F(r) rule converges
+        # in (almost) every correct-coordinated round, while the t+1 rule
+        # only converges in the bisource-coordinated rounds.
+        for seed in seeds:
+            paper = drive_ea_rounds(EventualAgreement, seed)
+            strong = drive_ea_rounds(StrongBisourceEA, seed)
+            paper_density = sum(1 for vals in paper if len(vals) == 1)
+            strong_density = sum(1 for vals in strong if len(vals) == 1)
+            assert paper_density > 2 * strong_density, (
+                f"seed {seed}: paper {paper_density}/12, strong "
+                f"{strong_density}/12"
+            )
+
+    def test_converged_value_is_a_proposal(self, seeds):
+        for seed in seeds[:3]:
+            outcomes = drive_ea_rounds(EventualAgreement, seed)
+            r = first_agreement_round(outcomes)
+            (value,) = outcomes[r - 1]
+            assert value in {"a", "b"}

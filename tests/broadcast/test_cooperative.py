@@ -1,0 +1,167 @@
+"""Unit tests for cooperative broadcast (paper Section 2.3, Figure 1)."""
+
+from repro.broadcast import BotCooperativeBroadcast, CooperativeBroadcast
+from repro.core.values import BOT, smallest
+from tests.helpers import build_system
+
+
+def make_cbs(system, instance="cb", cls=CooperativeBroadcast, **kwargs):
+    return {
+        pid: cls(proc, system.rbs[pid], system.n, system.t, instance, **kwargs)
+        for pid, proc in system.processes.items()
+    }
+
+
+def cb_broadcast_all(system, cbs, values):
+    tasks = {
+        pid: system.processes[pid].create_task(cbs[pid].cb_broadcast(values[pid]))
+        for pid in cbs
+    }
+    results = system.run_all([tasks[pid] for pid in sorted(tasks)])
+    return dict(zip(sorted(tasks), results))
+
+
+class TestUnanimous:
+    def test_all_same_value(self):
+        system = build_system(4, 1)
+        cbs = make_cbs(system)
+        returned = cb_broadcast_all(system, cbs, {pid: "v" for pid in cbs})
+        assert set(returned.values()) == {"v"}
+
+    def test_cb_valid_converges_to_singleton(self):
+        system = build_system(4, 1)
+        cbs = make_cbs(system)
+        cb_broadcast_all(system, cbs, {pid: "v" for pid in cbs})
+        system.settle()
+        for cb in cbs.values():
+            assert cb.cb_valid == ("v",)
+
+
+class TestOperationProperties:
+    def test_returned_value_in_cb_valid(self):
+        system = build_system(7, 2)
+        cbs = make_cbs(system)
+        values = {1: "a", 2: "a", 3: "a", 4: "b", 5: "b", 6: "b", 7: "a"}
+        returned = cb_broadcast_all(system, cbs, values)
+        for pid, value in returned.items():
+            assert cbs[pid].in_valid(value)
+
+    def test_set_agreement_at_quiescence(self):
+        system = build_system(7, 2)
+        cbs = make_cbs(system)
+        values = {1: "a", 2: "a", 3: "a", 4: "b", 5: "b", 6: "b", 7: "a"}
+        cb_broadcast_all(system, cbs, values)
+        system.settle()
+        sets = [frozenset(cb.cb_valid) for cb in cbs.values()]
+        assert len(set(sets)) == 1
+        assert sets[0] == {"a", "b"}
+
+    def test_selector_is_pluggable(self):
+        system = build_system(7, 2)
+        cbs = make_cbs(system, selector=smallest)
+        values = {1: "a", 2: "a", 3: "a", 4: "b", 5: "b", 6: "b", 7: "b"}
+        cb_broadcast_all(system, cbs, values)
+        system.settle()
+        # After quiescence both values are valid; smallest picks "a".
+        assert smallest(cbs[1].cb_valid) == "a"
+
+
+class TestByzantineResistance:
+    def test_byzantine_only_value_never_valid(self):
+        # t Byzantine pushing value "w" (t < t+1 supporters) must not get
+        # it into any correct cb_valid set: CB-Set Validity.
+        system = build_system(4, 1, byzantine=(4,))
+        cbs = make_cbs(system)
+        byz = system.byzantine[4]
+        # The Byzantine RB-broadcasts CB_VAL("w") like a proposer would.
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", ((("CB_VAL", "cb")), "w"))
+        returned = cb_broadcast_all(system, cbs, {1: "v", 2: "v", 3: "v"})
+        system.settle()
+        assert set(returned.values()) == {"v"}
+        for cb in cbs.values():
+            assert not cb.in_valid("w")
+
+    def test_byzantine_support_can_promote_a_correct_value(self):
+        # A value proposed by one correct process plus t Byzantine copies
+        # reaches t+1 supporters — legal, since a correct process did
+        # propose it (m = 2 profile: "a" x2 and "b" x1 among correct).
+        system = build_system(4, 1, byzantine=(4,))
+        cbs = make_cbs(system)
+        byz = system.byzantine[4]
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", ((("CB_VAL", "cb")), "b"))
+        cb_broadcast_all(system, cbs, {1: "a", 2: "a", 3: "b"})
+        system.settle()
+        for cb in cbs.values():
+            assert cb.in_valid("b") and cb.in_valid("a")
+
+    def test_operation_terminates_with_byzantine_silent(self):
+        system = build_system(7, 2, byzantine=(6, 7))
+        cbs = make_cbs(system)
+        returned = cb_broadcast_all(
+            system, cbs, {1: "x", 2: "x", 3: "x", 4: "x", 5: "x"}
+        )
+        assert set(returned.values()) == {"x"}
+
+
+class TestFeasibilityBoundary:
+    def test_m_max_profile_terminates(self):
+        # n=7, t=2 -> m_max = 2: two values, each with >= t+1 correct
+        # proposers exists by pigeonhole.
+        system = build_system(7, 2)
+        cbs = make_cbs(system)
+        values = {1: "a", 2: "b", 3: "a", 4: "b", 5: "a", 6: "b", 7: "a"}
+        returned = cb_broadcast_all(system, cbs, values)
+        assert set(returned.values()) <= {"a", "b"}
+
+    def test_infeasible_profile_blocks(self):
+        # n=4, t=1, three distinct correct values: no value reaches t+1
+        # supporters, so cb_valid stays empty and the operation never
+        # returns. (This is why the feasibility condition exists.)
+        system = build_system(4, 1, byzantine=(4,))
+        cbs = make_cbs(system)
+        tasks = [
+            system.processes[pid].create_task(cbs[pid].cb_broadcast(f"v{pid}"))
+            for pid in cbs
+        ]
+        system.settle()
+        assert all(not t.done() for t in tasks)
+        for cb in cbs.values():
+            assert cb.cb_valid == ()
+
+
+class TestBotVariant:
+    def test_bot_added_on_split_profile(self):
+        system = build_system(4, 1, byzantine=(4,))
+        cbs = make_cbs(system, cls=BotCooperativeBroadcast)
+        returned = cb_broadcast_all(system, cbs, {1: "v1", 2: "v2", 3: "v3"})
+        system.settle()
+        for cb in cbs.values():
+            assert cb.in_valid(BOT)
+        assert set(returned.values()) == {BOT}
+
+    def test_bot_not_added_when_unanimous(self):
+        system = build_system(4, 1, byzantine=(4,))
+        cbs = make_cbs(system, cls=BotCooperativeBroadcast)
+        byz = system.byzantine[4]
+        # Byzantine proposes garbage; unanimity among correct must keep
+        # BOT out (capped sum <= 2t < n - t).
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", ((("CB_VAL", "cb")), "junk"))
+        returned = cb_broadcast_all(system, cbs, {1: "v", 2: "v", 3: "v"})
+        system.settle()
+        assert set(returned.values()) == {"v"}
+        for cb in cbs.values():
+            assert not cb.in_valid(BOT)
+            assert not cb.in_valid("junk")
+
+    def test_majority_value_still_promoted(self):
+        system = build_system(7, 2, byzantine=(6, 7))
+        cbs = make_cbs(system, cls=BotCooperativeBroadcast)
+        returned = cb_broadcast_all(
+            system, cbs, {1: "v", 2: "v", 3: "v", 4: "w", 5: "u"}
+        )
+        system.settle()
+        for cb in cbs.values():
+            assert cb.in_valid("v")

@@ -1,0 +1,165 @@
+"""Unit tests for Bracha reliable broadcast (paper Section 2.2)."""
+
+import pytest
+
+from repro.broadcast import ReliableBroadcast, rb_quorums
+from repro.errors import ConfigurationError
+from tests.helpers import build_system
+
+
+class TestQuorums:
+    def test_quorum_values_n4_t1(self):
+        echo, amplify, deliver = rb_quorums(4, 1)
+        assert (echo, amplify, deliver) == (3, 2, 3)
+
+    def test_quorum_values_n7_t2(self):
+        echo, amplify, deliver = rb_quorums(7, 2)
+        assert (echo, amplify, deliver) == (5, 3, 5)
+
+    def test_echo_quorums_intersect_in_a_correct_process(self):
+        # Two echo quorums overlap in > t processes for all small (n, t).
+        for t in range(1, 5):
+            n = 3 * t + 1
+            echo, _, _ = rb_quorums(n, t)
+            assert 2 * echo - n > t
+
+    def test_resilience_bound_enforced(self):
+        system = build_system(6, 2, rb=False)
+        with pytest.raises(ConfigurationError):
+            ReliableBroadcast(system.processes[1], 6, 2)  # 6 = 3*2, not >
+
+
+class TestHonestBroadcast:
+    def test_termination_1_all_deliver(self):
+        system = build_system(4, 1)
+        system.rbs[1].broadcast("k", "value")
+        system.settle()
+        for pid, rb in system.rbs.items():
+            assert rb.delivered_value(1, "k") == "value"
+
+    def test_validity_value_unchanged(self):
+        system = build_system(7, 2)
+        system.rbs[3].broadcast("k", ("tuple", 42))
+        system.settle()
+        assert system.rbs[5].delivered_value(3, "k") == ("tuple", 42)
+
+    def test_multiple_instances_from_one_origin(self):
+        system = build_system(4, 1)
+        system.rbs[1].broadcast("k1", "a")
+        system.rbs[1].broadcast("k2", "b")
+        system.settle()
+        assert system.rbs[2].delivered_value(1, "k1") == "a"
+        assert system.rbs[2].delivered_value(1, "k2") == "b"
+
+    def test_concurrent_origins_same_key(self):
+        system = build_system(4, 1)
+        for pid in system.rbs:
+            system.rbs[pid].broadcast("k", f"v{pid}")
+        system.settle()
+        for rb in system.rbs.values():
+            assert rb.delivered_from("k") == {1: "v1", 2: "v2", 3: "v3", 4: "v4"}
+
+    def test_works_with_t_crashed_processes(self):
+        system = build_system(4, 1, byzantine=(4,))
+        system.rbs[1].broadcast("k", "v")
+        system.settle()
+        for pid in (1, 2, 3):
+            assert system.rbs[pid].delivered_value(1, "k") == "v"
+
+    def test_message_complexity_order_n_squared(self):
+        system = build_system(7, 2)
+        system.rbs[1].broadcast("k", "v")
+        system.settle()
+        n = 7
+        # INIT: n; ECHO: n per process; READY: n per process => <= n + 2n^2.
+        assert system.network.messages_sent <= n + 2 * n * n
+
+
+class TestSubscriptions:
+    def test_callback_on_delivery(self):
+        system = build_system(4, 1)
+        got = []
+        system.rbs[2].subscribe("k", lambda o, k, v: got.append((o, v)))
+        system.rbs[1].broadcast("k", "v")
+        system.settle()
+        assert got == [(1, "v")]
+
+    def test_late_subscription_replays_history(self):
+        system = build_system(4, 1)
+        system.rbs[1].broadcast("k", "v")
+        system.settle()
+        got = []
+        system.rbs[2].subscribe("k", lambda o, k, v: got.append((o, v)))
+        assert got == [(1, "v")]
+
+    def test_subscribe_all_sees_every_instance(self):
+        system = build_system(4, 1)
+        got = []
+        system.rbs[2].subscribe_all(lambda o, k, v: got.append(k))
+        system.rbs[1].broadcast("k1", "a")
+        system.rbs[3].broadcast("k2", "b")
+        system.settle()
+        assert sorted(got) == ["k1", "k2"]
+
+
+class TestByzantineSource:
+    def test_unicity_despite_equivocating_init(self):
+        # Byzantine origin sends INIT("a") to half, INIT("b") to the rest:
+        # no two correct processes may deliver different values.
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        byz.send_raw(1, "RB_INIT", ("k", "a"))
+        byz.send_raw(2, "RB_INIT", ("k", "b"))
+        byz.send_raw(3, "RB_INIT", ("k", "a"))
+        system.settle()
+        delivered = {
+            rb.delivered_value(4, "k")
+            for rb in system.rbs.values()
+            if rb.delivered_value(4, "k") is not None
+        }
+        assert len(delivered) <= 1
+
+    def test_termination_2_all_or_nothing(self):
+        # If any correct process delivers from a Byzantine origin, all do
+        # (once the network quiesces).
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", ("k", "same"))
+        system.settle()
+        delivered = [rb.delivered_value(4, "k") for rb in system.rbs.values()]
+        assert delivered == ["same"] * 3
+
+    def test_byzantine_echo_flood_cannot_forge_delivery(self):
+        # One Byzantine echoing/readying a value nobody sent cannot reach
+        # the 2t+1 ready quorum.
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_ECHO", (4, "k", "forged"))
+            byz.send_raw(dst, "RB_READY", (4, "k", "forged"))
+        system.settle()
+        for rb in system.rbs.values():
+            assert rb.delivered_value(4, "k") is None
+
+    def test_duplicate_echoes_from_one_sender_count_once(self):
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        # Byzantine sends three READYs for its own instance to p1; p1 must
+        # not treat them as three distinct supporters.
+        for _ in range(3):
+            byz.send_raw(1, "RB_READY", (4, "k", "v"))
+        system.settle()
+        assert system.rbs[1].delivered_value(4, "k") is None
+
+    def test_second_init_from_same_origin_ignored(self):
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", ("k", "first"))
+        system.settle()
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", ("k", "second"))
+        system.settle()
+        for rb in system.rbs.values():
+            assert rb.delivered_value(4, "k") == "first"

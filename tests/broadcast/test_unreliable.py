@@ -1,0 +1,65 @@
+"""Unit tests for best-effort broadcast."""
+
+from repro.broadcast import BestEffortBroadcast
+from tests.helpers import build_system
+
+
+class TestBestEffortBroadcast:
+    def test_correct_broadcast_reaches_all(self):
+        system = build_system(4, 1, rb=False)
+        bebs = {
+            pid: BestEffortBroadcast(proc, "BEB")
+            for pid, proc in system.processes.items()
+        }
+        bebs[1].broadcast("inst", "v")
+        system.settle()
+        for pid, beb in bebs.items():
+            assert beb.received("inst") == {1: "v"}
+
+    def test_first_message_per_sender_wins(self):
+        system = build_system(4, 1, rb=False)
+        bebs = {
+            pid: BestEffortBroadcast(proc, "BEB")
+            for pid, proc in system.processes.items()
+        }
+        bebs[1].broadcast("inst", "first")
+        system.settle()
+        bebs[1].broadcast("inst", "second")
+        system.settle()
+        assert bebs[2].received("inst") == {1: "first"}
+
+    def test_instances_are_independent(self):
+        system = build_system(4, 1, rb=False)
+        bebs = {
+            pid: BestEffortBroadcast(proc, "BEB")
+            for pid, proc in system.processes.items()
+        }
+        bebs[1].broadcast("a", 1)
+        bebs[1].broadcast("b", 2)
+        system.settle()
+        assert bebs[3].received("a") == {1: 1}
+        assert bebs[3].received("b") == {1: 2}
+
+    def test_faulty_sender_can_equivocate(self):
+        # A Byzantine process does not use the macro: it can send
+        # different values to different processes.
+        system = build_system(4, 1, byzantine=(4,), rb=False)
+        bebs = {
+            pid: BestEffortBroadcast(proc, "BEB")
+            for pid, proc in system.processes.items()
+        }
+        system.byzantine[4].send_raw(1, "BEB", ("inst", "left"))
+        system.byzantine[4].send_raw(2, "BEB", ("inst", "right"))
+        system.settle()
+        assert bebs[1].received("inst") == {4: "left"}
+        assert bebs[2].received("inst") == {4: "right"}
+        assert bebs[3].received("inst") == {}
+
+    def test_arrival_order_preserved(self):
+        system = build_system(4, 1, rb=False)
+        beb2 = BestEffortBroadcast(system.processes[2], "BEB")
+        BestEffortBroadcast(system.processes[1], "BEB").broadcast("i", "x")
+        system.settle()
+        BestEffortBroadcast(system.processes[3], "BEB").broadcast("i", "y")
+        system.settle()
+        assert list(beb2.received("i").items()) == [(1, "x"), (3, "y")]

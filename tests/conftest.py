@@ -1,0 +1,17 @@
+"""Pytest configuration shared by the whole suite."""
+
+import pytest
+
+from hypothesis import settings
+
+# A tighter hypothesis profile: the property tests run real simulations,
+# so keep example counts modest and deadlines off (virtual time is cheap,
+# wall time is not).
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def seeds():
+    """A standard small seed ensemble for schedule-diversity tests."""
+    return [1, 2, 3, 5, 8]

@@ -1,0 +1,116 @@
+"""Unit tests for the Byzantine adopt-commit object (Figure 2)."""
+
+import pytest
+
+from repro.core.adopt_commit import AdoptCommit, Tag, most_frequent
+from repro.errors import ConfigurationError, FeasibilityError
+from tests.helpers import build_system
+
+
+def make_acs(system, m=2, instance=1):
+    return {
+        pid: AdoptCommit(proc, system.rbs[pid], system.n, system.t, m, instance)
+        for pid, proc in system.processes.items()
+    }
+
+
+def propose_all(system, acs, values):
+    tasks = {
+        pid: system.processes[pid].create_task(acs[pid].propose(values[pid]))
+        for pid in acs
+    }
+    results = system.run_all([tasks[pid] for pid in sorted(tasks)])
+    return dict(zip(sorted(tasks), results))
+
+
+class TestMostFrequent:
+    def test_clear_winner(self):
+        assert most_frequent(["a", "b", "a", "a"]) == "a"
+
+    def test_tie_breaks_to_first_seen(self):
+        assert most_frequent(["x", "y", "y", "x"]) == "x"
+
+    def test_single(self):
+        assert most_frequent(["only"]) == "only"
+
+
+class TestConstruction:
+    def test_feasibility_enforced(self):
+        system = build_system(4, 1)
+        with pytest.raises(FeasibilityError):
+            AdoptCommit(system.processes[1], system.rbs[1], 4, 1, m=3, instance=1)
+
+    def test_resilience_enforced(self):
+        system = build_system(7, 2)
+        with pytest.raises(ConfigurationError):
+            AdoptCommit(system.processes[1], system.rbs[1], 6, 2, m=1, instance=1)
+
+    def test_m_none_skips_check(self):
+        system = build_system(4, 1)
+        AdoptCommit(system.processes[1], system.rbs[1], 4, 1, m=None, instance=1)
+
+
+class TestObligation:
+    def test_unanimous_proposals_commit(self):
+        system = build_system(4, 1)
+        acs = make_acs(system, m=1)
+        results = propose_all(system, acs, {pid: "v" for pid in acs})
+        assert all(result == (Tag.COMMIT, "v") for result in results.values())
+
+    def test_unanimous_with_silent_byzantine(self):
+        system = build_system(4, 1, byzantine=(4,))
+        acs = make_acs(system, m=1)
+        results = propose_all(system, acs, {1: "v", 2: "v", 3: "v"})
+        assert all(result == (Tag.COMMIT, "v") for result in results.values())
+
+    def test_unanimous_despite_byzantine_proposer(self):
+        # The Byzantine proposes "w" through the whole protocol; unanimity
+        # of correct processes must still force <commit, v>.
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        byz.send_raw(1, "RB_INIT", (("CB_VAL", ("AC", 1)), "w"))
+        byz.send_raw(2, "RB_INIT", (("CB_VAL", ("AC", 1)), "w"))
+        byz.send_raw(3, "RB_INIT", (("CB_VAL", ("AC", 1)), "w"))
+        for dst in (1, 2, 3):
+            byz.send_raw(dst, "RB_INIT", (("AC_EST", 1), "w"))
+        acs = make_acs(system, m=2)
+        results = propose_all(system, acs, {1: "v", 2: "v", 3: "v"})
+        assert all(result == (Tag.COMMIT, "v") for result in results.values())
+
+
+class TestQuasiAgreement:
+    def test_no_commit_conflicts_across_seeds(self, seeds):
+        # Split profiles: whatever happens, a commit pins the value.
+        for seed in seeds:
+            system = build_system(7, 2, seed=seed)
+            acs = make_acs(system, m=2)
+            values = {1: "a", 2: "b", 3: "a", 4: "b", 5: "a", 6: "b", 7: "a"}
+            results = propose_all(system, acs, values)
+            committed = {v for tag, v in results.values() if tag is Tag.COMMIT}
+            assert len(committed) <= 1
+            if committed:
+                (value,) = committed
+                assert all(v == value for _, v in results.values())
+
+    def test_output_domain_values_from_correct_processes(self, seeds):
+        for seed in seeds:
+            system = build_system(4, 1, seed=seed, byzantine=(4,))
+            byz = system.byzantine[4]
+            for dst in (1, 2, 3):
+                byz.send_raw(dst, "RB_INIT", (("AC_EST", 1), "evil"))
+            acs = make_acs(system, m=2)
+            results = propose_all(system, acs, {1: "a", 2: "a", 3: "b"})
+            for tag, value in results.values():
+                assert tag in (Tag.COMMIT, Tag.ADOPT)
+                assert value in {"a", "b"}
+
+
+class TestIndependence:
+    def test_instances_do_not_interfere(self):
+        system = build_system(4, 1)
+        acs1 = make_acs(system, m=1, instance=1)
+        acs2 = make_acs(system, m=1, instance=2)
+        r1 = propose_all(system, acs1, {pid: "x" for pid in acs1})
+        r2 = propose_all(system, acs2, {pid: "y" for pid in acs2})
+        assert all(result == (Tag.COMMIT, "x") for result in r1.values())
+        assert all(result == (Tag.COMMIT, "y") for result in r2.values())

@@ -1,0 +1,167 @@
+"""Unit tests for the Byzantine consensus algorithm (Figure 4)."""
+
+import pytest
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash, mute_coordinator, two_faced
+from repro.errors import FeasibilityError
+from repro.net import fully_timely, single_bisource
+
+
+class TestTermination:
+    def test_unanimous_everyone_decides(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1)
+        )
+        assert result.all_decided
+        assert not result.timed_out
+
+    def test_split_profile_decides(self, seeds):
+        for seed in seeds:
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: crash()}, seed=seed)
+            )
+            assert result.all_decided, f"seed {seed}"
+
+    def test_no_faults_at_all(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "a", 2: "a", 3: "b", 4: "b"}, seed=3)
+        )
+        assert result.all_decided
+
+    def test_t_zero_system(self):
+        result = run_consensus(
+            RunConfig(n=2, t=0, proposals={1: "x", 2: "x"}, seed=0,
+                      topology=fully_timely(2))
+        )
+        assert result.all_decided
+        assert result.decided_value == "x"
+
+    def test_larger_system_n7(self):
+        result = run_consensus(
+            RunConfig(n=7, t=2,
+                      proposals={1: "a", 2: "b", 3: "a", 4: "b", 5: "a"},
+                      adversaries={6: crash(), 7: crash()}, seed=5)
+        )
+        assert result.all_decided
+
+
+class TestAgreementAndValidity:
+    def test_single_decided_value(self, seeds):
+        for seed in seeds:
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: two_faced("evil")}, seed=seed)
+            )
+            assert len(set(result.decisions.values())) == 1
+
+    def test_decided_value_proposed_by_correct(self, seeds):
+        for seed in seeds:
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: two_faced("evil")}, seed=seed)
+            )
+            assert result.decided_value in {"a", "b"}
+
+    def test_invariant_report_clean(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "a", 2: "a", 3: "b"},
+                      adversaries={4: mute_coordinator()}, seed=2)
+        )
+        assert result.invariants.ok
+
+
+class TestFeasibility:
+    def test_infeasible_m_rejected_upfront(self):
+        with pytest.raises(FeasibilityError):
+            RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "c"},
+                      adversaries={4: crash()})
+
+    def test_m_at_the_bound_works(self):
+        # n=7, t=2 -> m_max = 2.
+        result = run_consensus(
+            RunConfig(n=7, t=2,
+                      proposals={1: "a", 2: "b", 3: "a", 4: "b", 5: "a"},
+                      adversaries={6: crash(), 7: crash()}, seed=9)
+        )
+        assert result.all_decided
+
+
+class TestDecisionClosure:
+    def test_decision_times_recorded_for_all(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1)
+        )
+        assert set(result.decision_times) == {1, 2, 3}
+        assert all(ts <= result.finished_at for ts in result.decision_times.values())
+
+    def test_rounds_executed_positive(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1)
+        )
+        assert all(r >= 1 for r in result.rounds.values())
+
+    def test_decide_broadcast_happens_once_per_process(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1)
+        )
+        # Each correct process RB-broadcasts DECIDE at most once: at most
+        # 3 INIT-per-process batches of n messages for the DECIDE key.
+        decide_inits = [
+            1
+            for consensus in result.consensi.values()
+            if consensus._decide_broadcast
+        ]
+        assert 1 <= len(decide_inits) <= 3
+
+    def test_max_rounds_cap_prevents_decision(self):
+        # With max_rounds=0 nobody ever enters a round, so the run times
+        # out without deciding — exercising the budget path.
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1,
+                      max_rounds=0, max_time=500.0),
+            check_invariants=True,
+        )
+        assert result.timed_out
+        assert result.decisions == {}
+
+
+class TestTopologies:
+    def test_minimal_bisource_topology(self, seeds):
+        n, t = 4, 1
+        correct = {1, 2, 3}
+        topo = single_bisource(n, t, bisource=2, correct=correct, delta=1.0)
+        for seed in seeds:
+            result = run_consensus(
+                RunConfig(n=n, t=t, proposals={1: "a", 2: "a", 3: "b"},
+                          adversaries={4: crash()}, topology=topo, seed=seed,
+                          max_time=500_000.0)
+            )
+            assert result.all_decided, f"seed {seed}"
+
+    def test_late_stabilization(self):
+        # tau > 0: the bisource's channels are junk until tau = 50.
+        n, t = 4, 1
+        correct = {1, 2, 3}
+        topo = single_bisource(n, t, bisource=1, correct=correct, tau=50.0,
+                               delta=1.0)
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals={1: "a", 2: "a", 3: "b"},
+                      adversaries={4: crash()}, topology=topo, seed=4,
+                      max_time=500_000.0)
+        )
+        assert result.all_decided
+
+    def test_fully_timely_is_fast(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "a", 2: "a", 3: "b"},
+                      adversaries={4: crash()}, topology=fully_timely(4), seed=1)
+        )
+        assert result.all_decided
+        assert result.max_round <= 4

@@ -1,0 +1,77 @@
+"""Unit tests for the ⊥-default-validity variant (Section 7)."""
+
+from repro import BOT, RunConfig, run_consensus
+from repro.adversary import crash, noise, two_faced
+
+
+def bot_config(n, t, proposals, adversaries=None, seed=0, **kwargs):
+    return RunConfig(
+        n=n, t=t, proposals=proposals, adversaries=adversaries or {},
+        variant="bot", seed=seed, **kwargs
+    )
+
+
+class TestUnanimity:
+    def test_unanimous_never_decides_bot(self, seeds):
+        for seed in seeds:
+            result = run_consensus(
+                bot_config(4, 1, {1: "v", 2: "v", 3: "v"}, {4: crash()}, seed=seed)
+            )
+            assert result.all_decided
+            assert result.decided_value == "v"
+
+    def test_unanimous_with_byzantine_junk(self):
+        result = run_consensus(
+            bot_config(4, 1, {1: "v", 2: "v", 3: "v"}, {4: noise(0.5)}, seed=3)
+        )
+        assert result.decided_value == "v"
+
+
+class TestArbitraryProfiles:
+    def test_all_distinct_proposals_terminate(self, seeds):
+        # Infeasible for the standard algorithm (m = 3 > m_max = 2); the
+        # variant decides ⊥ or one of the proposals.
+        for seed in seeds:
+            result = run_consensus(
+                bot_config(4, 1, {1: "p1", 2: "p2", 3: "p3"}, {4: crash()},
+                           seed=seed)
+            )
+            assert result.all_decided
+            assert result.decided_value is BOT or result.decided_value in {
+                "p1", "p2", "p3"
+            }
+
+    def test_agreement_holds(self, seeds):
+        for seed in seeds:
+            result = run_consensus(
+                bot_config(4, 1, {1: "x", 2: "y", 3: "z"},
+                           {4: two_faced("evil")}, seed=seed)
+            )
+            assert len(set(map(repr, result.decisions.values()))) == 1
+
+    def test_byzantine_value_never_decided(self, seeds):
+        for seed in seeds:
+            result = run_consensus(
+                bot_config(4, 1, {1: "x", 2: "y", 3: "z"},
+                           {4: two_faced("evil")}, seed=seed)
+            )
+            assert result.decided_value != "evil"
+
+    def test_majority_value_can_win(self):
+        # With a clear t+1-supported value, the variant can decide it
+        # (not forced to ⊥).
+        decided = set()
+        for seed in range(8):
+            result = run_consensus(
+                bot_config(7, 2, {1: "v", 2: "v", 3: "v", 4: "v", 5: "u"},
+                           {6: crash(), 7: crash()}, seed=seed)
+            )
+            decided.add(result.decided_value)
+        assert "v" in decided
+
+    def test_larger_system(self):
+        result = run_consensus(
+            bot_config(7, 2, {1: "a", 2: "b", 3: "c", 4: "d", 5: "e"},
+                       {6: crash(), 7: crash()}, seed=11)
+        )
+        assert result.all_decided

@@ -1,0 +1,130 @@
+"""Unit tests for round combinatorics (paper Section 5.2)."""
+
+import itertools
+from math import comb
+
+import pytest
+
+from repro.core.coord import (
+    alpha,
+    beta,
+    combination_unrank,
+    coordinator,
+    f_set,
+    f_set_index,
+    worst_case_round_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCoordinator:
+    def test_rotates_over_all_processes(self):
+        assert [coordinator(r, 4) for r in range(1, 9)] == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_round_numbers_start_at_one(self):
+        with pytest.raises(ConfigurationError):
+            coordinator(0, 4)
+
+    def test_every_process_coordinates_infinitely_often(self):
+        n = 5
+        seen = {coordinator(r, n) for r in range(1, 3 * n + 1)}
+        assert seen == set(range(1, n + 1))
+
+
+class TestAlphaBeta:
+    def test_alpha_formula(self):
+        assert alpha(4, 1) == comb(4, 3) == 4
+        assert alpha(7, 2) == comb(7, 5) == 21
+
+    def test_beta_k_zero_is_alpha(self):
+        assert beta(7, 2, 0) == alpha(7, 2)
+
+    def test_beta_k_t_is_one(self):
+        assert beta(7, 2, 2) == 1
+        assert beta(4, 1, 1) == 1
+
+    def test_beta_decreasing_in_k(self):
+        values = [beta(10, 3, k) for k in range(0, 4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            beta(7, 2, 3)
+        with pytest.raises(ConfigurationError):
+            beta(7, 2, -1)
+
+
+class TestUnrank:
+    def test_enumerates_lexicographically(self):
+        expected = list(itertools.combinations(range(1, 6), 3))
+        got = [combination_unrank(5, 3, i) for i in range(comb(5, 3))]
+        assert got == expected
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(ConfigurationError):
+            combination_unrank(5, 3, comb(5, 3))
+        with pytest.raises(ConfigurationError):
+            combination_unrank(5, 3, -1)
+
+    def test_full_size(self):
+        assert combination_unrank(4, 4, 0) == (1, 2, 3, 4)
+
+
+class TestFSets:
+    def test_size_is_n_minus_t_plus_k(self):
+        for k in (0, 1, 2):
+            assert len(f_set(1, 7, 2, k)) == 5 + k
+
+    def test_constant_within_a_block_of_n_rounds(self):
+        n, t = 7, 2
+        first_block = {f_set(r, n, t) for r in range(1, n + 1)}
+        assert len(first_block) == 1
+
+    def test_changes_between_blocks(self):
+        n, t = 7, 2
+        assert f_set(1, n, t) != f_set(n + 1, n, t)
+
+    def test_cycles_through_all_alpha_sets(self):
+        n, t = 5, 1
+        a = alpha(n, t)  # C(5,4) = 5
+        seen = {f_set(1 + block * n, n, t) for block in range(a)}
+        assert len(seen) == a
+        expected = {frozenset(c) for c in itertools.combinations(range(1, 6), 4)}
+        assert seen == expected
+
+    def test_period_is_alpha_blocks(self):
+        n, t = 5, 1
+        a = alpha(n, t)
+        assert f_set(1, n, t) == f_set(1 + a * n, n, t)
+
+    def test_index_bounds(self):
+        n, t = 7, 2
+        for r in (1, 7, 8, 147, 148):
+            assert 1 <= f_set_index(r, n, t) <= alpha(n, t)
+
+    def test_lemma3_pair_recurrence(self):
+        # Infinitely many rounds share (coordinator, F): same pair recurs
+        # exactly every alpha*n rounds.
+        n, t = 4, 1
+        horizon = worst_case_round_bound(n, t)
+        assert coordinator(3, n) == coordinator(3 + horizon, n)
+        assert f_set(3, n, t) == f_set(3 + horizon, n, t)
+
+    def test_same_coordinator_with_different_f(self):
+        # The paper notes both recurrence patterns exist.
+        n, t = 4, 1
+        r1, r2 = 1, 1 + n  # same coordinator, consecutive blocks
+        assert coordinator(r1, n) == coordinator(r2, n)
+        assert f_set(r1, n, t) != f_set(r2, n, t)
+
+
+class TestWorstCaseBound:
+    def test_base_bound_alpha_n(self):
+        assert worst_case_round_bound(4, 1) == alpha(4, 1) * 4 == 16
+
+    def test_k_equals_t_bound_is_n(self):
+        assert worst_case_round_bound(7, 2, k=2) == 7
+
+    def test_monotone_decreasing_in_k(self):
+        bounds = [worst_case_round_bound(10, 3, k) for k in range(4)]
+        assert bounds == sorted(bounds, reverse=True)

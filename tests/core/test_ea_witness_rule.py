@@ -1,0 +1,88 @@
+"""White-box tests for the EA line-7 witness rule (incl. deviation 2)."""
+
+from repro.core.eventual_agreement import EventualAgreement
+from repro.core.values import BOT
+from tests.helpers import build_system
+
+
+def make_ea(n=7, t=2, k=0):
+    system = build_system(n, t)
+    return EventualAgreement(system.processes[1], system.rbs[1], n, t, m=2, k=k)
+
+
+def state_with_relays(ea, r, relays):
+    state = ea._round(r)
+    state.relays.clear()
+    state.relays.update(relays)
+    return state
+
+
+class TestBaseWitnessRule:
+    def test_single_f_member_witness_suffices_k0(self):
+        ea = make_ea(k=0)
+        state = ea._round(1)
+        member = min(state.f_members)
+        outsider = min(set(range(1, 8)) - state.f_members)
+        state_with_relays(ea, 1, {outsider: "w", member: "w"})
+        assert ea._relay_witness_value(ea._rounds[1]) == "w"
+
+    def test_non_member_relay_never_counts(self):
+        ea = make_ea(k=0)
+        state = ea._round(1)
+        outsiders = sorted(set(range(1, 8)) - state.f_members)
+        if outsiders:
+            state_with_relays(ea, 1, {outsiders[0]: "w"})
+            assert ea._relay_witness_value(state) is None
+
+    def test_bot_relays_ignored(self):
+        ea = make_ea(k=0)
+        state = ea._round(1)
+        members = sorted(state.f_members)
+        state_with_relays(ea, 1, {members[0]: BOT, members[1]: BOT})
+        assert ea._relay_witness_value(state) is None
+
+    def test_first_qualifying_value_wins_in_arrival_order(self):
+        ea = make_ea(k=0)
+        state = ea._round(1)
+        members = sorted(state.f_members)
+        # Arrival order: w1 first.
+        state_with_relays(ea, 1, {members[0]: "w1", members[1]: "w2"})
+        assert ea._relay_witness_value(state) == "w1"
+
+
+class TestParameterizedWitnessRule:
+    def test_k_plus_one_matching_needed(self):
+        ea = make_ea(k=1)
+        assert ea.witness_threshold == 2
+        state = ea._round(1)
+        members = sorted(state.f_members)
+        # One matching relay is no longer enough.
+        state_with_relays(ea, 1, {members[0]: "w"})
+        assert ea._relay_witness_value(state) is None
+        # Two matching relays from F members succeed.
+        state_with_relays(ea, 1, {members[0]: "w", members[1]: "w"})
+        assert ea._relay_witness_value(state) == "w"
+
+    def test_k_byzantine_f_members_cannot_fake_a_witness(self):
+        # With k=1, a single Byzantine F member pushing "fake" (one
+        # relay) can never reach the k+1 = 2 threshold alone.
+        ea = make_ea(k=1)
+        state = ea._round(1)
+        members = sorted(state.f_members)
+        state_with_relays(ea, 1, {members[0]: "fake", members[1]: "w",
+                                  members[2]: "w"})
+        assert ea._relay_witness_value(state) == "w"
+
+    def test_mixed_values_below_threshold(self):
+        ea = make_ea(k=2)
+        assert ea.witness_threshold == 3
+        state = ea._round(1)
+        members = sorted(state.f_members)
+        state_with_relays(ea, 1, {members[0]: "a", members[1]: "a",
+                                  members[2]: "b", members[3]: "b"})
+        assert ea._relay_witness_value(state) is None
+
+    def test_f_size_grows_with_k(self):
+        for k in (0, 1, 2):
+            ea = make_ea(k=k)
+            assert len(ea._round(1).f_members) == 5 + k

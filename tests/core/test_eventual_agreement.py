@@ -1,0 +1,182 @@
+"""Unit tests for the eventual-agreement object (Figure 3)."""
+
+import pytest
+
+from repro.core.eventual_agreement import EventualAgreement
+from repro.core.values import BOT
+from repro.errors import ConfigurationError, FeasibilityError
+from repro.net import fully_timely, single_bisource
+from tests.helpers import build_system
+
+
+def make_eas(system, m=2, **kwargs):
+    return {
+        pid: EventualAgreement(proc, system.rbs[pid], system.n, system.t, m, **kwargs)
+        for pid, proc in system.processes.items()
+    }
+
+
+def propose_round(system, eas, r, values):
+    tasks = {
+        pid: system.processes[pid].create_task(eas[pid].propose(r, values[pid]))
+        for pid in eas
+    }
+    results = system.run_all([tasks[pid] for pid in sorted(tasks)])
+    return dict(zip(sorted(tasks), results))
+
+
+class TestConstruction:
+    def test_feasibility_enforced(self):
+        system = build_system(4, 1)
+        with pytest.raises(FeasibilityError):
+            EventualAgreement(system.processes[1], system.rbs[1], 4, 1, m=3)
+
+    def test_k_bounds(self):
+        system = build_system(7, 2)
+        with pytest.raises(ConfigurationError):
+            EventualAgreement(system.processes[1], system.rbs[1], 7, 2, m=2, k=3)
+
+    def test_rounds_must_be_consecutive(self):
+        system = build_system(4, 1)
+        eas = make_eas(system, m=1)
+        task = system.processes[1].create_task(eas[1].propose(2, "v"))
+        system.settle()
+        assert isinstance(task.exception(), ConfigurationError)
+
+
+class TestEAValidity:
+    def test_unanimous_round_returns_that_value(self, seeds):
+        # EA-Validity (Lemma 1): all propose v => nothing else returned.
+        for seed in seeds:
+            system = build_system(4, 1, seed=seed)
+            eas = make_eas(system, m=1)
+            results = propose_round(system, eas, 1, {pid: "v" for pid in eas})
+            assert set(results.values()) == {"v"}
+
+    def test_unanimous_with_byzantine_noise(self):
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        # Byzantine injects prop2/relay noise for round 1.
+        byz.broadcast_raw("EA_PROP2", (1, "junk"))
+        byz.broadcast_raw("EA_RELAY", (1, "junk"))
+        eas = make_eas(system, m=1)
+        results = propose_round(system, eas, 1, {1: "v", 2: "v", 3: "v"})
+        assert set(results.values()) == {"v"}
+
+
+class TestEATermination:
+    def test_terminates_on_split_profile(self, seeds):
+        for seed in seeds:
+            system = build_system(4, 1, seed=seed)
+            eas = make_eas(system, m=2)
+            results = propose_round(system, eas, 1, {1: "a", 2: "a", 3: "b", 4: "b"})
+            assert len(results) == 4
+
+    def test_terminates_with_mute_byzantine_coordinator(self):
+        # Round 1's coordinator is p1; make it Byzantine-silent.  Correct
+        # processes must still terminate via the timeout/⊥ path.
+        system = build_system(4, 1, byzantine=(1,))
+        eas = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=2)
+            for pid, proc in system.processes.items()
+        }
+        results = propose_round(system, eas, 1, {2: "a", 3: "a", 4: "b"})
+        assert len(results) == 3
+
+    def test_returned_values_are_sane_on_bad_rounds(self, seeds):
+        # Weak validity: on non-unanimous rounds anything can come back,
+        # but with only correct processes the value must still be one of
+        # the proposals or the proposer's own value.
+        for seed in seeds:
+            system = build_system(4, 1, seed=seed)
+            eas = make_eas(system, m=2)
+            values = {1: "a", 2: "a", 3: "b", 4: "b"}
+            results = propose_round(system, eas, 1, values)
+            for pid, returned in results.items():
+                assert returned in {"a", "b"}
+
+
+class TestEAEventualAgreement:
+    def _drive_rounds(self, system, eas, values, max_rounds):
+        """Run EA round after round; return per-round result maps."""
+        per_round = []
+        for r in range(1, max_rounds + 1):
+            per_round.append(propose_round(system, eas, r, values))
+        return per_round
+
+    def test_convergence_under_minimal_bisource(self, seeds):
+        # One <t+1>bisource, every other channel asynchronous: some round
+        # within the alpha*n horizon must return one common value.
+        n, t = 4, 1
+        correct = {1, 2, 3, 4}
+        for seed in seeds:
+            topo = single_bisource(n, t, bisource=1, correct=correct, delta=1.0)
+            system = build_system(n, t, topology=topo, seed=seed)
+            eas = make_eas(system, m=2)
+            values = {1: "a", 2: "a", 3: "b", 4: "b"}
+            horizon = 16  # alpha(4,1) * 4
+            per_round = self._drive_rounds(system, eas, values, horizon)
+            agreed = [
+                r + 1
+                for r, results in enumerate(per_round)
+                if len(set(results.values())) == 1
+            ]
+            assert agreed, f"no common round within {horizon} (seed {seed})"
+            common = set(per_round[agreed[0] - 1].values())
+            assert common <= {"a", "b"}
+
+    def test_convergence_in_fully_timely_system(self):
+        system = build_system(4, 1, topology=fully_timely(4))
+        eas = make_eas(system, m=2)
+        values = {1: "a", 2: "a", 3: "b", 4: "b"}
+        per_round = self._drive_rounds(system, eas, values, 8)
+        assert any(len(set(res.values())) == 1 for res in per_round)
+
+
+class TestRelayMechanics:
+    def test_bot_relay_recorded_but_never_returned_as_witness(self):
+        # Byzantine floods ⊥ relays; line 7 ignores ⊥, so the returned
+        # value is never ⊥ itself.
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        byz.broadcast_raw("EA_RELAY", (1, BOT))
+        eas = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=2)
+            for pid, proc in system.processes.items()
+        }
+        results = propose_round(system, eas, 1, {1: "a", 2: "a", 3: "b"})
+        assert BOT not in results.values()
+
+    def test_malformed_payloads_ignored(self):
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        byz.broadcast_raw("EA_PROP2", "not-a-tuple")
+        byz.broadcast_raw("EA_PROP2", (0, "bad-round"))
+        byz.broadcast_raw("EA_COORD", ("x", "y"))
+        byz.broadcast_raw("EA_RELAY", (1,))
+        eas = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=1)
+            for pid, proc in system.processes.items()
+        }
+        results = propose_round(system, eas, 1, {1: "v", 2: "v", 3: "v"})
+        assert set(results.values()) == {"v"}
+
+    def test_non_coordinator_coord_message_ignored(self):
+        # p4 (Byzantine) pretends to be coordinator of round 1 (which is
+        # p1): its EA_COORD must be discarded by the sender check.
+        system = build_system(4, 1, byzantine=(4,))
+        byz = system.byzantine[4]
+        byz.broadcast_raw("EA_COORD", (1, "forged"))
+        eas = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=1)
+            for pid, proc in system.processes.items()
+        }
+        results = propose_round(system, eas, 1, {1: "v", 2: "v", 3: "v"})
+        assert "forged" not in results.values()
+
+    def test_round_returned_bookkeeping(self):
+        system = build_system(4, 1)
+        eas = make_eas(system, m=1)
+        assert eas[1].round_returned(1) is None
+        propose_round(system, eas, 1, {pid: "v" for pid in eas})
+        assert eas[1].round_returned(1) == "v"

@@ -1,0 +1,104 @@
+"""Miscellaneous core-layer tests: diagnostics, timeouts, configuration."""
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash
+from repro.core import Tag
+from repro.core.eventual_agreement import EventualAgreement, default_timeout
+from repro.sim import gather
+from tests.helpers import build_system
+
+
+class TestTagEnum:
+    def test_values(self):
+        assert Tag.COMMIT.value == "commit"
+        assert Tag.ADOPT.value == "adopt"
+
+    def test_identity_semantics(self):
+        assert Tag.COMMIT is Tag("commit")
+
+
+class TestDefaultTimeout:
+    def test_is_the_round_number(self):
+        assert default_timeout(1) == 1.0
+        assert default_timeout(17) == 17.0
+
+    def test_increasing(self):
+        values = [default_timeout(r) for r in range(1, 50)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+
+class TestCustomTimeoutFn:
+    def test_constant_plus_round_schedule_works(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=3,
+                      timeout_fn=lambda r: 4.0 + r)
+        )
+        assert result.all_decided
+
+
+class TestRoundDiagnosticsStates:
+    def _run_round(self, byzantine=(), seed=0):
+        system = build_system(4, 1, byzantine=byzantine, seed=seed)
+        eas = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=2)
+            for pid, proc in system.processes.items()
+        }
+        values = {pid: ("a" if pid % 2 else "b") for pid in eas}
+        tasks = [
+            system.processes[pid].create_task(eas[pid].propose(1, values[pid]))
+            for pid in sorted(eas)
+        ]
+        system.run(gather(system.sim, tasks))
+        system.settle()
+        return eas
+
+    def test_timer_expired_when_coordinator_is_mute(self):
+        # Round 1's coordinator (p1) is Byzantine-silent: correct
+        # processes that did not return at line 4 must show an expired
+        # timer and a recorded ⊥ relay from themselves.
+        eas = self._run_round(byzantine=(1,))
+        saw_expired = False
+        for ea in eas.values():
+            diag = ea.round_diagnostics(1)
+            assert not diag["coord_seen"]
+            if diag["timer"] == "expired":
+                saw_expired = True
+        assert saw_expired
+
+    def test_timer_disabled_when_coordinator_responds(self):
+        eas = self._run_round()
+        diags = [ea.round_diagnostics(1) for ea in eas.values()]
+        assert any(d["coord_seen"] for d in diags)
+        assert all(d["returned"] is not None for d in diags)
+
+    def test_relay_sent_flag_consistent(self):
+        eas = self._run_round()
+        for ea in eas.values():
+            diag = ea.round_diagnostics(1)
+            if diag["relay_sent"]:
+                # The process's own relay shows up in its relays map
+                # (self channel).
+                assert ea.process.pid in diag["relays"]
+
+
+class TestConsensusConfigurationSurface:
+    def test_m_none_skips_feasibility(self):
+        # Building a Consensus with m=None directly (e.g. for a custom
+        # CB class) must not raise despite a diverse profile.
+        from repro.core import Consensus
+
+        system = build_system(4, 1)
+        Consensus(system.processes[1], system.rbs[1], 4, 1, m=None)
+
+    def test_est_history_records_tags(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1)
+        )
+        for consensus in result.consensi.values():
+            assert consensus.est_history
+            for r, tag, est in consensus.est_history:
+                assert isinstance(r, int)
+                assert tag in (Tag.COMMIT, Tag.ADOPT)

@@ -1,0 +1,82 @@
+"""Unit tests for protocol namespacing (multi-instance coexistence)."""
+
+import pytest
+
+from repro.core import Consensus, EventualAgreement
+from repro.errors import ConfigurationError
+from repro.sim import gather
+from tests.helpers import build_system
+
+
+class TestEANamespaces:
+    def test_tags_are_suffixed(self):
+        system = build_system(4, 1)
+        ea = EventualAgreement(system.processes[1], system.rbs[1], 4, 1, m=2,
+                               namespace="slot7")
+        assert ea.PROP2 == "EA_PROP2:slot7"
+        assert ea.COORD == "EA_COORD:slot7"
+        assert ea.RELAY == "EA_RELAY:slot7"
+
+    def test_default_namespace_keeps_plain_tags(self):
+        system = build_system(4, 1)
+        ea = EventualAgreement(system.processes[1], system.rbs[1], 4, 1, m=2)
+        assert ea.PROP2 == "EA_PROP2"
+
+    def test_two_eas_coexist_on_one_process(self):
+        system = build_system(4, 1)
+        for pid, proc in system.processes.items():
+            EventualAgreement(proc, system.rbs[pid], 4, 1, m=2, namespace="a")
+            EventualAgreement(proc, system.rbs[pid], 4, 1, m=2, namespace="b")
+        # No handler collision raised: construction succeeded.
+
+    def test_same_namespace_twice_collides(self):
+        system = build_system(4, 1)
+        EventualAgreement(system.processes[1], system.rbs[1], 4, 1, m=2)
+        with pytest.raises(ConfigurationError):
+            EventualAgreement(system.processes[1], system.rbs[1], 4, 1, m=2)
+
+    def test_namespaced_rounds_are_independent(self):
+        system = build_system(4, 1)
+        eas_a = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=1,
+                                   namespace="a")
+            for pid, proc in system.processes.items()
+        }
+        eas_b = {
+            pid: EventualAgreement(proc, system.rbs[pid], 4, 1, m=1,
+                                   namespace="b")
+            for pid, proc in system.processes.items()
+        }
+        tasks = []
+        for pid in sorted(system.processes):
+            tasks.append(system.processes[pid].create_task(
+                eas_a[pid].propose(1, "va")))
+            tasks.append(system.processes[pid].create_task(
+                eas_b[pid].propose(1, "vb")))
+        results = system.run_all(tasks)
+        a_results = results[0::2]
+        b_results = results[1::2]
+        assert set(a_results) == {"va"}
+        assert set(b_results) == {"vb"}
+
+
+class TestConsensusNamespaces:
+    def test_concurrent_instances_decide_independently(self):
+        system = build_system(4, 1, byzantine=(4,))
+        tasks = []
+        for pid in sorted(system.processes):
+            proc, rb = system.processes[pid], system.rbs[pid]
+            c1 = Consensus(proc, rb, 4, 1, m=1, namespace="s1")
+            c2 = Consensus(proc, rb, 4, 1, m=1, namespace="s2")
+            tasks.append(proc.create_task(c1.propose("first")))
+            tasks.append(proc.create_task(c2.propose("second")))
+        results = system.run(gather(system.sim, tasks), max_time=1_000_000.0)
+        assert set(results[0::2]) == {"first"}
+        assert set(results[1::2]) == {"second"}
+
+    def test_decide_keys_do_not_collide(self):
+        system = build_system(4, 1)
+        proc, rb = system.processes[1], system.rbs[1]
+        c1 = Consensus(proc, rb, 4, 1, m=1, namespace="s1")
+        c2 = Consensus(proc, rb, 4, 1, m=1, namespace="s2")
+        assert c1._decide_key != c2._decide_key

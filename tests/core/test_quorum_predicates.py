@@ -1,0 +1,97 @@
+"""White-box tests for the line-3 quorum predicates (Figures 2 and 3).
+
+The predicates scan first-per-sender messages in arrival order, keeping
+only those whose value currently belongs to ``cb_valid`` — so a message
+can *qualify late*, when its value enters the set after arrival.  These
+tests pin that behaviour down directly.
+"""
+
+from repro.core.adopt_commit import AdoptCommit
+from repro.core.eventual_agreement import EventualAgreement
+from tests.helpers import build_system
+
+
+class MutableCB:
+    """CB double with an externally controlled valid set."""
+
+    def __init__(self, valid=()):
+        self.valid = set(valid)
+
+    def in_valid(self, value):
+        return value in self.valid
+
+    @property
+    def cb_valid(self):
+        return tuple(self.valid)
+
+
+class TestEAProp2Quorum:
+    def make(self):
+        system = build_system(4, 1)
+        ea = EventualAgreement(system.processes[1], system.rbs[1], 4, 1, m=2)
+        state = ea._round(1)
+        state.cb = MutableCB()
+        return ea, state
+
+    def test_no_quorum_below_n_minus_t(self):
+        ea, state = self.make()
+        state.cb.valid = {"v"}
+        state.prop2.update({1: "v", 2: "v"})
+        assert ea._prop2_quorum(state) is None
+
+    def test_quorum_at_n_minus_t_valid_values(self):
+        ea, state = self.make()
+        state.cb.valid = {"v"}
+        state.prop2.update({1: "v", 2: "v", 3: "v"})
+        assert ea._prop2_quorum(state) == {1: "v", 2: "v", 3: "v"}
+
+    def test_invalid_values_do_not_count(self):
+        ea, state = self.make()
+        state.cb.valid = {"v"}
+        state.prop2.update({1: "v", 2: "junk", 3: "v"})
+        assert ea._prop2_quorum(state) is None
+
+    def test_late_qualification(self):
+        # A message whose value becomes valid later starts counting.
+        ea, state = self.make()
+        state.cb.valid = {"v"}
+        state.prop2.update({1: "v", 2: "w", 3: "v"})
+        assert ea._prop2_quorum(state) is None
+        state.cb.valid.add("w")
+        assert ea._prop2_quorum(state) == {1: "v", 2: "w", 3: "v"}
+
+    def test_takes_first_qualifying_in_arrival_order(self):
+        ea, state = self.make()
+        state.cb.valid = {"v", "w"}
+        state.prop2.update({4: "w", 1: "v", 2: "v", 3: "v"})
+        witness = ea._prop2_quorum(state)
+        # Arrival order: 4 first; quorum is the first three qualifying.
+        assert witness == {4: "w", 1: "v", 2: "v"}
+
+
+class TestACEstQuorum:
+    def make(self):
+        system = build_system(4, 1)
+        ac = AdoptCommit(
+            system.processes[1], system.rbs[1], 4, 1, m=2, instance="q"
+        )
+        ac.cb = MutableCB()
+        return system, ac
+
+    def test_counts_only_rb_delivered_valid_estimates(self):
+        system, ac = self.make()
+        ac.cb.valid = {"v"}
+        delivered = ac.rb.delivered_from((AdoptCommit.EST, "q"))
+        delivered.update({1: "v", 2: "junk", 3: "v"})
+        assert ac._est_quorum() is None
+        delivered[4] = "v"
+        assert ac._est_quorum() == {1: "v", 3: "v", 4: "v"}
+
+    def test_snapshot_is_a_copy(self):
+        system, ac = self.make()
+        ac.cb.valid = {"v"}
+        delivered = ac.rb.delivered_from((AdoptCommit.EST, "q"))
+        delivered.update({1: "v", 2: "v", 3: "v"})
+        witness = ac._est_quorum()
+        delivered[4] = "v"
+        assert 4 not in witness

@@ -1,0 +1,34 @@
+"""Unit tests for the value domain helpers."""
+
+import pickle
+
+from repro.core.values import BOT, Bot, first_added, smallest
+
+
+class TestBot:
+    def test_singleton(self):
+        assert Bot() is BOT
+
+    def test_repr(self):
+        assert repr(BOT) == "⊥"
+
+    def test_hashable_and_dict_key(self):
+        d = {BOT: 1}
+        assert d[Bot()] == 1
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOT)) is BOT
+
+
+class TestSelectors:
+    def test_first_added(self):
+        assert first_added(["b", "a"]) == "b"
+
+    def test_smallest(self):
+        assert smallest(["b", "a", "c"]) == "a"
+
+    def test_smallest_ignores_bot(self):
+        assert smallest([BOT, "z", "a"]) == "a"
+
+    def test_smallest_all_bot(self):
+        assert smallest([BOT]) is BOT

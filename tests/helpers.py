@@ -1,0 +1,80 @@
+"""Shared test scaffolding: build small systems quickly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.adversary import RawByzantine
+from repro.broadcast import ReliableBroadcast
+from repro.net import Network, Topology, fully_timely
+from repro.runtime import Process
+from repro.sim import Future, RngRegistry, Simulator, gather
+
+
+@dataclass
+class System:
+    """A wired mini-system for protocol-level tests."""
+
+    sim: Simulator
+    network: Network
+    n: int
+    t: int
+    processes: dict[int, Process]
+    rbs: dict[int, ReliableBroadcast]
+    byzantine: dict[int, RawByzantine] = field(default_factory=dict)
+
+    def run(self, future: Future, max_time: float = 1e6, max_events: int = 5_000_000) -> Any:
+        """Drive the simulation until ``future`` completes."""
+        return self.sim.run_until_complete(future, max_time=max_time, max_events=max_events)
+
+    def run_all(self, futures: list[Future], **kwargs: Any) -> list[Any]:
+        """Drive the simulation until every future completes."""
+        return self.run(gather(self.sim, futures), **kwargs)
+
+    def settle(self, max_events: int = 5_000_000) -> None:
+        """Run the simulation to quiescence (all queued events)."""
+        self.sim.run(max_events=max_events)
+
+
+def build_system(
+    n: int,
+    t: int,
+    topology: Topology | None = None,
+    seed: int = 0,
+    byzantine: tuple[int, ...] = (),
+    rb: bool = True,
+) -> System:
+    """Build a simulator, network, and correct processes (+ RB engines).
+
+    Byzantine pids get a silent :class:`RawByzantine` registration so the
+    network accepts traffic addressed to them; tests drive them manually
+    through :attr:`System.byzantine`.
+    """
+    topo = topology if topology is not None else fully_timely(n)
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    network = Network(
+        sim, n, timing=topo.overrides, default_timing=topo.default, rng=rng
+    )
+    byz: dict[int, RawByzantine] = {}
+    for pid in byzantine:
+        byz[pid] = RawByzantine(pid, sim, network, rng.stream("adv", pid))
+    processes: dict[int, Process] = {}
+    rbs: dict[int, ReliableBroadcast] = {}
+    for pid in range(1, n + 1):
+        if pid in byz:
+            continue
+        process = Process(pid, sim, network)
+        processes[pid] = process
+        if rb:
+            rbs[pid] = ReliableBroadcast(process, n, t)
+    return System(
+        sim=sim,
+        network=network,
+        n=n,
+        t=t,
+        processes=processes,
+        rbs=rbs,
+        byzantine=byz,
+    )

@@ -1,0 +1,136 @@
+"""Integration grid: consensus across sizes, topologies, adversaries, seeds.
+
+Every cell runs the full stack (RB → CB → AC/EA → consensus) and is
+re-checked by the invariant suite inside ``run_consensus``.
+"""
+
+import pytest
+
+from repro import RunConfig, run_consensus, standard_proposals
+from repro.adversary import (
+    bot_relays,
+    collude,
+    crash,
+    crash_at,
+    mute_coordinator,
+    noise,
+    spam_decide,
+    two_faced,
+)
+from repro.net import fully_timely, single_bisource
+
+
+SYSTEM_SIZES = [(4, 1), (7, 2), (10, 3)]
+
+
+def adversary_pack(t, kind):
+    """Assign `kind` adversaries to the top-t pids of an n-process system."""
+    makers = {
+        "crash": lambda: crash(),
+        "two_faced": lambda: two_faced("evil"),
+        "mixed": None,  # handled below
+    }
+    return makers[kind]
+
+
+class TestSizeGrid:
+    @pytest.mark.parametrize("n,t", SYSTEM_SIZES)
+    def test_decides_with_t_crash_faults(self, n, t):
+        byz = {pid: crash() for pid in range(n - t + 1, n + 1)}
+        proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=42)
+        )
+        assert result.all_decided
+        assert result.decided_value in {"a", "b"}
+
+    @pytest.mark.parametrize("n,t", SYSTEM_SIZES)
+    def test_decides_with_t_equivocators(self, n, t):
+        byz = {pid: two_faced("evil") for pid in range(n - t + 1, n + 1)}
+        proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=43)
+        )
+        assert result.all_decided
+        assert result.decided_value in {"a", "b"}
+
+    def test_mixed_adversary_pack(self):
+        n, t = 10, 3
+        byz = {8: crash_at(30.0), 9: two_faced("evil"), 10: mute_coordinator()}
+        proposals = standard_proposals(range(1, 8), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=44)
+        )
+        assert result.all_decided
+
+
+class TestSeedEnsembles:
+    def test_twenty_seeds_n4(self):
+        for seed in range(20):
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: two_faced("evil")}, seed=seed)
+            )
+            assert result.all_decided, f"seed {seed}"
+            assert result.invariants.ok
+
+    def test_ten_seeds_n7_bot_relays(self):
+        for seed in range(10):
+            result = run_consensus(
+                RunConfig(n=7, t=2,
+                          proposals=standard_proposals(range(1, 6), ["a", "b"]),
+                          adversaries={6: bot_relays(), 7: spam_decide("evil")},
+                          seed=seed)
+            )
+            assert result.all_decided, f"seed {seed}"
+
+
+class TestTopologyGrid:
+    def test_every_bisource_placement_works(self):
+        n, t = 4, 1
+        correct = {1, 2, 3}
+        for bisource in correct:
+            topo = single_bisource(n, t, bisource=bisource, correct=correct)
+            result = run_consensus(
+                RunConfig(n=n, t=t, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: crash()}, topology=topo, seed=7,
+                          max_time=500_000.0)
+            )
+            assert result.all_decided, f"bisource at {bisource}"
+
+    def test_bisource_need_not_be_lowest_pid(self):
+        n, t = 7, 2
+        correct = {1, 2, 3, 4, 5}
+        topo = single_bisource(n, t, bisource=5, correct=correct)
+        result = run_consensus(
+            RunConfig(n=n, t=t,
+                      proposals=standard_proposals(correct, ["a", "b"]),
+                      adversaries={6: crash(), 7: crash()},
+                      topology=topo, seed=3, max_time=500_000.0)
+        )
+        assert result.all_decided
+
+    def test_fully_timely_all_adversaries(self):
+        packs = [collude("evil"), noise(0.3), mute_coordinator()]
+        for i, spec in enumerate(packs):
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: spec}, topology=fully_timely(4),
+                          seed=i)
+            )
+            assert result.all_decided
+
+
+class TestSafetyUnderNonConvergence:
+    def test_partial_runs_never_disagree(self):
+        # Even runs cut off early (tight budgets) must never show two
+        # different decisions among those who decided.
+        for seed in range(10):
+            result = run_consensus(
+                RunConfig(n=7, t=2,
+                          proposals=standard_proposals(range(1, 6), ["a", "b"]),
+                          adversaries={6: two_faced("x"), 7: bot_relays()},
+                          seed=seed, max_events=20_000),
+                check_invariants=True,
+            )
+            assert len(set(result.decisions.values())) <= 1

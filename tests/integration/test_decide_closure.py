@@ -1,0 +1,85 @@
+"""Integration tests for the decision-closure mechanics of Figure 4.
+
+A process decides when it RB-delivers DECIDE(v) from t+1 distinct
+origins; deciding stops its round loop, but its broadcast handlers stay
+alive so lagging processes can still finish their reliable broadcasts.
+These tests pin down the subtle halting behaviour.
+"""
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash, two_faced
+from repro.net import Asynchronous, ExponentialDelay, PerTagTiming, Topology
+
+
+class TestDecisionSpread:
+    def test_everyone_decides_even_with_straggler_channels(self):
+        # Make one process's inbound traffic very slow: it decides late,
+        # after the others have long stopped their round loops —
+        # RB-Termination-2 of the DECIDE broadcasts must still reach it.
+        n, t = 4, 1
+        slow = Asynchronous(ExponentialDelay(mean=80.0))
+        overrides = {(src, 3): slow for src in (1, 2, 4)}
+        topo = Topology(
+            n=n,
+            overrides=overrides,
+            default=Asynchronous(ExponentialDelay(mean=2.0)),
+            description="p3 straggler",
+        )
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, topology=topo, seed=6,
+                      max_time=1_000_000.0)
+        )
+        assert result.all_decided
+        spread = max(result.decision_times.values()) - min(
+            result.decision_times.values()
+        )
+        assert spread > 0  # the straggler decided strictly later
+
+    def test_decision_instants_differ_across_processes(self):
+        # Decisions happen via the RB handler at each process's own
+        # delivery instants, not in lockstep.
+        results = []
+        for seed in range(12):
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: two_faced("evil")}, seed=seed)
+            )
+            results.append(result)
+        assert any(
+            len(set(r.decision_times.values())) > 1 for r in results
+        )
+
+    def test_decide_quorum_needs_t_plus_one_origins(self):
+        # Inspect the decide support on a finished run: the winning value
+        # must have at least t+1 supporting origins at every process.
+        result = run_consensus(
+            RunConfig(n=7, t=2,
+                      proposals={1: "v", 2: "v", 3: "v", 4: "v", 5: "v"},
+                      adversaries={6: crash(), 7: crash()}, seed=8)
+        )
+        for pid, consensus in result.consensi.items():
+            supporters = consensus._decide_support[result.decided_value]
+            assert len(supporters) >= consensus.t + 1
+
+    def test_slow_decide_channel_only(self):
+        # Starve only the DECIDE-carrying RB instances' INIT messages on
+        # p2's outbound channels; closure must still happen via the other
+        # correct processes' broadcasts.
+        n, t = 4, 1
+        slow_init = Asynchronous(ExponentialDelay(mean=60.0))
+        per_tag = PerTagTiming(
+            base=Asynchronous(ExponentialDelay(mean=2.0)),
+            overrides={"RB_INIT": slow_init},
+        )
+        overrides = {(2, dst): per_tag for dst in (1, 3, 4)}
+        topo = Topology(
+            n=n, overrides=overrides,
+            default=Asynchronous(ExponentialDelay(mean=2.0)),
+        )
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, topology=topo, seed=4,
+                      max_time=1_000_000.0)
+        )
+        assert result.all_decided

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executable documentation; breaking one silently would be
+worse than breaking a test.  Each is executed in-process via runpy with
+its assertions active.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "state_machine_replication.py",
+        "synchrony_exploration.py",
+        "adversary_gallery.py",
+        "intrusion_tolerant.py",
+        "trace_debugging.py",
+        "ensemble_report.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,81 @@
+"""Failure injection: a correct process crashing mid-run.
+
+A full crash is harsher than the ``crash_at`` adversary: the process
+stops *receiving and processing* too, so it no longer echoes reliable
+broadcasts or serves EA relays.  With the crashed process counted
+against the fault budget (total faults <= t), the survivors must still
+decide.
+"""
+
+from repro.broadcast import ReliableBroadcast
+from repro.core import Consensus
+from repro.sim import gather
+from tests.helpers import build_system
+
+
+def run_with_midway_crash(crash_pid, crash_time, n=4, t=1, seed=3):
+    """n processes, no initial Byzantine; `crash_pid` dies at crash_time."""
+    system = build_system(n, t, seed=seed)
+    consensi = {}
+    tasks = {}
+    for pid in sorted(system.processes):
+        proc = system.processes[pid]
+        rb = system.rbs[pid]
+        consensus = Consensus(proc, rb, n, t, m=2)
+        consensi[pid] = consensus
+        value = "a" if pid % 2 else "b"
+        tasks[pid] = proc.create_task(consensus.propose(value))
+
+    def crash():
+        victim = system.processes[crash_pid]
+        victim.cancel_tasks()
+        # Stop processing deliveries entirely: a dead process.
+        victim._handlers.clear()
+
+    system.sim.call_at(crash_time, crash)
+    survivors = [pid for pid in consensi if pid != crash_pid]
+    done = gather(system.sim, [consensi[pid].decision for pid in survivors])
+    system.run(done, max_time=1_000_000.0)
+    return {pid: consensi[pid].decision.result() for pid in survivors}
+
+
+class TestMidwayCrash:
+    def test_survivors_decide_after_early_crash(self):
+        decisions = run_with_midway_crash(crash_pid=4, crash_time=2.0)
+        assert len(decisions) == 3
+        assert len(set(decisions.values())) == 1
+        assert next(iter(decisions.values())) in {"a", "b"}
+
+    def test_survivors_decide_after_mid_protocol_crash(self):
+        decisions = run_with_midway_crash(crash_pid=2, crash_time=20.0)
+        assert len(decisions) == 3
+        assert len(set(decisions.values())) == 1
+
+    def test_crash_of_each_process(self):
+        for victim in (1, 2, 3, 4):
+            decisions = run_with_midway_crash(crash_pid=victim, crash_time=10.0,
+                                              seed=victim)
+            assert len(set(decisions.values())) == 1, f"victim {victim}"
+
+    def test_larger_system_two_crashes(self):
+        n, t, seed = 7, 2, 9
+        system = build_system(n, t, seed=seed)
+        consensi = {}
+        for pid in sorted(system.processes):
+            proc, rb = system.processes[pid], system.rbs[pid]
+            consensus = Consensus(proc, rb, n, t, m=2)
+            consensi[pid] = consensus
+            proc.create_task(consensus.propose("a" if pid % 2 else "b"))
+
+        def crash(pid):
+            victim = system.processes[pid]
+            victim.cancel_tasks()
+            victim._handlers.clear()
+
+        system.sim.call_at(5.0, crash, 6)
+        system.sim.call_at(15.0, crash, 7)
+        survivors = [pid for pid in consensi if pid not in (6, 7)]
+        done = gather(system.sim, [consensi[p].decision for p in survivors])
+        system.run(done, max_time=1_000_000.0)
+        values = {consensi[p].decision.result() for p in survivors}
+        assert len(values) == 1

@@ -1,0 +1,81 @@
+"""Integration tests combining orthogonal features.
+
+The variant (⊥ validity), the §5.4 parameterization (k), tracing,
+FIFO channels, custom selectors and adversaries are all orthogonal
+knobs; these tests exercise them together.
+"""
+
+from repro import BOT, RunConfig, run_consensus, single_bisource
+from repro.adversary import crash, two_faced
+from repro.core.values import smallest
+
+
+class TestVariantWithK:
+    def test_bot_variant_with_k1(self, seeds):
+        n, t = 7, 2
+        correct = {1, 2, 3, 4, 5}
+        topo = single_bisource(n, t, bisource=1, correct=correct, k=1)
+        for seed in seeds[:3]:
+            result = run_consensus(
+                RunConfig(n=n, t=t,
+                          proposals={1: "a", 2: "b", 3: "c", 4: "d", 5: "e"},
+                          adversaries={6: crash(), 7: crash()},
+                          topology=topo, variant="bot", k=1, seed=seed,
+                          max_time=500_000.0)
+            )
+            assert result.all_decided
+            decided = result.decided_value
+            assert decided is BOT or decided in {"a", "b", "c", "d", "e"}
+
+    def test_bot_variant_with_k_equals_t(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "x", 2: "y", 3: "z"},
+                      adversaries={4: two_faced("evil")},
+                      variant="bot", k=1, seed=3)
+        )
+        assert result.all_decided
+        assert result.decided_value != "evil"
+
+
+class TestTracingCombos:
+    def test_trace_with_bot_variant(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "x", 2: "y", 3: "z"},
+                      adversaries={4: crash()}, variant="bot", seed=2,
+                      trace=True)
+        )
+        decides = list(result.trace.filter(kind="decide"))
+        assert len(decides) == 3
+
+    def test_trace_with_fifo_and_selector(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "b", 2: "a", 3: "b"},
+                      adversaries={4: crash()}, seed=2, trace=True,
+                      fifo=True, selector=smallest)
+        )
+        assert result.all_decided
+        assert result.trace is not None
+
+
+class TestSelectorWithVariant:
+    def test_smallest_selector_in_bot_variant(self, seeds):
+        # smallest() must cope with ⊥ in cb_valid.
+        for seed in seeds[:3]:
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "x", 2: "y", 3: "z"},
+                          adversaries={4: crash()}, variant="bot",
+                          selector=smallest, seed=seed)
+            )
+            assert result.all_decided
+
+
+class TestFifoEverywhere:
+    def test_fifo_with_equivocator_and_minimal_topology(self, seeds):
+        for seed in seeds[:3]:
+            result = run_consensus(
+                RunConfig(n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+                          adversaries={4: two_faced("evil")}, seed=seed,
+                          fifo=True)
+            )
+            assert result.all_decided
+            assert result.decided_value in {"a", "b"}

@@ -1,0 +1,58 @@
+"""Scale smoke tests: larger systems still behave.
+
+These are the slowest tests in the suite; they exist to catch
+super-linear blowups and large-n logic errors (quorum arithmetic,
+combinatorics) that small fixtures cannot.
+"""
+
+import pytest
+
+from repro import RunConfig, run_consensus, standard_proposals
+from repro.adversary import crash, two_faced
+from repro.analysis.complexity import consensus_budget
+
+
+class TestLargerSystems:
+    def test_n13_t4_crash_faults(self):
+        n, t = 13, 4
+        byz = {pid: crash() for pid in range(n - t + 1, n + 1)}
+        proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=5)
+        )
+        assert result.all_decided
+        assert result.decided_value in {"a", "b"}
+        assert result.invariants.ok
+
+    def test_n13_t4_equivocators(self):
+        n, t = 13, 4
+        byz = {pid: two_faced("evil") for pid in range(n - t + 1, n + 1)}
+        proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=6)
+        )
+        assert result.all_decided
+        assert result.decided_value != "evil"
+
+    def test_n16_t5_within_message_budget(self):
+        n, t = 16, 5
+        byz = {pid: crash() for pid in range(n - t + 1, n + 1)}
+        proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=7,
+                      max_events=50_000_000)
+        )
+        assert result.all_decided
+        budget = consensus_budget(n, t, rounds=result.max_round + 1)
+        assert result.messages_sent <= budget.total
+
+    @pytest.mark.parametrize("t", [1, 2, 3, 4])
+    def test_max_resilience_family(self, t):
+        # n = 3t + 1: the tightest systems the theorem covers.
+        n = 3 * t + 1
+        byz = {pid: crash() for pid in range(n - t + 1, n + 1)}
+        proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
+        result = run_consensus(
+            RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=t)
+        )
+        assert result.all_decided

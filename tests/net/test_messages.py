@@ -1,0 +1,42 @@
+"""Unit tests for the Message value object."""
+
+from repro.net import Message
+
+
+class TestMessage:
+    def test_fields(self):
+        message = Message(sender=1, dest=2, tag="T", payload={"k": 1},
+                          sent_at=3.5, uid=7)
+        assert message.sender == 1
+        assert message.dest == 2
+        assert message.tag == "T"
+        assert message.payload == {"k": 1}
+        assert message.sent_at == 3.5
+        assert message.uid == 7
+
+    def test_immutability(self):
+        import dataclasses
+
+        import pytest
+
+        message = Message(sender=1, dest=2, tag="T", payload=None)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            message.sender = 9
+
+    def test_equality_ignores_bookkeeping_fields(self):
+        # sent_at and uid are compare=False: two logically equal messages
+        # sent at different times compare equal.
+        a = Message(sender=1, dest=2, tag="T", payload="p", sent_at=1.0, uid=1)
+        b = Message(sender=1, dest=2, tag="T", payload="p", sent_at=9.0, uid=2)
+        assert a == b
+
+    def test_inequality_on_content(self):
+        a = Message(sender=1, dest=2, tag="T", payload="p")
+        b = Message(sender=1, dest=2, tag="T", payload="q")
+        assert a != b
+
+    def test_repr_shows_route_and_tag(self):
+        message = Message(sender=3, dest=4, tag="EA_COORD", payload=(1, "v"))
+        text = repr(message)
+        assert "3->4" in text
+        assert "EA_COORD" in text

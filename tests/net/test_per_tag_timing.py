@@ -1,0 +1,75 @@
+"""Unit tests for message-aware (per-tag) channel timing."""
+
+from repro.net import (
+    Asynchronous,
+    ConstantDelay,
+    Network,
+    PerTagTiming,
+    Timely,
+)
+from repro.sim import RngRegistry, Simulator
+
+
+def build(per_tag):
+    sim = Simulator()
+    network = Network(sim, 2, default_timing=per_tag, rng=RngRegistry(0))
+    inbox = []
+    network.register_process(1, lambda m: None)
+    network.register_process(2, lambda m: inbox.append((m.tag, sim.now)))
+    return sim, network, inbox
+
+
+class TestPerTagTiming:
+    def test_override_applies_to_matching_tag_only(self):
+        per_tag = PerTagTiming(
+            base=Asynchronous(ConstantDelay(1.0)),
+            overrides={"SLOW": Asynchronous(ConstantDelay(50.0))},
+        )
+        sim, network, inbox = build(per_tag)
+        network.send(1, 2, "FAST", None)
+        network.send(1, 2, "SLOW", None)
+        sim.run()
+        arrival = dict(inbox)
+        assert arrival["FAST"] == 1.0
+        assert arrival["SLOW"] == 50.0
+
+    def test_plain_delivery_time_uses_base(self):
+        import random
+
+        per_tag = PerTagTiming(
+            base=Timely(delta=1.0),
+            overrides={"SLOW": Timely(delta=99.0)},
+        )
+        assert per_tag.delivery_time(0.0, random.Random(0)) <= 1.0
+
+    def test_describe_lists_overrides(self):
+        per_tag = PerTagTiming(
+            base=Asynchronous(),
+            overrides={"B": Asynchronous(), "A": Asynchronous()},
+        )
+        assert "A, B" in per_tag.describe()
+
+    def test_content_adaptive_subclass(self):
+        # The delivery_time_for hook sees the full message, enabling
+        # content-adaptive adversarial schedules (used by E10).
+        class ValueAware(Asynchronous):
+            def __init__(self):
+                super().__init__(ConstantDelay(1.0))
+
+            def delivery_time_for(self, message, send_time, rng):
+                if message.payload == "starve-me":
+                    return send_time + 100.0
+                return super().delivery_time(send_time, rng)
+
+        sim = Simulator()
+        network = Network(sim, 2, default_timing=ValueAware(),
+                          rng=RngRegistry(0))
+        inbox = []
+        network.register_process(1, lambda m: None)
+        network.register_process(2, lambda m: inbox.append((m.payload, sim.now)))
+        network.send(1, 2, "T", "normal")
+        network.send(1, 2, "T", "starve-me")
+        sim.run()
+        arrival = dict(inbox)
+        assert arrival["normal"] == 1.0
+        assert arrival["starve-me"] == 100.0

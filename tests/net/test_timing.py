@@ -1,0 +1,132 @@
+"""Unit tests for channel timing models (paper Section 4 semantics)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.timing import (
+    Asynchronous,
+    ConstantDelay,
+    EventuallyTimely,
+    ExponentialDelay,
+    ScriptedDelay,
+    ScriptedTiming,
+    Timely,
+    UniformDelay,
+)
+
+
+def rng(seed=0):
+    return random.Random(seed)
+
+
+class TestDelayDistributions:
+    def test_constant(self):
+        dist = ConstantDelay(2.5)
+        assert dist.sample(0.0, rng()) == 2.5
+        assert dist.sample(99.0, rng()) == 2.5
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(0.0)
+
+    def test_uniform_within_bounds(self):
+        dist = UniformDelay(1.0, 3.0)
+        r = rng(1)
+        for _ in range(200):
+            assert 1.0 <= dist.sample(0.0, r) <= 3.0
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(3.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.0, 1.0)
+
+    def test_exponential_positive_and_unbounded_ish(self):
+        dist = ExponentialDelay(mean=2.0)
+        r = rng(2)
+        samples = [dist.sample(0.0, r) for _ in range(2000)]
+        assert all(s > 0 for s in samples)
+        # Mean within a loose tolerance of 2.0.
+        assert 1.5 < sum(samples) / len(samples) < 2.5
+        # Unboundedness proxy: the tail exceeds 3x the mean sometimes.
+        assert max(samples) > 6.0
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDelay(0.0)
+
+    def test_scripted(self):
+        dist = ScriptedDelay(lambda t, r: 1.0 + t)
+        assert dist.sample(4.0, rng()) == 5.0
+
+    def test_scripted_rejects_nonpositive(self):
+        dist = ScriptedDelay(lambda t, r: 0.0)
+        with pytest.raises(ConfigurationError):
+            dist.sample(1.0, rng())
+
+
+class TestEventuallyTimely:
+    def test_respects_bound_after_tau(self):
+        model = EventuallyTimely(tau=10.0, delta=1.0)
+        r = rng(3)
+        for send in (10.0, 15.0, 100.0):
+            for _ in range(100):
+                assert model.delivery_time(send, r) <= send + 1.0
+
+    def test_messages_sent_before_tau_arrive_by_tau_plus_delta(self):
+        # The paper's definition: received by max(tau, tau') + delta.
+        model = EventuallyTimely(tau=10.0, delta=1.0)
+        r = rng(4)
+        for send in (0.0, 3.0, 9.99):
+            for _ in range(100):
+                assert model.delivery_time(send, r) <= 11.0
+
+    def test_can_be_slow_before_tau(self):
+        model = EventuallyTimely(tau=100.0, delta=1.0, pre=ConstantDelay(50.0))
+        assert model.delivery_time(0.0, rng()) == 50.0
+
+    def test_flag(self):
+        assert EventuallyTimely(tau=1.0, delta=1.0).is_eventually_timely
+        assert not Asynchronous().is_eventually_timely
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            EventuallyTimely(tau=-1.0, delta=1.0)
+        with pytest.raises(ConfigurationError):
+            EventuallyTimely(tau=0.0, delta=0.0)
+
+
+class TestTimely:
+    def test_timely_is_tau_zero(self):
+        model = Timely(delta=2.0)
+        assert model.tau == 0.0
+        r = rng(5)
+        for _ in range(100):
+            assert model.delivery_time(7.0, r) <= 9.0
+
+    def test_describe(self):
+        assert "Timely" in Timely(delta=1.0).describe()
+
+
+class TestAsynchronous:
+    def test_delivery_after_send(self):
+        model = Asynchronous(ExponentialDelay(mean=3.0))
+        r = rng(6)
+        for _ in range(100):
+            assert model.delivery_time(5.0, r) > 5.0
+
+    def test_default_distribution(self):
+        assert "Exponential" in Asynchronous().describe()
+
+
+class TestScriptedTiming:
+    def test_absolute_schedule(self):
+        model = ScriptedTiming(lambda send, r: send + 10.0)
+        assert model.delivery_time(2.0, rng()) == 12.0
+
+    def test_rejects_travel_back_in_time(self):
+        model = ScriptedTiming(lambda send, r: send - 1.0)
+        with pytest.raises(ConfigurationError):
+            model.delivery_time(5.0, rng())

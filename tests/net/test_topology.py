@@ -1,0 +1,115 @@
+"""Unit tests for topology builders and the bisource checker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    Timely,
+    bisource_sets,
+    fully_asynchronous,
+    fully_timely,
+    is_bisource,
+    single_bisource,
+)
+
+
+class TestExtremes:
+    def test_fully_timely_everything_is_a_bisource(self):
+        topo = fully_timely(4, delta=1.0)
+        for pid in range(1, 5):
+            assert is_bisource(topo, pid, correct={1, 2, 3, 4}, width=4)
+
+    def test_fully_asynchronous_nothing_is_a_bisource(self):
+        topo = fully_asynchronous(4)
+        for pid in range(1, 5):
+            assert not is_bisource(topo, pid, correct={1, 2, 3, 4}, width=2)
+
+    def test_self_channel_counts_toward_width_one(self):
+        # <1>bisource = just yourself; even fully async qualifies.
+        topo = fully_asynchronous(4)
+        assert is_bisource(topo, 1, correct={1, 2, 3, 4}, width=1)
+
+
+class TestBisourceSets:
+    def test_sets_include_bisource_and_have_width(self):
+        x_minus, x_plus = bisource_sets(1, correct={1, 2, 3, 4, 5}, width=3)
+        assert 1 in x_minus and 1 in x_plus
+        assert len(x_minus) == 3 and len(x_plus) == 3
+
+    def test_disjoint_when_possible(self):
+        x_minus, x_plus = bisource_sets(1, correct={1, 2, 3, 4, 5}, width=3)
+        assert x_minus & x_plus == {1}
+
+    def test_overlap_when_necessary(self):
+        x_minus, x_plus = bisource_sets(1, correct={1, 2, 3}, width=3)
+        assert x_minus == x_plus == frozenset({1, 2, 3})
+
+    def test_insufficient_correct_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bisource_sets(1, correct={1, 2}, width=4)
+
+
+class TestSingleBisource:
+    def test_designated_process_is_bisource(self):
+        correct = {1, 2, 3, 4, 5}
+        topo = single_bisource(7, 2, bisource=1, correct=correct)
+        assert is_bisource(topo, 1, correct, width=3)
+
+    def test_nobody_else_is_a_bisource(self):
+        correct = {1, 2, 3, 4, 5}
+        topo = single_bisource(7, 2, bisource=1, correct=correct)
+        for pid in correct - {1}:
+            assert not is_bisource(topo, pid, correct, width=3)
+
+    def test_minimality_not_a_wider_bisource(self):
+        # Exactly <t+1>, not <t+2>.
+        correct = {1, 2, 3, 4, 5}
+        topo = single_bisource(7, 2, bisource=1, correct=correct)
+        assert not is_bisource(topo, 1, correct, width=4)
+
+    def test_k_widens_the_bisource(self):
+        correct = {1, 2, 3, 4, 5, 6, 7}
+        topo = single_bisource(7, 2, bisource=1, correct=correct, k=2)
+        assert is_bisource(topo, 1, correct, width=5)
+
+    def test_timely_channel_count_is_minimal(self):
+        correct = {1, 2, 3, 4, 5}
+        t = 2
+        topo = single_bisource(7, t, bisource=1, correct=correct)
+        assert len(topo.overrides) == 2 * t  # t in-channels + t out-channels
+
+    def test_byzantine_bisource_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_bisource(7, 2, bisource=6, correct={1, 2, 3, 4, 5})
+
+    def test_explicit_sets_validated(self):
+        with pytest.raises(ConfigurationError):
+            single_bisource(
+                7, 2, bisource=1, correct={1, 2, 3, 4, 5},
+                x_minus={1, 2}, x_plus={1, 2, 3},  # x_minus too small
+            )
+        with pytest.raises(ConfigurationError):
+            single_bisource(
+                7, 2, bisource=1, correct={1, 2, 3, 4, 5},
+                x_minus={2, 3, 4}, x_plus={1, 2, 3},  # bisource missing
+            )
+        with pytest.raises(ConfigurationError):
+            single_bisource(
+                7, 2, bisource=1, correct={1, 2, 3, 4, 5},
+                x_minus={1, 2, 6}, x_plus={1, 2, 3},  # 6 is faulty
+            )
+
+    def test_x_sets_recorded_in_metadata(self):
+        topo = single_bisource(7, 2, bisource=1, correct={1, 2, 3, 4, 5})
+        assert topo.bisource == 1
+        assert topo.x_minus is not None and len(topo.x_minus) == 3
+        assert topo.x_plus is not None and len(topo.x_plus) == 3
+
+    def test_timing_for_falls_back_to_default(self):
+        topo = single_bisource(7, 2, bisource=1, correct={1, 2, 3, 4, 5})
+        # A pair not in overrides gets the asynchronous default.
+        assert not topo.timing_for(4, 5).is_eventually_timely
+
+    def test_byzantine_process_never_a_bisource(self):
+        topo = fully_timely(4)
+        assert not is_bisource(topo, 4, correct={1, 2, 3}, width=2)

@@ -1,0 +1,76 @@
+"""Unit tests for full-run tracing and EA round diagnostics."""
+
+import json
+
+from repro import RunConfig, run_consensus
+from repro.adversary import crash
+
+
+def traced_run(seed=1, **overrides):
+    defaults = dict(
+        n=4, t=1, proposals={1: "a", 2: "a", 3: "b"},
+        adversaries={4: crash()}, seed=seed, trace=True,
+    )
+    defaults.update(overrides)
+    return run_consensus(RunConfig(**defaults))
+
+
+class TestRunTracing:
+    def test_trace_disabled_by_default(self):
+        result = run_consensus(
+            RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                      adversaries={4: crash()}, seed=1)
+        )
+        assert result.trace is None
+
+    def test_trace_records_network_events(self):
+        result = traced_run()
+        kinds = {event.kind for event in result.trace.events}
+        assert {"send", "deliver"} <= kinds
+
+    def test_trace_records_rb_deliveries_and_decisions(self):
+        result = traced_run()
+        kinds = {event.kind for event in result.trace.events}
+        assert "rb_deliver" in kinds
+        assert "decide" in kinds
+        decides = list(result.trace.filter(kind="decide"))
+        assert {e.pid for e in decides} == {1, 2, 3}
+        for event in decides:
+            assert event.detail["value"] == result.decided_value
+
+    def test_decide_events_match_decision_times(self):
+        result = traced_run()
+        for event in result.trace.filter(kind="decide"):
+            assert event.time == result.decision_times[event.pid]
+
+    def test_trace_is_json_exportable(self):
+        result = traced_run()
+        parsed = json.loads(result.trace.to_json())
+        assert len(parsed) == len(result.trace.events)
+
+    def test_trace_chronological(self):
+        result = traced_run()
+        times = [event.time for event in result.trace.events]
+        assert times == sorted(times)
+
+
+class TestRoundDiagnostics:
+    def test_diagnostics_shape(self):
+        result = traced_run()
+        consensus = result.consensi[1]
+        diag = consensus.ea.round_diagnostics(1)
+        assert diag is not None
+        assert diag["round"] == 1
+        assert diag["coordinator"] == 1
+        assert len(diag["f_members"]) == 3  # n - t
+        assert diag["returned"] is not None
+        assert diag["timer"] in {"unset", "running", "expired", "disabled"}
+
+    def test_unknown_round_returns_none(self):
+        result = traced_run()
+        assert result.consensi[1].ea.round_diagnostics(999) is None
+
+    def test_prop2_recorded_from_correct_processes(self):
+        result = traced_run()
+        diag = result.consensi[2].ea.round_diagnostics(1)
+        assert set(diag["prop2"]) >= {1, 2, 3} - {4}

@@ -1,0 +1,62 @@
+"""Unit tests for sweep helpers."""
+
+from repro import RunConfig
+from repro.adversary import crash
+from repro.orchestration.sweeps import (
+    format_table,
+    standard_proposals,
+    sweep_seeds,
+)
+
+
+class TestStandardProposals:
+    def test_round_robin(self):
+        proposals = standard_proposals([1, 2, 3, 4, 5], ["a", "b"])
+        assert proposals == {1: "a", 2: "b", 3: "a", 4: "b", 5: "a"}
+
+    def test_single_value(self):
+        proposals = standard_proposals([3, 1], ["v"])
+        assert proposals == {1: "v", 3: "v"}
+
+    def test_all_values_used_when_enough_processes(self):
+        proposals = standard_proposals(range(1, 6), ["x", "y"])
+        assert set(proposals.values()) == {"x", "y"}
+
+
+class TestSweepSeeds:
+    def test_runs_each_seed(self):
+        def make_config(seed):
+            return RunConfig(n=4, t=1, proposals={1: "v", 2: "v", 3: "v"},
+                             adversaries={4: crash()}, seed=seed)
+
+        results = sweep_seeds(make_config, [1, 2, 3])
+        assert len(results) == 3
+        assert all(r.all_decided for r in results)
+        assert [r.config.seed for r in results] == [1, 2, 3]
+
+
+class TestFeasibleValueCount:
+    def test_clamps_to_bound(self):
+        from repro.orchestration.sweeps import feasible_value_count
+
+        assert feasible_value_count(4, 1, requested=5) == 2
+        assert feasible_value_count(7, 1, requested=3) == 3
+        assert feasible_value_count(7, 2, requested=1) == 1
+
+    def test_never_below_one(self):
+        from repro.orchestration.sweeps import feasible_value_count
+
+        assert feasible_value_count(4, 1, requested=0) == 1
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        table = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(lines[0]) + 10 for line in lines)
+
+    def test_empty_rows(self):
+        table = format_table(["h"], [])
+        assert "h" in table

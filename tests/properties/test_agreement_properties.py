@@ -1,0 +1,138 @@
+"""Property-based tests at the agreement-object and consensus level.
+
+Each example is a full simulated run with randomized proposal profiles,
+adversary choices and seeds; safety properties must hold in every one.
+Example counts are kept small because each example is a whole run.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import RunConfig, run_consensus
+from repro.adversary import (
+    bot_relays,
+    collude,
+    crash,
+    crash_at,
+    mute_coordinator,
+    noise,
+    spam_decide,
+    two_faced,
+)
+from repro.core.adopt_commit import Tag
+from repro.core.values import BOT
+
+
+def adversary_specs():
+    return st.sampled_from([
+        crash(),
+        noise(0.4),
+        crash_at(15.0),
+        two_faced("evil"),
+        mute_coordinator(),
+        collude("evil"),
+        spam_decide("evil"),
+        bot_relays(),
+    ])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    profile=st.lists(st.sampled_from(["a", "b"]), min_size=3, max_size=3),
+    spec=adversary_specs(),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_consensus_safety_n4(profile, spec, seed):
+    proposals = dict(zip((1, 2, 3), profile))
+    result = run_consensus(
+        RunConfig(n=4, t=1, proposals=proposals, adversaries={4: spec},
+                  seed=seed)
+    )
+    assert result.all_decided
+    assert len(set(result.decisions.values())) == 1
+    assert result.decided_value in set(profile)
+    assert result.decided_value != "evil"
+    assert result.invariants.ok
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    profile=st.lists(st.sampled_from(["a", "b"]), min_size=5, max_size=5),
+    specs=st.tuples(adversary_specs(), adversary_specs()),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_consensus_safety_n7_two_adversaries(profile, specs, seed):
+    proposals = dict(zip(range(1, 6), profile))
+    result = run_consensus(
+        RunConfig(n=7, t=2, proposals=proposals,
+                  adversaries={6: specs[0], 7: specs[1]}, seed=seed)
+    )
+    assert result.all_decided
+    assert len(set(result.decisions.values())) == 1
+    assert result.decided_value in set(profile)
+    assert result.invariants.ok
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    profile=st.lists(
+        st.sampled_from(["x", "y", "z", "w"]), min_size=3, max_size=3
+    ),
+    spec=adversary_specs(),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_bot_variant_safety_any_profile(profile, spec, seed):
+    proposals = dict(zip((1, 2, 3), profile))
+    result = run_consensus(
+        RunConfig(n=4, t=1, proposals=proposals, adversaries={4: spec},
+                  variant="bot", seed=seed)
+    )
+    assert result.all_decided
+    values = set(map(repr, result.decisions.values()))
+    assert len(values) == 1
+    decided = result.decided_value
+    assert decided is BOT or decided in set(profile)
+    assert decided != "evil"
+    # Unanimity among correct processes forbids ⊥.
+    if len(set(profile)) == 1:
+        assert decided == profile[0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    profile=st.lists(st.sampled_from(["a", "b"]), min_size=3, max_size=3),
+)
+def test_commit_history_is_consistent(seed, profile):
+    # Whenever any correct process committed a value at round r, every
+    # correct outcome at round r carries that value (AC quasi-agreement
+    # across the whole run history).
+    proposals = dict(zip((1, 2, 3), profile))
+    result = run_consensus(
+        RunConfig(n=4, t=1, proposals=proposals,
+                  adversaries={4: two_faced("evil")}, seed=seed)
+    )
+    per_round: dict[int, list] = {}
+    for pid, consensus in result.consensi.items():
+        for r, tag, est in consensus.est_history:
+            per_round.setdefault(r, []).append((tag, est))
+    for r, outcomes in per_round.items():
+        committed = {est for tag, est in outcomes if tag is Tag.COMMIT}
+        assert len(committed) <= 1
+        if committed:
+            (value,) = committed
+            assert all(est == value for _, est in outcomes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_run_determinism(seed):
+    config = dict(
+        n=4, t=1, proposals={1: "a", 2: "b", 3: "a"},
+        adversaries={4: two_faced("evil")}, seed=seed,
+    )
+    a = run_consensus(RunConfig(**config))
+    b = run_consensus(RunConfig(**config))
+    assert a.decisions == b.decisions
+    assert a.decision_times == b.decision_times
+    assert a.messages_sent == b.messages_sent
+    assert a.events_processed == b.events_processed

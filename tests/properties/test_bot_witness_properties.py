@@ -1,0 +1,74 @@
+"""Property-based tests for the ⊥-witness predicate (DESIGN deviation 4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.broadcast import bot_witness_exists
+
+
+def systems():
+    return st.integers(min_value=1, max_value=6).map(lambda t: (3 * t + 1, t))
+
+
+@given(systems(), st.lists(st.integers(min_value=0, max_value=20), max_size=10))
+def test_monotone_in_each_count(nt, counts):
+    n, t = nt
+    if not bot_witness_exists(counts, n, t):
+        return
+    # Adding support anywhere (or adding a new value) keeps it true.
+    assert bot_witness_exists(counts + [1], n, t)
+    for i in range(len(counts)):
+        bumped = list(counts)
+        bumped[i] += 1
+        assert bot_witness_exists(bumped, n, t)
+
+
+@given(systems(), st.integers(min_value=0, max_value=6))
+def test_unanimity_excludes_bot(nt, byz_noise_values):
+    # All n-t correct propose one value; up to t Byzantine support it and
+    # additionally push `byz_noise_values` distinct junk values — each
+    # junk value has support <= t.
+    n, t = nt
+    counts = [n - t + t]  # the unanimous value, possibly boosted by byz
+    counts += [min(t, 1) for _ in range(byz_noise_values)]
+    # Capped: t (unanimous value) + byz_noise_values * min(t,1) <= t + t
+    # only if byz_noise <= t; with at most t byzantine, they can
+    # contribute at most t support overall:
+    counts = [n - t] + [1] * min(byz_noise_values, t)
+    assert not bot_witness_exists(counts, n, t)
+
+
+@given(systems())
+def test_all_distinct_correct_proposals_admit_bot(nt):
+    # n - t correct processes all propose different values.
+    n, t = nt
+    counts = [1] * (n - t)
+    assert bot_witness_exists(counts, n, t)
+
+
+@given(systems(), st.integers(min_value=1, max_value=10))
+def test_termination_dichotomy(nt, m):
+    # Once all n-t correct proposals (over m values, as even as possible)
+    # are delivered, either some value has t+1 support or ⊥ is admitted:
+    # the variant never deadlocks.
+    n, t = nt
+    correct = n - t
+    base, extra = divmod(correct, m)
+    counts = [base + (1 if i < extra else 0) for i in range(m)]
+    counts = [c for c in counts if c > 0]
+    some_value_strong = any(c >= t + 1 for c in counts)
+    assert some_value_strong or bot_witness_exists(counts, n, t)
+
+
+@given(systems())
+def test_boundary_exactness(nt):
+    # Exactly n-t proposals, every value capped at exactly t: witness
+    # exists; remove one proposal and it does not.
+    n, t = nt
+    full_groups, rem = divmod(n - t, t)
+    counts = [t] * full_groups + ([rem] if rem else [])
+    assert bot_witness_exists(counts, n, t)
+    reduced = list(counts)
+    reduced[-1] -= 1
+    if reduced[-1] == 0:
+        reduced.pop()
+    assert not bot_witness_exists(reduced, n, t)

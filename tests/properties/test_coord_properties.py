@@ -1,0 +1,99 @@
+"""Property-based tests for the round combinatorics (Section 5.2)."""
+
+from math import comb
+
+from hypothesis import given, strategies as st
+
+from repro.core.coord import (
+    alpha,
+    beta,
+    combination_unrank,
+    coordinator,
+    f_set,
+    f_set_index,
+    worst_case_round_bound,
+)
+
+
+def systems():
+    """(n, t) with n > 3t and small enough to enumerate."""
+    return st.integers(min_value=0, max_value=3).flatmap(
+        lambda t: st.integers(min_value=max(2, 3 * t + 1), max_value=12).map(
+            lambda n: (n, t)
+        )
+    )
+
+
+@given(systems(), st.integers(min_value=1, max_value=2000))
+def test_coordinator_in_range_and_periodic(nt, r):
+    n, _ = nt
+    c = coordinator(r, n)
+    assert 1 <= c <= n
+    assert c == coordinator(r + n, n)
+
+
+@given(systems(), st.integers(min_value=1, max_value=2000))
+def test_f_set_size_and_members(nt, r):
+    n, t = nt
+    members = f_set(r, n, t)
+    assert len(members) == n - t
+    assert members <= set(range(1, n + 1))
+
+
+@given(systems(), st.integers(min_value=1, max_value=500))
+def test_f_set_periodicity(nt, r):
+    n, t = nt
+    period = worst_case_round_bound(n, t)
+    assert f_set(r, n, t) == f_set(r + period, n, t)
+    assert coordinator(r, n) == coordinator(r + period, n)
+
+
+@given(systems(), st.integers(min_value=1, max_value=500))
+def test_f_constant_within_block(nt, r):
+    n, t = nt
+    block_start = ((r - 1) // n) * n + 1
+    assert f_set(r, n, t) == f_set(block_start, n, t)
+
+
+@given(systems())
+def test_all_witness_sets_reachable(nt):
+    n, t = nt
+    a = alpha(n, t)
+    seen = {f_set(1 + block * n, n, t) for block in range(a)}
+    assert len(seen) == a
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12))
+def test_unrank_is_a_bijection(n, size):
+    if size > n:
+        size = n
+    total = comb(n, size)
+    seen = {combination_unrank(n, size, rank) for rank in range(total)}
+    assert len(seen) == total
+    for combo in seen:
+        assert len(combo) == size
+        assert list(combo) == sorted(combo)
+
+
+@given(systems(), st.integers(min_value=1, max_value=1000))
+def test_index_within_bounds(nt, r):
+    n, t = nt
+    assert 1 <= f_set_index(r, n, t) <= alpha(n, t)
+
+
+@given(systems())
+def test_bound_shrinks_with_k(nt):
+    n, t = nt
+    bounds = [worst_case_round_bound(n, t, k) for k in range(t + 1)]
+    assert bounds == sorted(bounds, reverse=True)
+    assert bounds[-1] == n  # k = t
+    assert bounds[0] == alpha(n, t) * n
+
+
+@given(systems(), st.integers(min_value=0, max_value=3))
+def test_beta_matches_f_set_size(nt, k):
+    n, t = nt
+    if k > t:
+        k = t
+    assert beta(n, t, k) == comb(n, n - t + k)
+    assert len(f_set(1, n, t, k)) == n - t + k

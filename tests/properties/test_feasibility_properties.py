@@ -1,0 +1,64 @@
+"""Property-based tests for the feasibility algebra (Sections 2.3/3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.feasibility import (
+    is_feasible,
+    max_values,
+    min_processes,
+)
+
+
+@given(st.integers(min_value=1, max_value=30))
+def test_max_values_threshold_is_sharp(t):
+    n = 3 * t + 1
+    while n < 12 * t:
+        m = max_values(n, t)
+        assert is_feasible(n, t, m)
+        assert not is_feasible(n, t, m + 1)
+        n += 1
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+def test_min_processes_is_minimal(t, m):
+    n = min_processes(t, m)
+    assert is_feasible(n, t, m)
+    assert n > 3 * t
+    # One fewer process breaks resilience or feasibility.
+    assert not (is_feasible(n - 1, t, m) and (n - 1) > 3 * t)
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=4, max_value=80))
+def test_feasibility_monotone_in_n(t, n):
+    if n <= 3 * t:
+        return
+    for m in range(1, 6):
+        if is_feasible(n, t, m):
+            assert is_feasible(n + 1, t, m)
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=4, max_value=80))
+def test_feasibility_antitone_in_m(t, n):
+    if n <= 3 * t:
+        return
+    feasible = [m for m in range(1, 10) if is_feasible(n, t, m)]
+    # Feasible m values form a prefix 1..m_max.
+    assert feasible == list(range(1, len(feasible) + 1))
+
+
+@given(st.integers(min_value=1, max_value=30))
+def test_binary_always_feasible_at_max_resilience(t):
+    # The paper's headline regime: n = 3t+1 supports m = 2.
+    assert is_feasible(3 * t + 1, t, 2)
+    assert max_values(3 * t + 1, t) == 2
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=10))
+def test_pigeonhole_witness(t, m):
+    # The point of the condition: with n - t correct processes and m
+    # values, some value has >= t+1 correct proposers.
+    n = min_processes(t, m)
+    correct = n - t
+    # Worst case spread: ceil(correct / m) proposers for the best value.
+    best = -(-correct // m)
+    assert best >= t + 1

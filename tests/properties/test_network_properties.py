@@ -1,0 +1,99 @@
+"""Property-based tests for network delivery semantics.
+
+The network is reliable (paper §2.1): it neither loses, duplicates,
+corrupts nor forges messages, and never delivers before sending.  These
+properties must hold under arbitrary send patterns and timing models.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    Asynchronous,
+    ExponentialDelay,
+    Network,
+    Timely,
+    UniformDelay,
+)
+from repro.sim import RngRegistry, Simulator
+
+
+def timing_models():
+    return st.sampled_from([
+        Timely(delta=1.0),
+        Asynchronous(ExponentialDelay(mean=3.0)),
+        Asynchronous(UniformDelay(0.5, 10.0)),
+    ])
+
+
+sends = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),   # src
+        st.integers(min_value=1, max_value=4),   # dst
+        st.integers(min_value=0, max_value=99),  # payload
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=40)
+@given(pattern=sends, timing=timing_models(), seed=st.integers(0, 10_000))
+def test_exactly_once_delivery(pattern, timing, seed):
+    sim = Simulator()
+    network = Network(sim, 4, default_timing=timing, rng=RngRegistry(seed))
+    delivered = []
+    for pid in range(1, 5):
+        network.register_process(
+            pid, lambda m, pid=pid: delivered.append((m.uid, pid, sim.now))
+        )
+    sent = []
+    for src, dst, payload in pattern:
+        message = network.send(src, dst, "T", payload)
+        sent.append(message)
+    sim.run()
+    # Every message delivered exactly once, to the right process, not
+    # before it was sent.
+    assert len(delivered) == len(sent)
+    by_uid = {uid: (pid, at) for uid, pid, at in delivered}
+    assert len(by_uid) == len(sent)  # no duplication
+    for message in sent:
+        pid, at = by_uid[message.uid]
+        assert pid == message.dest
+        assert at >= message.sent_at
+
+
+@settings(max_examples=30)
+@given(pattern=sends, seed=st.integers(0, 10_000))
+def test_payloads_never_corrupted(pattern, seed):
+    sim = Simulator()
+    network = Network(sim, 4, rng=RngRegistry(seed))
+    received = {}
+    for pid in range(1, 5):
+        network.register_process(pid, lambda m: received.update({m.uid: m.payload}))
+    expected = {}
+    for src, dst, payload in pattern:
+        message = network.send(src, dst, "T", payload)
+        expected[message.uid] = payload
+    sim.run()
+    assert received == expected
+
+
+@settings(max_examples=30)
+@given(
+    pattern=sends,
+    seed=st.integers(0, 10_000),
+    delta=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+)
+def test_timely_network_respects_delta_end_to_end(pattern, seed, delta):
+    sim = Simulator()
+    network = Network(
+        sim, 4, default_timing=Timely(delta=delta), rng=RngRegistry(seed)
+    )
+    latencies = []
+    for pid in range(1, 5):
+        network.register_process(
+            pid, lambda m: latencies.append(sim.now - m.sent_at)
+        )
+    for src, dst, payload in pattern:
+        network.send(src, dst, "T", payload)
+    sim.run()
+    assert all(latency <= delta + 1e-9 for latency in latencies)

@@ -1,0 +1,80 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=50))
+def test_events_execute_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    executed = []
+    for time in times:
+        sim.call_at(time, lambda t=time: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(times)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=30))
+def test_same_time_events_fifo(times):
+    sim = Simulator()
+    order = []
+    # Schedule everything at a single instant with distinct labels.
+    for index, _ in enumerate(times):
+        sim.call_at(5.0, order.append, index)
+    sim.run()
+    assert order == list(range(len(times)))
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=20))
+def test_sequential_sleeps_sum(delays):
+    sim = Simulator()
+
+    async def sleeper():
+        for delay in delays:
+            await sim.sleep(delay)
+        return sim.now
+
+    task = sim.create_task(sleeper())
+    result = sim.run_until_complete(task)
+    assert abs(result - sum(delays)) < 1e-6
+
+
+@given(st.integers(min_value=0, max_value=40), st.integers(min_value=1, max_value=40))
+def test_condition_fires_exactly_at_threshold(initial, threshold):
+    from repro.sim import ConditionVar
+
+    cond = ConditionVar()
+    state = {"n": initial}
+    fut = cond.wait_until(lambda: state["n"] >= threshold and state["n"])
+    fired_at = state["n"] if initial >= threshold else None
+    while state["n"] < threshold:
+        state["n"] += 1
+        cond.recheck()
+        if fut.done() and fired_at is None:
+            fired_at = state["n"]
+    assert fut.done()
+    assert fired_at == max(initial, threshold) if initial >= threshold else threshold
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+def test_determinism_under_identical_schedules(seed):
+    import random
+
+    def run():
+        rng = random.Random(seed)
+        sim = Simulator()
+        log = []
+        for i in range(20):
+            sim.call_at(rng.uniform(0, 100), log.append, i)
+        sim.run()
+        return log, sim.now
+
+    assert run() == run()

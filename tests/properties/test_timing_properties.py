@@ -1,0 +1,84 @@
+"""Property-based tests for the channel-timing models (Section 4)."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.net.timing import (
+    Asynchronous,
+    EventuallyTimely,
+    ExponentialDelay,
+    PerTagTiming,
+    Timely,
+    UniformDelay,
+)
+
+
+finite_floats = st.floats(min_value=0.0, max_value=1e5,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(
+    tau=finite_floats,
+    delta=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    send=finite_floats,
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_eventually_timely_bound_always_holds(tau, delta, send, seed):
+    # The defining inequality: delivery <= max(tau, send) + delta.
+    model = EventuallyTimely(tau=tau, delta=delta)
+    rng = random.Random(seed)
+    delivery = model.delivery_time(send, rng)
+    assert delivery <= max(tau, send) + delta + 1e-9
+    assert delivery >= send
+
+
+@given(
+    delta=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    send=finite_floats,
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_timely_bound(delta, send, seed):
+    model = Timely(delta=delta)
+    delivery = model.delivery_time(send, random.Random(seed))
+    assert send <= delivery <= send + delta + 1e-9
+
+
+@given(
+    mean=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    send=finite_floats,
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_asynchronous_delays_finite_and_positive(mean, send, seed):
+    model = Asynchronous(ExponentialDelay(mean=mean))
+    delivery = model.delivery_time(send, random.Random(seed))
+    assert delivery > send
+    assert delivery < float("inf")
+
+
+@given(
+    low=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    spread=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    send=finite_floats,
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_uniform_delay_within_bounds(low, spread, send, seed):
+    model = Asynchronous(UniformDelay(low, low + spread))
+    delivery = model.delivery_time(send, random.Random(seed))
+    assert send + low <= delivery <= send + low + spread + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_per_tag_dispatch(seed):
+    class FakeMessage:
+        def __init__(self, tag):
+            self.tag = tag
+
+    fast = Timely(delta=1.0)
+    slow = Timely(delta=50.0)
+    model = PerTagTiming(base=fast, overrides={"SLOW": slow})
+    rng = random.Random(seed)
+    fast_delivery = model.delivery_time_for(FakeMessage("OTHER"), 0.0, rng)
+    assert fast_delivery <= 1.0 + 1e-9
+    slow_delivery = model.delivery_time_for(FakeMessage("SLOW"), 0.0, rng)
+    assert slow_delivery <= 50.0 + 1e-9

@@ -1,0 +1,86 @@
+"""Unit tests for paper-semantics round timers."""
+
+import pytest
+
+from repro.errors import InvalidStateError
+from repro.runtime import RoundTimer
+from repro.sim import Simulator
+
+
+class TestRoundTimer:
+    def test_fires_after_duration(self):
+        sim = Simulator()
+        fired = []
+        timer = RoundTimer(sim, on_expire=lambda: fired.append(sim.now))
+        timer.set(3.0)
+        sim.run()
+        assert fired == [3.0]
+        assert timer.expired
+
+    def test_not_expired_before_duration(self):
+        sim = Simulator()
+        timer = RoundTimer(sim)
+        timer.set(10.0)
+        sim.run(until=5.0)
+        assert not timer.expired
+        assert timer.running
+
+    def test_disable_prevents_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = RoundTimer(sim, on_expire=lambda: fired.append(1))
+        timer.set(3.0)
+        sim.call_at(1.0, timer.disable)
+        sim.run()
+        assert fired == []
+        assert not timer.expired
+        assert timer.disabled
+
+    def test_expired_is_sticky_across_disable(self):
+        # Figure 3 line 17 reads `expired` after line 16 disabled it.
+        sim = Simulator()
+        timer = RoundTimer(sim)
+        timer.set(1.0)
+        sim.run()
+        timer.disable()
+        assert timer.expired
+
+    def test_set_twice_rejected(self):
+        sim = Simulator()
+        timer = RoundTimer(sim)
+        timer.set(1.0)
+        with pytest.raises(InvalidStateError):
+            timer.set(2.0)
+
+    def test_disable_before_set_silences_forever(self):
+        sim = Simulator()
+        fired = []
+        timer = RoundTimer(sim, on_expire=lambda: fired.append(1))
+        timer.disable()
+        timer.set(1.0)  # silently ignored
+        sim.run()
+        assert fired == []
+        assert not timer.expired
+
+    def test_was_set_tracking(self):
+        sim = Simulator()
+        timer = RoundTimer(sim)
+        assert not timer.was_set
+        timer.set(1.0)
+        assert timer.was_set
+
+    def test_zero_duration_fires_immediately(self):
+        sim = Simulator()
+        timer = RoundTimer(sim)
+        timer.set(0.0)
+        sim.run()
+        assert timer.expired
+
+    def test_repr_states(self):
+        sim = Simulator()
+        timer = RoundTimer(sim)
+        assert "unset" in repr(timer)
+        timer.set(1.0)
+        assert "running" in repr(timer)
+        sim.run()
+        assert "expired" in repr(timer)

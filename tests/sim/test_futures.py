@@ -1,0 +1,106 @@
+"""Unit tests for simulator futures."""
+
+import pytest
+
+from repro.errors import CancelledError, InvalidStateError
+from repro.sim.futures import Future
+
+
+class TestFutureLifecycle:
+    def test_pending_initially(self):
+        fut = Future()
+        assert not fut.done()
+        assert not fut.cancelled()
+
+    def test_set_result(self):
+        fut = Future()
+        fut.set_result(42)
+        assert fut.done()
+        assert fut.result() == 42
+
+    def test_result_before_done_raises(self):
+        with pytest.raises(InvalidStateError):
+            Future().result()
+
+    def test_exception_before_done_raises(self):
+        with pytest.raises(InvalidStateError):
+            Future().exception()
+
+    def test_set_result_twice_rejected(self):
+        fut = Future()
+        fut.set_result(1)
+        with pytest.raises(InvalidStateError):
+            fut.set_result(2)
+
+    def test_set_exception(self):
+        fut = Future()
+        fut.set_exception(ValueError("boom"))
+        assert fut.done()
+        assert isinstance(fut.exception(), ValueError)
+        with pytest.raises(ValueError):
+            fut.result()
+
+    def test_set_exception_accepts_class(self):
+        fut = Future()
+        fut.set_exception(ValueError)
+        assert isinstance(fut.exception(), ValueError)
+
+    def test_cancel(self):
+        fut = Future()
+        assert fut.cancel()
+        assert fut.cancelled()
+        with pytest.raises(CancelledError):
+            fut.result()
+        with pytest.raises(CancelledError):
+            fut.exception()
+
+    def test_cancel_after_done_returns_false(self):
+        fut = Future()
+        fut.set_result(1)
+        assert not fut.cancel()
+        assert not fut.cancelled()
+
+
+class TestFutureCallbacks:
+    def test_callback_runs_on_completion(self):
+        fut = Future()
+        seen = []
+        fut.add_done_callback(seen.append)
+        assert seen == []
+        fut.set_result("x")
+        assert seen == [fut]
+
+    def test_callback_runs_immediately_if_done(self):
+        fut = Future()
+        fut.set_result("x")
+        seen = []
+        fut.add_done_callback(seen.append)
+        assert seen == [fut]
+
+    def test_callbacks_run_in_registration_order(self):
+        fut = Future()
+        order = []
+        fut.add_done_callback(lambda f: order.append(1))
+        fut.add_done_callback(lambda f: order.append(2))
+        fut.set_result(None)
+        assert order == [1, 2]
+
+    def test_callback_on_cancel(self):
+        fut = Future()
+        seen = []
+        fut.add_done_callback(seen.append)
+        fut.cancel()
+        assert seen == [fut]
+
+    def test_remove_done_callback(self):
+        fut = Future()
+        seen = []
+        fut.add_done_callback(seen.append)
+        assert fut.remove_done_callback(seen.append) == 1
+        fut.set_result(None)
+        assert seen == []
+
+    def test_repr_shows_state_and_name(self):
+        fut = Future(name="quorum")
+        assert "quorum" in repr(fut)
+        assert "PENDING" in repr(fut)

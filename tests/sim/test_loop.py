@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, DeadlockError, SimulationError
+from repro.sim import Future, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(3.0, order.append, "c")
+        sim.call_at(1.0, order.append, "a")
+        sim.call_at(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.call_at(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.call_at(2.5, lambda: times.append(sim.now))
+        sim.call_at(7.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5, 7.0]
+        assert sim.now == 7.0
+
+    def test_call_later_relative(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: sim.call_later(2.0, marker.append, sim.now))
+        marker: list = []
+        sim.run()
+        # The inner callback records the time at scheduling, then runs at 7.
+        assert sim.now == 7.0
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_later(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_at(1.0, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        handle = sim.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRun:
+    def test_run_until_bounds_virtual_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, seen.append, "early")
+        sim.call_at(10.0, seen.append, "late")
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.call_later(1.0, reschedule)
+
+        sim.call_soon(reschedule)
+        with pytest.raises(DeadlineExceeded):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunUntilComplete:
+    def test_returns_result(self):
+        sim = Simulator()
+        fut = Future()
+        sim.call_at(3.0, fut.set_result, "done")
+        assert sim.run_until_complete(fut) == "done"
+        assert sim.now == 3.0
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+        fut = Future()
+        with pytest.raises(DeadlockError):
+            sim.run_until_complete(fut)
+
+    def test_virtual_deadline(self):
+        sim = Simulator()
+        fut = Future()
+        sim.call_at(100.0, fut.set_result, None)
+        with pytest.raises(DeadlineExceeded):
+            sim.run_until_complete(fut, max_time=50.0)
+
+    def test_event_budget(self):
+        sim = Simulator()
+        fut = Future()
+
+        def reschedule():
+            sim.call_later(1.0, reschedule)
+
+        sim.call_soon(reschedule)
+        with pytest.raises(DeadlineExceeded):
+            sim.run_until_complete(fut, max_events=10)
+
+    def test_already_done_future(self):
+        sim = Simulator()
+        fut = Future()
+        fut.set_result(7)
+        assert sim.run_until_complete(fut) == 7
+
+
+class TestSleep:
+    def test_sleep_resolves_after_delay(self):
+        sim = Simulator()
+        fut = sim.sleep(4.0)
+        sim.run_until_complete(fut)
+        assert sim.now == 4.0
+
+    def test_cancelled_sleep_removes_event(self):
+        sim = Simulator()
+        fut = sim.sleep(4.0)
+        fut.cancel()
+        sim.run()
+        assert sim.events_processed == 0

@@ -1,0 +1,166 @@
+"""Unit tests for coroutine tasks and gather."""
+
+import pytest
+
+from repro.errors import CancelledError
+from repro.sim import Future, Simulator, gather
+
+
+class TestTask:
+    def test_simple_coroutine_result(self):
+        sim = Simulator()
+
+        async def work():
+            return 99
+
+        task = sim.create_task(work())
+        assert sim.run_until_complete(task) == 99
+
+    def test_await_sleep_advances_virtual_time(self):
+        sim = Simulator()
+        timestamps = []
+
+        async def work():
+            timestamps.append(sim.now)
+            await sim.sleep(5.0)
+            timestamps.append(sim.now)
+            await sim.sleep(2.5)
+            timestamps.append(sim.now)
+
+        sim.run_until_complete(sim.create_task(work()))
+        assert timestamps == [0.0, 5.0, 7.5]
+
+    def test_await_future(self):
+        sim = Simulator()
+        fut = Future()
+
+        async def work():
+            return await fut
+
+        task = sim.create_task(work())
+        sim.call_at(1.0, fut.set_result, "value")
+        assert sim.run_until_complete(task) == "value"
+
+    def test_exception_propagates(self):
+        sim = Simulator()
+
+        async def work():
+            raise RuntimeError("kaput")
+
+        task = sim.create_task(work())
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run_until_complete(task)
+
+    def test_exception_from_awaited_future(self):
+        sim = Simulator()
+        fut = Future()
+
+        async def work():
+            await fut
+
+        task = sim.create_task(work())
+        sim.call_at(1.0, fut.set_exception, ValueError("inner"))
+        with pytest.raises(ValueError, match="inner"):
+            sim.run_until_complete(task)
+
+    def test_cancel_before_start(self):
+        sim = Simulator()
+
+        async def work():
+            return 1
+
+        task = sim.create_task(work())
+        task.cancel()
+        sim.run()
+        assert task.cancelled()
+
+    def test_cancel_while_waiting(self):
+        sim = Simulator()
+        fut = Future()
+        cleanup = []
+
+        async def work():
+            try:
+                await fut
+            except CancelledError:
+                cleanup.append("cancelled")
+                raise
+
+        task = sim.create_task(work())
+        sim.call_at(1.0, task.cancel)
+        sim.run()
+        assert task.cancelled()
+        assert cleanup == ["cancelled"]
+
+    def test_nested_awaits(self):
+        sim = Simulator()
+
+        async def inner(x):
+            await sim.sleep(1.0)
+            return x * 2
+
+        async def outer():
+            a = await sim.create_task(inner(3))
+            b = await sim.create_task(inner(a))
+            return b
+
+        assert sim.run_until_complete(sim.create_task(outer())) == 12
+
+    def test_awaiting_non_future_fails(self):
+        sim = Simulator()
+
+        class Bogus:
+            def __await__(self):
+                yield "not-a-future"
+
+        async def work():
+            await Bogus()
+
+        task = sim.create_task(work())
+        with pytest.raises(TypeError):
+            sim.run_until_complete(task)
+
+
+class TestGather:
+    def test_gathers_in_order(self):
+        sim = Simulator()
+
+        async def work(delay, value):
+            await sim.sleep(delay)
+            return value
+
+        tasks = [
+            sim.create_task(work(3.0, "slow")),
+            sim.create_task(work(1.0, "fast")),
+        ]
+        result = sim.run_until_complete(gather(sim, tasks))
+        assert result == ["slow", "fast"]  # declaration order, not finish order
+
+    def test_empty_gather(self):
+        sim = Simulator()
+        fut = gather(sim, [])
+        assert fut.done() and fut.result() == []
+
+    def test_first_exception_wins(self):
+        sim = Simulator()
+
+        async def ok():
+            await sim.sleep(5.0)
+            return 1
+
+        async def bad():
+            await sim.sleep(1.0)
+            raise RuntimeError("first failure")
+
+        fut = gather(sim, [sim.create_task(ok()), sim.create_task(bad())])
+        with pytest.raises(RuntimeError, match="first failure"):
+            sim.run_until_complete(fut)
+
+    def test_cancelled_child_fails_gather(self):
+        sim = Simulator()
+        child = Future()
+        fut = gather(sim, [child])
+        child.cancel()
+        assert fut.done()
+        with pytest.raises(CancelledError):
+            fut.result()
