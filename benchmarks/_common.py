@@ -8,12 +8,43 @@ pytest-benchmark timing.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Any, Iterable, Sequence
 
+from repro.orchestration.matrix import ScenarioMatrix, ScenarioOutcome
+from repro.orchestration.parallel import SweepResult, sweep_parallel
 from repro.orchestration.sweeps import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_workers() -> int:
+    """Worker pool size for benchmark sweeps.
+
+    ``REPRO_BENCH_WORKERS`` overrides; the default matches the number of
+    schedulable CPUs so benchmark tables regenerate as fast as the
+    hardware allows while staying bit-identical to a serial run.
+    """
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env:
+        return max(1, int(env))
+    from repro.orchestration.parallel import default_workers
+
+    return default_workers()
+
+
+def run_matrix(matrix: ScenarioMatrix, workers: int | None = None) -> SweepResult:
+    """Execute one scenario matrix on the benchmark worker pool."""
+    return sweep_parallel(matrix, workers=bench_workers() if workers is None else workers)
+
+
+def by_cell(sweep: SweepResult) -> dict[str, list[ScenarioOutcome]]:
+    """Group a sweep's outcomes by grid cell, preserving matrix order."""
+    cells: dict[str, list[ScenarioOutcome]] = {}
+    for outcome in sweep.outcomes:
+        cells.setdefault(outcome.spec.cell_id, []).append(outcome)
+    return cells
 
 
 def report(name: str, title: str, headers: Sequence[str],

@@ -5,48 +5,56 @@ Regenerates, per system size and adversary:
 * termination under the minimal <t+1>bisource topology;
 * decision rounds, virtual latency and message cost (message complexity
   per round is Theta(n^3): n RB instances of Theta(n^2) messages each).
+
+The grid is declared as a :class:`ScenarioMatrix` and executed on the
+parallel sweep engine; results are identical to a serial run by
+construction (per-scenario seeds are derived structurally).
 """
 
 import pytest
 
-from repro import RunConfig, run_consensus, standard_proposals
-from repro.adversary import crash, mute_coordinator, two_faced
+from repro.orchestration.matrix import ScenarioMatrix, run_scenario
 
 import sys, pathlib
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
-from _common import report  # noqa: E402
+from _common import by_cell, report, run_matrix  # noqa: E402
 
 
 SIZES = [(4, 1), (7, 2), (10, 3)]
-ADVERSARIES = {
-    "crash": lambda: crash(),
-    "two-faced": lambda: two_faced("evil"),
-    "mute-coord": lambda: mute_coordinator(),
-}
+ADVERSARIES = ["crash", "two_faced:evil", "mute_coord"]
 
 
-def run_one(n, t, adversary_name, seed):
-    byz = {pid: ADVERSARIES[adversary_name]() for pid in range(n - t + 1, n + 1)}
-    proposals = standard_proposals(range(1, n - t + 1), ["a", "b"])
-    return run_consensus(
-        RunConfig(n=n, t=t, proposals=proposals, adversaries=byz, seed=seed,
-                  max_time=1_000_000.0)
+def fig4_matrix(seeds=(1, 2)) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        sizes=SIZES,
+        topologies=["single_bisource"],
+        adversaries=ADVERSARIES,
+        value_counts=[2],
+        seeds=seeds,
     )
 
 
+def run_one(n, t, adversary, seed):
+    [spec] = ScenarioMatrix(
+        sizes=[(n, t)], topologies=["single_bisource"],
+        adversaries=[adversary], value_counts=[2], seeds=(seed,),
+    ).expand()
+    return run_scenario(spec, check_invariants=True)
+
+
 def test_fig4_table(capsys):
+    sweep = run_matrix(fig4_matrix())
+    assert sweep.report.decide_rate == 1.0
+    assert sweep.report.all_safe
     rows = []
-    for n, t in SIZES:
-        for name in ADVERSARIES:
-            results = [run_one(n, t, name, seed) for seed in (1, 2)]
-            assert all(r.all_decided for r in results), (n, t, name)
-            assert all(r.invariants.ok for r in results)
-            rows.append([
-                n, t, name,
-                max(r.max_round for r in results),
-                f"{max(r.finished_at for r in results):.0f}",
-                max(r.messages_sent for r in results),
-            ])
+    for cell_id, outcomes in by_cell(sweep).items():
+        spec = outcomes[0].spec
+        rows.append([
+            spec.n, spec.t, spec.adversary,
+            max(o.max_round for o in outcomes),
+            f"{max(o.finished_at for o in outcomes):.0f}",
+            max(o.messages_sent for o in outcomes),
+        ])
     report(
         "fig4_consensus",
         "E4 / Figure 4 — Byzantine consensus under a minimal <t+1>bisource",
@@ -81,16 +89,16 @@ def test_fig4_message_scaling(capsys):
 @pytest.mark.benchmark(group="fig4-consensus")
 def test_fig4_benchmark_n4(benchmark):
     result = benchmark(run_one, 4, 1, "crash", 1)
-    assert result.all_decided
+    assert result.decided
 
 
 @pytest.mark.benchmark(group="fig4-consensus")
 def test_fig4_benchmark_n7(benchmark):
     result = benchmark(run_one, 7, 2, "crash", 1)
-    assert result.all_decided
+    assert result.decided
 
 
 @pytest.mark.benchmark(group="fig4-consensus")
 def test_fig4_benchmark_n7_twofaced(benchmark):
-    result = benchmark(run_one, 7, 2, "two-faced", 1)
-    assert result.all_decided
+    result = benchmark(run_one, 7, 2, "two_faced:evil", 1)
+    assert result.decided

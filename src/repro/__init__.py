@@ -15,7 +15,11 @@ The library provides, on a deterministic virtual-time simulator:
 * the synchrony-optimal consensus algorithm (Figure 4) and the Section 7
   ⊥-validity variant;
 * an adversary library, baselines, analytic predictions, invariant
-  checkers and an experiment runner.
+  checkers and an experiment runner;
+* a scenario-matrix sweep engine: declare a grid over sizes, synchrony
+  topologies, adversaries, value diversity and seeds, and run thousands
+  of scenarios serially or across a process pool with bit-identical
+  results either way.
 
 Quickstart::
 
@@ -29,6 +33,26 @@ Quickstart::
     )
     result = run_consensus(config)
     print(result.decisions)       # {1: 'apply', 2: 'apply', 3: 'apply'}
+
+Batch experiments go through the sweep engine (see
+``examples/matrix_sweep.py`` and the ``repro sweep`` CLI command)::
+
+    from repro.orchestration import ScenarioMatrix, sweep_parallel
+
+    matrix = ScenarioMatrix(
+        sizes=[(4, 1), (7, 2)],
+        topologies=["single_bisource", "fully_timely"],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=range(25),
+    )
+    sweep = sweep_parallel(matrix)        # one worker per CPU
+    print(sweep.report.decide_rate, sweep.report.cells.keys())
+
+Scenario expansion applies the paper's feasibility condition
+(``n - t > m*t``) to the requested value diversity, and each scenario's
+seed is derived structurally from its grid cell — execution order and
+worker count can never change what an experiment means.
 """
 
 from . import adversary, analysis, baselines, broadcast, core, net, orchestration

@@ -1,5 +1,11 @@
 """Analytics: feasibility bounds, round predictions, metrics, invariants."""
 
+from .aggregation import (
+    CellStats,
+    MatrixReport,
+    aggregate_outcomes,
+    render_matrix_table,
+)
 from .complexity import (
     ConsensusBudget,
     consensus_budget,
@@ -30,6 +36,10 @@ from .timeline import render_timeline
 from .traces import TraceEvent, Tracer
 
 __all__ = [
+    "CellStats",
+    "MatrixReport",
+    "aggregate_outcomes",
+    "render_matrix_table",
     "ConsensusBudget",
     "consensus_budget",
     "consensus_round_messages",

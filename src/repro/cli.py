@@ -3,12 +3,17 @@
 Commands:
 
 * ``run`` — execute one consensus run and print the outcome;
-* ``sweep`` — run a seed ensemble and print aggregate statistics;
+* ``sweep`` — expand a scenario matrix (sizes × topologies × adversaries
+  × value diversity × seeds), run it serially or on a worker pool, and
+  print aggregate plus per-cell statistics (optionally persisting one
+  JSONL record per scenario);
 * ``bounds`` — print the Section 5.4 round-bound table for (n, t);
 * ``feasibility`` — print the m-valued feasibility envelope.
 
-Every command is deterministic given ``--seed`` and prints plain text;
-``run --json`` emits a machine-readable summary instead.
+Every command is deterministic given ``--seed`` (sweeps derive one child
+seed per scenario, so results are independent of worker count and
+scheduling) and prints plain text; ``run --json`` emits a
+machine-readable summary instead.
 """
 
 from __future__ import annotations
@@ -18,28 +23,18 @@ import json
 import sys
 from typing import Any, Sequence
 
-from .adversary import strategies
+from .analysis.aggregation import render_matrix_table
 from .analysis.combinatorics import beta, worst_case_round_bound
 from .analysis.feasibility import max_values, min_processes
-from .analysis.metrics import summarize
 from .core.values import BOT
 from .net.topology import fully_asynchronous, fully_timely
 from .orchestration.config import RunConfig
+from .orchestration.matrix import ADVERSARY_KINDS, ScenarioMatrix
+from .orchestration.parallel import sweep_parallel
 from .orchestration.runner import run_consensus
 from .orchestration.sweeps import format_table, standard_proposals
 
 __all__ = ["main", "build_parser"]
-
-ADVERSARY_KINDS = {
-    "crash": lambda arg: strategies.crash(),
-    "noise": lambda arg: strategies.noise(float(arg) if arg else 0.5),
-    "two_faced": lambda arg: strategies.two_faced(arg or "evil"),
-    "mute_coord": lambda arg: strategies.mute_coordinator(),
-    "collude": lambda arg: strategies.collude(arg or "evil"),
-    "spam_decide": lambda arg: strategies.spam_decide(arg or "evil"),
-    "bot_relays": lambda arg: strategies.bot_relays(int(arg) if arg else 500),
-    "crash_at": lambda arg: strategies.crash_at(float(arg) if arg else 25.0),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,10 +50,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true",
                        help="emit a JSON summary instead of text")
 
-    sweep_p = sub.add_parser("sweep", help="run a seed ensemble")
+    sweep_p = sub.add_parser("sweep", help="run a scenario-matrix sweep")
     _add_system_args(sweep_p)
     sweep_p.add_argument("--seeds", type=int, default=10,
-                         help="number of seeds (0..seeds-1)")
+                         help="seeds per grid cell")
+    sweep_p.add_argument("--grid", default=None, metavar="N:T,N:T,...",
+                         help="system sizes to sweep (default: --n/--t)")
+    sweep_p.add_argument("--topologies", default=None, metavar="KIND,...",
+                         help="topology grid (minimal/timely/async; "
+                              "default: --topology)")
+    sweep_p.add_argument("--adversaries", default=None, metavar="KIND[:ARG],...",
+                         help="adversary grid (default: --adversary)")
+    sweep_p.add_argument("--value-counts", default=None, metavar="M,...",
+                         help="value-diversity grid, clamped to the "
+                              "feasibility bound (default: len(--values))")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial; results are "
+                              "identical either way)")
+    sweep_p.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="persist one JSON record per scenario")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="print one line per finished scenario")
 
     bounds_p = sub.add_parser("bounds", help="Section 5.4 round-bound table")
     bounds_p.add_argument("--n", type=int, required=True)
@@ -146,18 +158,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.all_decided else 1
 
 
+def _parse_grid(text: str) -> list[tuple[int, int]]:
+    sizes = []
+    for part in text.split(","):
+        if not part:
+            continue
+        try:
+            n, _, t = part.partition(":")
+            sizes.append((int(n), int(t)))
+        except ValueError:
+            raise SystemExit(f"bad grid entry {part!r} (expected N:T)")
+    if not sizes:
+        raise SystemExit("empty --grid")
+    return sizes
+
+
+def _build_matrix(args: argparse.Namespace) -> ScenarioMatrix:
+    sizes = _parse_grid(args.grid) if args.grid else [(args.n, args.t)]
+    topologies = (
+        [p for p in args.topologies.split(",") if p]
+        if args.topologies else [args.topology]
+    )
+    adversaries = (
+        [p for p in args.adversaries.split(",") if p]
+        if args.adversaries else [args.adversary]
+    )
+    value_pool = [v for v in args.values.split(",") if v]
+    if args.value_counts:
+        value_counts = [int(p) for p in args.value_counts.split(",") if p]
+        if value_counts and max(value_counts) > len(value_pool):
+            # The requested diversity outgrew --values: fall back to
+            # generated v0..v(m-1) proposals rather than silently
+            # shrinking the grid.
+            value_pool = None
+    else:
+        value_counts = [len(value_pool)]
+    return ScenarioMatrix(
+        sizes=sizes,
+        topologies=topologies,
+        adversaries=adversaries,
+        value_counts=value_counts,
+        value_pool=value_pool,
+        seeds=range(args.seeds),
+        faults=args.faults,
+        variant=args.variant,
+        k=args.k,
+        base_seed=args.seed,
+        max_time=args.max_time,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    results = [
-        run_consensus(_build_config(args, seed)) for seed in range(args.seeds)
-    ]
-    decided = [r for r in results if r.all_decided]
-    rounds = summarize([float(r.max_round) for r in decided])
-    latency = summarize([r.finished_at for r in decided])
-    messages = summarize([float(r.messages_sent) for r in decided])
-    values: dict[str, int] = {}
-    for r in decided:
-        key = _render(r.decided_value)
-        values[key] = values.get(key, 0) + 1
+    try:
+        matrix = _build_matrix(args)
+        total = len(matrix)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if total == 0:
+        if not len(matrix.seeds):
+            raise SystemExit("the scenario matrix is empty (no seeds: "
+                             "--seeds must be >= 1)")
+        raise SystemExit("the scenario matrix is empty "
+                         "(every cell was infeasible)")
+    progress = None
+    if args.progress:
+        state = {"done": 0}
+
+        def progress(outcome: Any) -> None:
+            state["done"] += 1
+            status = "ok" if outcome.decided else (
+                "timeout" if outcome.timed_out else "failed"
+            )
+            print(f"[{state['done']}/{total}] "
+                  f"{outcome.spec.cell_id} seed={outcome.spec.seed_index} "
+                  f"{status}")
+
+    sweep = sweep_parallel(matrix, workers=args.workers, on_result=progress)
+    report = sweep.report
+    rounds, latency, messages = report.rounds, report.latency, report.messages
     print(format_table(
         ["metric", "mean", "min", "max", "p90"],
         [
@@ -169,11 +247,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              f"{messages.maximum:.0f}", f"{messages.p90:.0f}"],
         ],
     ))
-    print(f"\ndecided      : {len(decided)}/{len(results)} seeds")
-    print(f"values       : {values}")
-    print(f"safety       : "
-          f"{'OK' if all(r.invariants.ok for r in results) else 'VIOLATED'}")
-    return 0 if len(decided) == len(results) else 1
+    if len(report.cells) > 1:
+        print()
+        print(render_matrix_table(report))
+    print(f"\ndecided      : {report.decided_runs}/{report.runs} seeds")
+    print(f"values       : {report.values}")
+    print(f"safety       : {'OK' if report.all_safe else 'VIOLATED'}")
+    print(f"throughput   : {len(sweep.outcomes)} scenarios in "
+          f"{sweep.elapsed:.2f}s "
+          f"({sweep.scenarios_per_second:.1f}/s, {sweep.workers} worker(s))")
+    if args.jsonl:
+        path = sweep.write_jsonl(args.jsonl)
+        print(f"jsonl        : {path}")
+    return 0 if report.decided_runs == report.runs and report.all_safe else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:

@@ -1,6 +1,16 @@
-"""Experiment orchestration: configs, the runner, sweep helpers."""
+"""Experiment orchestration: configs, the runner, matrices, sweep engines."""
 
 from .config import RunConfig
+from .matrix import (
+    ScenarioMatrix,
+    ScenarioOutcome,
+    ScenarioSpec,
+    adversary_from_name,
+    build_config,
+    run_scenario,
+    topology_from_name,
+)
+from .parallel import SweepResult, default_workers, sweep_parallel, sweep_serial
 from .runner import (
     ConsensusRunResult,
     RandomizedRunResult,
@@ -12,6 +22,17 @@ from .sweeps import format_table, standard_proposals, sweep_seeds
 
 __all__ = [
     "RunConfig",
+    "ScenarioMatrix",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "adversary_from_name",
+    "build_config",
+    "run_scenario",
+    "topology_from_name",
+    "SweepResult",
+    "default_workers",
+    "sweep_parallel",
+    "sweep_serial",
     "ConsensusRunResult",
     "RandomizedRunResult",
     "default_topology",

@@ -1,0 +1,390 @@
+"""Declarative scenario matrices for batch consensus experiments.
+
+A :class:`ScenarioMatrix` describes a grid over system sizes, synchrony
+topologies, adversary strategies, value diversity and seeds, and expands
+it into a list of :class:`ScenarioSpec` cells.  Specs are deliberately
+*light*: plain picklable data (ints and strings, no live objects), so a
+spec can cross a process boundary and be reconstructed into a full
+:class:`~repro.orchestration.config.RunConfig` on the worker side via
+:func:`build_config`.  :func:`run_scenario` executes one spec and boils
+the heavyweight :class:`~repro.orchestration.runner.ConsensusRunResult`
+down to a picklable :class:`ScenarioOutcome`.
+
+Expansion applies the paper's m-valued feasibility condition
+(``n - t > m*t``, see :mod:`repro.analysis.feasibility`): requested value
+diversity is clamped to ``max_values(n, t)`` for the standard variant
+(the ⊥ variant tolerates any diversity), and (n, t) pairs violating the
+resilience bound or a ``k > t`` knob are filtered out.
+
+Seed derivation is deterministic and *structural*: every scenario's
+master seed is derived from the matrix ``base_seed`` plus the cell key
+and the seed index, so the same cell gets the same seed no matter how
+the surrounding grid is shaped, and serial and parallel execution are
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, Sequence
+
+from ..adversary import strategies
+from ..adversary.strategies import AdversarySpec
+from ..analysis.feasibility import max_values
+from ..net.topology import Topology, fully_asynchronous, fully_timely
+from ..sim.random import derive_seed
+from .config import RunConfig
+from .runner import ConsensusRunResult, run_consensus
+
+__all__ = [
+    "TOPOLOGY_KINDS",
+    "ADVERSARY_KINDS",
+    "adversary_from_name",
+    "topology_from_name",
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "ScenarioMatrix",
+    "build_config",
+    "run_scenario",
+]
+
+#: Topology grid vocabulary (aliases accepted by :func:`normalize_topology`).
+TOPOLOGY_KINDS = ("single_bisource", "fully_timely", "fully_asynchronous")
+
+_TOPOLOGY_ALIASES = {
+    "minimal": "single_bisource",
+    "bisource": "single_bisource",
+    "single_bisource": "single_bisource",
+    "timely": "fully_timely",
+    "fully_timely": "fully_timely",
+    "async": "fully_asynchronous",
+    "asynchronous": "fully_asynchronous",
+    "fully_asynchronous": "fully_asynchronous",
+}
+
+#: ``kind -> (arg string -> AdversarySpec)``; the CLI shares this registry.
+ADVERSARY_KINDS: dict[str, Callable[[str], AdversarySpec]] = {
+    "crash": lambda arg: strategies.crash(),
+    "noise": lambda arg: strategies.noise(float(arg) if arg else 0.5),
+    "two_faced": lambda arg: strategies.two_faced(arg or "evil"),
+    "flip_flop": lambda arg: strategies.flip_flop(
+        arg.split("|") if arg else None
+    ),
+    "mute_coord": lambda arg: strategies.mute_coordinator(),
+    "collude": lambda arg: strategies.collude(arg or "evil"),
+    "spam_decide": lambda arg: strategies.spam_decide(arg or "evil"),
+    "bot_relays": lambda arg: strategies.bot_relays(int(arg) if arg else 500),
+    "crash_at": lambda arg: strategies.crash_at(float(arg) if arg else 25.0),
+}
+
+
+def adversary_from_name(name: str) -> AdversarySpec | None:
+    """Build an :class:`AdversarySpec` from ``"kind"`` or ``"kind:arg"``.
+
+    ``"none"`` (or the empty string) yields ``None`` — no adversary.
+    """
+    if name in ("", "none"):
+        return None
+    kind, _, arg = name.partition(":")
+    if kind not in ADVERSARY_KINDS:
+        raise ValueError(
+            f"unknown adversary kind {kind!r} "
+            f"(known: {', '.join(sorted(ADVERSARY_KINDS))}, none)"
+        )
+    return ADVERSARY_KINDS[kind](arg)
+
+
+def normalize_topology(name: str) -> str:
+    """Canonicalise a topology name (accepting CLI-style aliases)."""
+    try:
+        return _TOPOLOGY_ALIASES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r} (known: "
+            f"{', '.join(sorted(set(_TOPOLOGY_ALIASES)))})"
+        ) from None
+
+
+def topology_from_name(kind: str, n: int) -> Topology | None:
+    """Instantiate the named topology (``None`` = the runner's minimal
+    single-bisource default, which depends on the correct set)."""
+    kind = normalize_topology(kind)
+    if kind == "single_bisource":
+        return None
+    if kind == "fully_timely":
+        return fully_timely(n)
+    return fully_asynchronous(n)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully determined scenario: picklable data, no live objects.
+
+    ``seed`` is the run's master seed (already derived); ``seed_index``
+    records which ensemble slot it came from.  ``index`` is the spec's
+    position in its matrix expansion, used to keep parallel results in
+    deterministic order.
+    """
+
+    n: int
+    t: int
+    topology: str
+    adversary: str
+    num_values: int
+    seed: int
+    seed_index: int = 0
+    #: Explicit proposal values (first ``num_values`` are used);
+    #: ``None`` generates the generic ``v0..v(num_values-1)``.
+    values: tuple[str, ...] | None = None
+    faults: int | None = None
+    variant: str = "standard"
+    k: int = 0
+    max_time: float = 1_000_000.0
+    max_events: int = 20_000_000
+    index: int = 0
+
+    @property
+    def cell(self) -> tuple[Any, ...]:
+        """The grid cell this scenario belongs to (everything but seed)."""
+        return (
+            self.n, self.t, self.topology, self.adversary, self.num_values,
+            self.values, self.faults, self.variant, self.k,
+        )
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable cell label, stable across runs."""
+        faults = self.t if self.faults is None else self.faults
+        parts = [
+            f"n{self.n}", f"t{self.t}", self.topology, self.adversary,
+            f"m{self.num_values}", f"f{faults}",
+        ]
+        if self.variant != "standard":
+            parts.append(self.variant)
+        if self.k:
+            parts.append(f"k{self.k}")
+        return "/".join(parts)
+
+    def with_seed(self, seed: int, seed_index: int = 0) -> "ScenarioSpec":
+        """A copy of this spec with a different master seed."""
+        return replace(self, seed=seed, seed_index=seed_index)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready representation (JSONL persistence)."""
+        return {
+            "n": self.n, "t": self.t, "topology": self.topology,
+            "adversary": self.adversary, "num_values": self.num_values,
+            "values": list(self.values) if self.values is not None else None,
+            "seed": self.seed, "seed_index": self.seed_index,
+            "faults": self.faults, "variant": self.variant, "k": self.k,
+            "cell_id": self.cell_id, "index": self.index,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Picklable digest of one executed scenario.
+
+    Values are rendered with ``repr`` (⊥ included) so outcomes survive a
+    process boundary and a JSONL round-trip without the value objects.
+    """
+
+    spec: ScenarioSpec
+    decided: bool
+    decisions: dict[int, str]
+    decided_value: str | None
+    rounds: dict[int, int]
+    max_round: int
+    messages_sent: int
+    events_processed: int
+    finished_at: float
+    timed_out: bool
+    invariants_ok: bool
+    violations: tuple[str, ...] = ()
+    error: str | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        """One flat JSONL record (scenario fields inlined)."""
+        record = self.spec.to_dict()
+        record.update({
+            "decided": self.decided,
+            "decisions": {str(pid): v for pid, v in self.decisions.items()},
+            "decided_value": self.decided_value,
+            "rounds": {str(pid): r for pid, r in self.rounds.items()},
+            "max_round": self.max_round,
+            "messages_sent": self.messages_sent,
+            "events_processed": self.events_processed,
+            "finished_at": self.finished_at,
+            "timed_out": self.timed_out,
+            "invariants_ok": self.invariants_ok,
+            "violations": list(self.violations),
+            "error": self.error,
+        })
+        return record
+
+
+@dataclass
+class ScenarioMatrix:
+    """A declarative grid of consensus scenarios.
+
+    Attributes:
+        sizes: ``(n, t)`` pairs; pairs violating ``n > 3t`` are dropped.
+        topologies: Topology names (``single_bisource`` / ``fully_timely``
+            / ``fully_asynchronous``, CLI aliases accepted).
+        adversaries: Adversary names (``"kind"`` / ``"kind:arg"`` /
+            ``"none"``).
+        value_counts: Requested distinct-proposal counts; clamped to the
+            feasibility bound ``max_values(n, t)`` for the standard
+            variant (duplicate cells after clamping are dropped).
+        value_pool: Explicit proposal values; each cell uses the first
+            ``m`` of them (``None``: generic ``v0..v(m-1)``).
+        seeds: Seed *indices*; each scenario's master seed is derived
+            from ``base_seed``, the cell key and the index.
+        faults: Byzantine process count (``None``: ``t``).
+        variant: ``"standard"`` or ``"bot"``.
+        k: Section 5.4 knob; cells with ``k > t`` are dropped.
+        base_seed: Root of the deterministic seed derivation.
+        max_time / max_events: Per-run budgets.
+    """
+
+    sizes: Sequence[tuple[int, int]] = ((4, 1),)
+    topologies: Sequence[str] = ("single_bisource",)
+    adversaries: Sequence[str] = ("crash",)
+    value_counts: Sequence[int] = (2,)
+    value_pool: Sequence[str] | None = None
+    seeds: Sequence[int] = (0,)
+    faults: int | None = None
+    variant: str = "standard"
+    k: int = 0
+    base_seed: int = 0
+    max_time: float = 1_000_000.0
+    max_events: int = 20_000_000
+
+    def cells(self) -> list[tuple[int, int, str, str, int]]:
+        """The feasible (n, t, topology, adversary, m) grid cells."""
+        out: list[tuple[int, int, str, str, int]] = []
+        seen: set[tuple[int, int, str, str, int]] = set()
+        for n, t in self.sizes:
+            if not n > 3 * t or self.k > t:
+                continue
+            faults = t if self.faults is None else self.faults
+            if faults > t or faults >= n:
+                continue
+            for topology in self.topologies:
+                topo = normalize_topology(topology)
+                for adversary in self.adversaries:
+                    adversary_from_name(adversary)  # validate early
+                    for requested in self.value_counts:
+                        m = requested
+                        if self.variant == "standard":
+                            m = max(1, min(requested, max_values(n, t)))
+                        m = max(1, min(m, n - faults))
+                        if self.value_pool is not None:
+                            m = max(1, min(m, len(self.value_pool)))
+                        cell = (n, t, topo, adversary, m)
+                        if cell in seen:
+                            continue
+                        seen.add(cell)
+                        out.append(cell)
+        return out
+
+    def expand(self) -> list[ScenarioSpec]:
+        """All scenarios: feasible cells × seed indices, in grid order."""
+        specs: list[ScenarioSpec] = []
+        values = tuple(self.value_pool) if self.value_pool is not None else None
+        for n, t, topology, adversary, m in self.cells():
+            cell_values = values[:m] if values is not None else None
+            for seed_index in self.seeds:
+                key = (n, t, topology, adversary, m, cell_values,
+                       self.faults, self.variant, self.k)
+                specs.append(ScenarioSpec(
+                    n=n, t=t, topology=topology, adversary=adversary,
+                    num_values=m, values=cell_values,
+                    seed=derive_seed(self.base_seed, "scenario", key, seed_index),
+                    seed_index=seed_index,
+                    faults=self.faults, variant=self.variant, k=self.k,
+                    max_time=self.max_time, max_events=self.max_events,
+                    index=len(specs),
+                ))
+        return specs
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.expand())
+
+    def __len__(self) -> int:
+        return len(self.cells()) * len(self.seeds)
+
+
+def build_config(spec: ScenarioSpec) -> RunConfig:
+    """Reconstruct the full :class:`RunConfig` for one spec (worker side)."""
+    from .sweeps import standard_proposals
+
+    faults = spec.t if spec.faults is None else spec.faults
+    adversary = adversary_from_name(spec.adversary)
+    adversaries: dict[int, AdversarySpec] = {}
+    if adversary is not None and faults > 0:
+        adversaries = {
+            pid: adversary for pid in range(spec.n - faults + 1, spec.n + 1)
+        }
+    correct = [pid for pid in range(1, spec.n + 1) if pid not in adversaries]
+    if spec.values is not None:
+        values = list(spec.values[: spec.num_values])
+    else:
+        values = [f"v{i}" for i in range(spec.num_values)]
+    return RunConfig(
+        n=spec.n,
+        t=spec.t,
+        proposals=standard_proposals(correct, values),
+        adversaries=adversaries,
+        topology=topology_from_name(spec.topology, spec.n),
+        variant=spec.variant,
+        k=spec.k,
+        seed=spec.seed,
+        max_time=spec.max_time,
+        max_events=spec.max_events,
+    )
+
+
+def summarize_run(spec: ScenarioSpec, result: ConsensusRunResult) -> ScenarioOutcome:
+    """Boil a live run result down to its picklable outcome."""
+    decisions = {pid: repr(v) for pid, v in sorted(result.decisions.items())}
+    decided_value = None
+    if result.decisions:
+        distinct = sorted(set(decisions.values()))
+        decided_value = distinct[0] if len(distinct) == 1 else None
+    return ScenarioOutcome(
+        spec=spec,
+        decided=result.all_decided,
+        decisions=decisions,
+        decided_value=decided_value,
+        rounds=dict(sorted(result.rounds.items())),
+        max_round=result.max_round,
+        messages_sent=result.messages_sent,
+        events_processed=result.events_processed,
+        finished_at=result.finished_at,
+        timed_out=result.timed_out,
+        invariants_ok=result.invariants.ok,
+        violations=tuple(str(v) for v in result.invariants.violations),
+    )
+
+
+def run_scenario(spec: ScenarioSpec, check_invariants: bool = False) -> ScenarioOutcome:
+    """Execute one scenario end to end.
+
+    With ``check_invariants`` false (the sweep default) safety violations
+    are *recorded* on the outcome rather than raised, so one bad cell
+    cannot abort a thousand-scenario sweep.  Configuration errors are
+    likewise captured as ``error`` outcomes.
+    """
+    try:
+        result = run_consensus(build_config(spec), check_invariants=check_invariants)
+    except Exception as exc:
+        if check_invariants:
+            raise
+        return ScenarioOutcome(
+            spec=spec, decided=False, decisions={}, decided_value=None,
+            rounds={}, max_round=0, messages_sent=0, events_processed=0,
+            finished_at=0.0, timed_out=False, invariants_ok=False,
+            violations=(), error=f"{type(exc).__name__}: {exc}",
+        )
+    return summarize_run(spec, result)

@@ -1,0 +1,199 @@
+"""Serial and multi-process execution of scenario matrices.
+
+:func:`sweep_parallel` fans a :class:`~repro.orchestration.matrix.ScenarioMatrix`
+(or any list of :class:`~repro.orchestration.matrix.ScenarioSpec`) out
+over a :class:`concurrent.futures.ProcessPoolExecutor`.  Only specs cross
+the process boundary — each worker reconstructs its
+:class:`~repro.orchestration.config.RunConfig` locally via
+:func:`~repro.orchestration.matrix.build_config` — and only picklable
+:class:`~repro.orchestration.matrix.ScenarioOutcome` digests come back.
+Because every run is deterministic in its spec (the simulator draws all
+randomness from the spec's derived seed), serial and parallel execution
+of the same matrix are bit-identical; ``tests/orchestration/test_parallel.py``
+locks this in.
+
+Dispatch is chunked: specs are dealt round-robin into ``chunksize``
+batches so each IPC round-trip amortises the pickle overhead, while
+results stream back per *chunk* to feed progress callbacks.
+:func:`sweep_serial` is the same pipeline minus the pool — both paths
+share one aggregation (:func:`repro.analysis.aggregation.aggregate_outcomes`)
+and one persistence format (:meth:`SweepResult.write_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..analysis.aggregation import MatrixReport, aggregate_outcomes
+from .matrix import ScenarioMatrix, ScenarioOutcome, ScenarioSpec, run_scenario
+
+__all__ = ["SweepResult", "sweep_serial", "sweep_parallel", "default_workers"]
+
+#: Progress callback: invoked once per finished scenario, main process.
+OnResult = Callable[[ScenarioOutcome], None]
+
+
+@dataclass
+class SweepResult:
+    """Outcomes plus aggregates for one executed scenario matrix."""
+
+    #: Per-scenario outcomes, in matrix (expansion) order.
+    outcomes: list[ScenarioOutcome]
+    #: Global and per-cell aggregates.
+    report: MatrixReport
+    #: Worker processes used (1 = serial).
+    workers: int = 1
+    #: Wall-clock seconds spent executing.
+    elapsed: float = 0.0
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Throughput over the whole sweep (0 when elapsed is unknown)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes: Sequence[ScenarioOutcome],
+        workers: int = 1,
+        elapsed: float = 0.0,
+    ) -> "SweepResult":
+        """Aggregate a finished outcome list into a result."""
+        ordered = sorted(outcomes, key=lambda o: o.spec.index)
+        return cls(
+            outcomes=list(ordered),
+            report=aggregate_outcomes(ordered),
+            workers=workers,
+            elapsed=elapsed,
+        )
+
+    def write_jsonl(self, path: str | os.PathLike[str]) -> Path:
+        """Persist one JSON record per scenario; returns the path."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as fh:
+            for outcome in self.outcomes:
+                fh.write(json.dumps(outcome.to_record(), sort_keys=True))
+                fh.write("\n")
+        return target
+
+
+def _as_specs(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+) -> list[ScenarioSpec]:
+    if isinstance(scenarios, ScenarioMatrix):
+        return scenarios.expand()
+    # Hand-built / filtered spec lists may carry stale or duplicate
+    # indices; re-index positionally so result ordering (which sorts on
+    # spec.index) always reproduces the input order.
+    from dataclasses import replace
+
+    return [
+        spec if spec.index == i else replace(spec, index=i)
+        for i, spec in enumerate(scenarios)
+    ]
+
+
+def default_workers() -> int:
+    """Worker count matching the actually schedulable CPUs."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def _run_chunk(
+    specs: list[ScenarioSpec], check_invariants: bool
+) -> list[ScenarioOutcome]:
+    """Worker-side entry point: execute one batch of specs."""
+    return [run_scenario(spec, check_invariants=check_invariants) for spec in specs]
+
+
+def _timer() -> float:
+    import time
+
+    return time.perf_counter()
+
+
+def sweep_serial(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    on_result: OnResult | None = None,
+    check_invariants: bool = False,
+) -> SweepResult:
+    """Run every scenario in this process, in matrix order."""
+    specs = _as_specs(scenarios)
+    started = _timer()
+    outcomes: list[ScenarioOutcome] = []
+    for spec in specs:
+        outcome = run_scenario(spec, check_invariants=check_invariants)
+        outcomes.append(outcome)
+        if on_result is not None:
+            on_result(outcome)
+    return SweepResult.from_outcomes(
+        outcomes, workers=1, elapsed=_timer() - started
+    )
+
+
+def sweep_parallel(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    workers: int | None = None,
+    chunksize: int | None = None,
+    on_result: OnResult | None = None,
+    check_invariants: bool = False,
+) -> SweepResult:
+    """Run a scenario matrix on a process pool.
+
+    Args:
+        scenarios: A matrix or an explicit spec list.
+        workers: Pool size; ``None`` uses :func:`default_workers`, and
+            ``workers <= 1`` (or a single scenario) degrades to
+            :func:`sweep_serial` — same results, no pool overhead.
+        chunksize: Specs per dispatch unit; ``None`` picks a size that
+            gives each worker ~4 chunks (latency/overhead balance).
+        on_result: Called in the parent for every finished scenario, in
+            completion order (chunks complete out of order; outcomes in
+            the returned result are nevertheless in matrix order).
+        check_invariants: Propagated to every run; when true a safety
+            violation raises in the worker and aborts the sweep.
+    """
+    specs = _as_specs(scenarios)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(specs) <= 1:
+        result = sweep_serial(
+            specs, on_result=on_result, check_invariants=check_invariants
+        )
+        return SweepResult(
+            outcomes=result.outcomes,
+            report=result.report,
+            workers=max(1, workers),
+            elapsed=result.elapsed,
+        )
+    if chunksize is None:
+        chunksize = max(1, len(specs) // (workers * 4))
+    chunks = [specs[i : i + chunksize] for i in range(0, len(specs), chunksize)]
+    started = _timer()
+    outcomes: list[ScenarioOutcome] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        pending = {
+            pool.submit(_run_chunk, chunk, check_invariants) for chunk in chunks
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk_outcomes = future.result()
+                outcomes.extend(chunk_outcomes)
+                if on_result is not None:
+                    for outcome in chunk_outcomes:
+                        on_result(outcome)
+    return SweepResult.from_outcomes(
+        outcomes, workers=workers, elapsed=_timer() - started
+    )

@@ -28,12 +28,24 @@ def sweep_seeds(
     make_config: Callable[[int], RunConfig],
     seeds: Iterable[int],
     check_invariants: bool = True,
+    on_result: Callable[[ConsensusRunResult], None] | None = None,
 ) -> list[ConsensusRunResult]:
-    """Run one configuration across many seeds; returns all results."""
-    return [
-        run_consensus(make_config(seed), check_invariants=check_invariants)
-        for seed in seeds
-    ]
+    """Run one configuration across many seeds; returns all results.
+
+    ``on_result`` is invoked once per finished run, in seed order — the
+    same streaming contract as the matrix engine's
+    :func:`~repro.orchestration.parallel.sweep_serial` /
+    :func:`~repro.orchestration.parallel.sweep_parallel`, so callers can
+    share one progress/aggregation path across all three
+    (:func:`repro.analysis.reporting.aggregate` consumes the results).
+    """
+    results: list[ConsensusRunResult] = []
+    for seed in seeds:
+        result = run_consensus(make_config(seed), check_invariants=check_invariants)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:

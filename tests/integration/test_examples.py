@@ -30,4 +30,5 @@ def test_expected_examples_present():
         "intrusion_tolerant.py",
         "trace_debugging.py",
         "ensemble_report.py",
+        "matrix_sweep.py",
     } <= set(EXAMPLES)

@@ -1,0 +1,121 @@
+"""Tests for the ``repro sweep`` scenario-matrix CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSweepParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.seeds == 10
+        assert args.grid is None and args.topologies is None
+        assert args.adversaries is None and args.value_counts is None
+        assert args.workers == 1
+        assert args.jsonl is None and args.progress is False
+
+    def test_matrix_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--grid", "4:1,7:2", "--topologies", "minimal,timely",
+            "--adversaries", "crash,two_faced:evil", "--value-counts", "1,2",
+            "--workers", "4", "--jsonl", "out.jsonl", "--progress",
+        ])
+        assert args.grid == "4:1,7:2"
+        assert args.workers == 4 and args.jsonl == "out.jsonl"
+        assert args.progress is True
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "4-1"])
+
+    def test_empty_matrix_rejected(self):
+        # n=6, t=2 violates n > 3t: no feasible cell remains.
+        with pytest.raises(SystemExit, match="empty"):
+            main(["sweep", "--grid", "6:2"])
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SystemExit, match="unknown adversary"):
+            main(["sweep", "--adversaries", "wizardry", "--seeds", "1"])
+
+
+class TestSweepCommandMatrix:
+    def test_single_cell_output(self, capsys):
+        code = main(["sweep", "--n", "4", "--t", "1", "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decided      : 2/2 seeds" in out
+        assert "safety       : OK" in out
+        assert "throughput   :" in out
+
+    def test_multi_cell_table(self, capsys):
+        code = main([
+            "sweep", "--grid", "4:1", "--adversaries", "crash,two_faced:evil",
+            "--seeds", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n4/t1/single_bisource/crash/m2/f1" in out
+        assert "n4/t1/single_bisource/two_faced:evil/m2/f1" in out
+        assert "decided      : 2/2 seeds" in out
+
+    def test_values_flow_into_sweep(self, capsys):
+        code = main(["sweep", "--values", "apply,rollback", "--seeds", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'apply'" in out  # the user's values, not generic v0/v1
+
+    def test_zero_seeds_message_names_the_cause(self, capsys):
+        with pytest.raises(SystemExit, match="no seeds"):
+            main(["sweep", "--seeds", "0"])
+
+    def test_progress_lines(self, capsys):
+        code = main(["sweep", "--seeds", "2", "--progress"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[1/2]" in out and "[2/2]" in out
+
+    def test_nonzero_exit_on_timeouts(self, capsys):
+        code = main([
+            "sweep", "--topology", "async", "--max-time", "5", "--seeds", "1",
+        ])
+        assert code == 1
+
+    def test_jsonl_schema(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        code = main([
+            "sweep", "--seeds", "2", "--adversaries", "crash,none",
+            "--jsonl", str(path),
+        ])
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4  # 2 cells x 2 seeds
+        for line in lines:
+            record = json.loads(line)
+            assert {
+                "n", "t", "topology", "adversary", "num_values", "seed",
+                "seed_index", "cell_id", "decided", "decisions", "rounds",
+                "max_round", "messages_sent", "finished_at", "timed_out",
+                "invariants_ok", "violations", "error",
+            } <= set(record)
+            assert record["decided"] is True
+            assert record["invariants_ok"] is True
+
+    def test_end_to_end_two_workers(self, tmp_path, capsys):
+        # A tiny genuinely multi-process run: 8 scenarios on 2 workers,
+        # persisted, and identical to the serial CLI run.
+        argv = [
+            "sweep", "--grid", "4:1", "--topologies", "minimal,timely",
+            "--adversaries", "crash,two_faced:evil", "--seeds", "2",
+        ]
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        assert main(argv + ["--jsonl", str(serial_path)]) == 0
+        assert main(argv + ["--workers", "2", "--jsonl", str(parallel_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+        serial = [json.loads(l) for l in serial_path.read_text().splitlines()]
+        parallel = [json.loads(l) for l in parallel_path.read_text().splitlines()]
+        assert serial == parallel
+        assert len(serial) == 8

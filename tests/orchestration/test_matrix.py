@@ -1,0 +1,229 @@
+"""Unit tests for scenario-matrix expansion and spec reconstruction."""
+
+import pickle
+
+import pytest
+
+from repro.adversary.strategies import AdversarySpec
+from repro.analysis.feasibility import max_values
+from repro.net.timing import Asynchronous, Timely
+from repro.orchestration.matrix import (
+    ScenarioMatrix,
+    ScenarioSpec,
+    adversary_from_name,
+    build_config,
+    run_scenario,
+    topology_from_name,
+)
+
+
+class TestAdversaryFromName:
+    def test_plain_kind(self):
+        spec = adversary_from_name("crash")
+        assert isinstance(spec, AdversarySpec)
+        assert spec.kind == "crash" and not spec.runs_protocol
+
+    def test_kind_with_argument(self):
+        spec = adversary_from_name("two_faced:wicked")
+        assert spec.kind == "two_faced"
+        assert spec.params["fake_value"] == "wicked"
+
+    def test_none(self):
+        assert adversary_from_name("none") is None
+        assert adversary_from_name("") is None
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown adversary"):
+            adversary_from_name("wizardry")
+
+
+class TestTopologyFromName:
+    def test_minimal_is_runner_default(self):
+        assert topology_from_name("single_bisource", 4) is None
+        assert topology_from_name("minimal", 4) is None
+
+    def test_timely_aliases(self):
+        for name in ("fully_timely", "timely"):
+            topo = topology_from_name(name, 5)
+            assert topo.n == 5 and isinstance(topo.default, Timely)
+
+    def test_async_aliases(self):
+        for name in ("fully_asynchronous", "async"):
+            topo = topology_from_name(name, 4)
+            assert isinstance(topo.default, Asynchronous)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topology_from_name("wormhole", 4)
+
+
+class TestMatrixExpansion:
+    def test_grid_size(self):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1), (7, 2)],
+            topologies=["single_bisource", "fully_timely"],
+            adversaries=["crash", "two_faced:evil"],
+            value_counts=[1, 2],
+            seeds=range(3),
+        )
+        assert len(matrix.cells()) == 2 * 2 * 2 * 2
+        assert len(matrix) == 16 * 3
+        specs = matrix.expand()
+        assert len(specs) == len(matrix)
+        assert [s.index for s in specs] == list(range(len(specs)))
+
+    def test_infeasible_sizes_filtered(self):
+        matrix = ScenarioMatrix(sizes=[(4, 1), (6, 2), (3, 1)])
+        assert {(s.n, s.t) for s in matrix} == {(4, 1)}
+
+    def test_k_beyond_t_filtered(self):
+        assert len(ScenarioMatrix(sizes=[(4, 1)], k=2)) == 0
+
+    def test_value_counts_clamped_to_feasibility(self):
+        matrix = ScenarioMatrix(sizes=[(4, 1)], value_counts=[5])
+        [m] = {s.num_values for s in matrix}
+        assert m == max_values(4, 1) == 2
+
+    def test_clamped_duplicates_collapse(self):
+        # m=2 and m=5 both clamp to 2 at (4,1): one cell, not two.
+        matrix = ScenarioMatrix(sizes=[(4, 1)], value_counts=[2, 5])
+        assert len(matrix.cells()) == 1
+
+    def test_bot_variant_not_clamped(self):
+        matrix = ScenarioMatrix(sizes=[(7, 2)], value_counts=[5], variant="bot")
+        [m] = {s.num_values for s in matrix}
+        assert m == 5 > max_values(7, 2)
+
+    def test_iteration_matches_expand(self):
+        matrix = ScenarioMatrix(sizes=[(4, 1)], seeds=range(2))
+        assert list(matrix) == matrix.expand()
+
+    def test_value_pool_flows_into_proposals(self):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)], value_counts=[2],
+            value_pool=["apply", "rollback", "retry"],
+        )
+        [spec] = matrix.expand()
+        assert spec.values == ("apply", "rollback")
+        config = build_config(spec)
+        assert set(config.proposals.values()) == {"apply", "rollback"}
+
+    def test_value_pool_clamps_diversity(self):
+        matrix = ScenarioMatrix(
+            sizes=[(7, 1)], value_counts=[4], value_pool=["a", "b"]
+        )
+        [spec] = matrix.expand()
+        assert spec.num_values == 2 and spec.values == ("a", "b")
+
+
+class TestSeedDerivation:
+    def test_deterministic_across_expansions(self):
+        matrix = ScenarioMatrix(sizes=[(4, 1), (7, 2)], seeds=range(4))
+        assert matrix.expand() == matrix.expand()
+
+    def test_cell_seeds_stable_under_grid_reshaping(self):
+        # The same cell gets the same seed whether or not other cells
+        # surround it in the matrix.
+        small = ScenarioMatrix(sizes=[(4, 1)], adversaries=["crash"])
+        large = ScenarioMatrix(
+            sizes=[(4, 1), (7, 2)], adversaries=["crash", "two_faced:evil"]
+        )
+        small_by_cell = {s.cell: s.seed for s in small}
+        large_by_cell = {s.cell: s.seed for s in large}
+        for cell, seed in small_by_cell.items():
+            assert large_by_cell[cell] == seed
+
+    def test_distinct_cells_distinct_seeds(self):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1), (7, 2)],
+            adversaries=["crash", "two_faced:evil"],
+            seeds=range(3),
+        )
+        seeds = [s.seed for s in matrix]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_base_seed_changes_everything(self):
+        a = ScenarioMatrix(sizes=[(4, 1)], base_seed=0).expand()
+        b = ScenarioMatrix(sizes=[(4, 1)], base_seed=1).expand()
+        assert all(x.seed != y.seed for x, y in zip(a, b))
+
+
+class TestSpec:
+    def test_picklable(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_cell_id_readable(self):
+        [spec] = ScenarioMatrix(
+            sizes=[(4, 1)], adversaries=["two_faced:evil"]
+        ).expand()
+        assert spec.cell_id == "n4/t1/single_bisource/two_faced:evil/m2/f1"
+
+    def test_with_seed(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        clone = spec.with_seed(99, seed_index=7)
+        assert clone.seed == 99 and clone.seed_index == 7
+        assert clone.cell == spec.cell
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        assert json.loads(json.dumps(spec.to_dict()))["cell_id"] == spec.cell_id
+
+
+class TestBuildConfig:
+    def test_reconstruction(self):
+        [spec] = ScenarioMatrix(
+            sizes=[(7, 2)], adversaries=["two_faced:evil"], value_counts=[2]
+        ).expand()
+        config = build_config(spec)
+        assert config.n == 7 and config.t == 2
+        assert set(config.adversaries) == {6, 7}
+        assert all(a.kind == "two_faced" for a in config.adversaries.values())
+        assert set(config.proposals) == {1, 2, 3, 4, 5}
+        assert set(config.proposals.values()) == {"v0", "v1"}
+        assert config.seed == spec.seed
+        assert config.topology is None  # the runner's minimal default
+
+    def test_no_adversary(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)], adversaries=["none"]).expand()
+        config = build_config(spec)
+        assert not config.adversaries
+        assert set(config.proposals) == {1, 2, 3, 4}
+
+
+class TestRunScenario:
+    def test_executes_and_summarizes(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)], seeds=[3]).expand()
+        outcome = run_scenario(spec)
+        assert outcome.decided and not outcome.timed_out
+        assert outcome.invariants_ok and outcome.error is None
+        assert outcome.decided_value in {"'v0'", "'v1'"}
+        assert set(outcome.decisions) == {1, 2, 3}
+        assert outcome.max_round == max(outcome.rounds.values())
+        assert outcome.messages_sent > 0
+
+    def test_outcome_picklable(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        outcome = run_scenario(spec)
+        assert pickle.loads(pickle.dumps(outcome)) == outcome
+
+    def test_error_captured_not_raised(self):
+        spec = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="wizardry",
+            num_values=2, seed=0,
+        )
+        outcome = run_scenario(spec)
+        assert outcome.error is not None and "wizardry" in outcome.error
+        assert not outcome.decided
+
+    def test_async_scenario_reports_timeout(self):
+        [spec] = ScenarioMatrix(
+            sizes=[(4, 1)],
+            topologies=["fully_asynchronous"],
+            max_time=20.0,
+        ).expand()
+        outcome = run_scenario(spec)
+        assert outcome.timed_out or outcome.decided
+        assert outcome.invariants_ok  # safety holds without synchrony

@@ -1,0 +1,165 @@
+"""Serial vs parallel sweep equivalence, aggregation and persistence."""
+
+import json
+
+import pytest
+
+from repro.orchestration.matrix import ScenarioMatrix, build_config
+from repro.orchestration.parallel import (
+    SweepResult,
+    default_workers,
+    sweep_parallel,
+    sweep_serial,
+)
+from repro.orchestration.sweeps import sweep_seeds
+
+
+def small_matrix(seeds=range(2)) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        sizes=[(4, 1)],
+        topologies=["single_bisource", "fully_timely"],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=seeds,
+    )
+
+
+def assert_equivalent(a: SweepResult, b: SweepResult) -> None:
+    assert len(a.outcomes) == len(b.outcomes)
+    for x, y in zip(a.outcomes, b.outcomes):
+        assert x.spec == y.spec
+        assert x.decisions == y.decisions
+        assert x.rounds == y.rounds
+        assert x.messages_sent == y.messages_sent
+        assert x.finished_at == y.finished_at
+
+
+class TestSweepSerial:
+    def test_matrix_order_and_aggregates(self):
+        sweep = sweep_serial(small_matrix())
+        assert [o.spec.index for o in sweep.outcomes] == list(range(8))
+        assert sweep.workers == 1
+        assert sweep.report.runs == 8
+        assert sweep.report.decide_rate == 1.0
+        assert sweep.report.all_safe
+        assert len(sweep.report.cells) == 4
+
+    def test_on_result_streams_in_order(self):
+        seen = []
+        sweep = sweep_serial(small_matrix(), on_result=seen.append)
+        assert seen == sweep.outcomes
+
+    def test_accepts_spec_list(self):
+        specs = small_matrix().expand()[:3]
+        sweep = sweep_serial(specs)
+        assert len(sweep.outcomes) == 3
+
+    def test_hand_built_specs_keep_input_order(self):
+        # Specs built outside a matrix all default to index 0; the
+        # engine must re-index so result order follows input order even
+        # under out-of-order parallel completion.
+        from repro.orchestration.matrix import ScenarioSpec
+
+        specs = [
+            ScenarioSpec(n=4, t=1, topology="single_bisource",
+                         adversary="crash", num_values=2, seed=s)
+            for s in (11, 22, 33, 44, 55, 66)
+        ]
+        serial = sweep_serial(specs)
+        parallel = sweep_parallel(specs, workers=3, chunksize=1)
+        assert [o.spec.seed for o in serial.outcomes] == [11, 22, 33, 44, 55, 66]
+        assert [o.spec.seed for o in parallel.outcomes] == [11, 22, 33, 44, 55, 66]
+        assert_equivalent(serial, parallel)
+
+
+class TestSweepParallel:
+    def test_equivalent_to_serial(self):
+        matrix = small_matrix()
+        assert_equivalent(
+            sweep_serial(matrix), sweep_parallel(matrix, workers=2)
+        )
+
+    def test_chunked_dispatch_preserves_order(self):
+        matrix = small_matrix()
+        sweep = sweep_parallel(matrix, workers=2, chunksize=3)
+        assert [o.spec.index for o in sweep.outcomes] == list(range(8))
+
+    def test_on_result_sees_every_scenario(self):
+        seen = []
+        sweep = sweep_parallel(
+            small_matrix(), workers=2, chunksize=2, on_result=seen.append
+        )
+        assert sorted(o.spec.index for o in seen) == list(range(8))
+        assert len(sweep.outcomes) == 8
+
+    def test_single_worker_degrades_to_serial(self):
+        matrix = small_matrix()
+        sweep = sweep_parallel(matrix, workers=1)
+        assert sweep.workers == 1
+        assert_equivalent(sweep, sweep_serial(matrix))
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestSweepSeedsEquivalence:
+    def test_identical_decisions_and_rounds_per_seed(self):
+        # One grid cell across seeds: the legacy per-seed sweep and both
+        # matrix engines must produce identical runs.
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)], adversaries=["two_faced:evil"], seeds=range(4)
+        )
+        specs = matrix.expand()
+        by_seed = {spec.seed: spec for spec in specs}
+
+        def make_config(seed):
+            return build_config(by_seed[seed])
+
+        legacy = sweep_seeds(make_config, [spec.seed for spec in specs])
+        parallel = sweep_parallel(matrix, workers=2, chunksize=1)
+        assert len(legacy) == len(parallel.outcomes) == 4
+        for run, outcome in zip(legacy, parallel.outcomes):
+            assert {p: repr(v) for p, v in run.decisions.items()} == outcome.decisions
+            assert run.rounds == outcome.rounds
+            assert run.messages_sent == outcome.messages_sent
+
+
+class TestSweepResult:
+    def test_jsonl_round_trip(self, tmp_path):
+        sweep = sweep_serial(small_matrix(seeds=range(1)))
+        path = sweep.write_jsonl(tmp_path / "out" / "sweep.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(sweep.outcomes)
+        records = [json.loads(line) for line in lines]
+        for record, outcome in zip(records, sweep.outcomes):
+            assert record["cell_id"] == outcome.spec.cell_id
+            assert record["decided"] is outcome.decided
+            assert record["seed"] == outcome.spec.seed
+            assert record["invariants_ok"] is outcome.invariants_ok
+            assert record["rounds"] == {
+                str(p): r for p, r in outcome.rounds.items()
+            }
+
+    def test_throughput_property(self):
+        sweep = sweep_serial(small_matrix(seeds=range(1)))
+        assert sweep.elapsed > 0
+        assert sweep.scenarios_per_second > 0
+
+
+@pytest.mark.slow
+class TestLargeMatrixEquivalence:
+    def test_64_scenarios_4_workers_bit_identical(self):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1), (7, 2)],
+            topologies=["single_bisource", "fully_timely"],
+            adversaries=["crash", "two_faced:evil", "mute_coord",
+                         "collude:evil"],
+            value_counts=[1, 2],
+            seeds=range(2),
+        )
+        assert len(matrix) == 64
+        serial = sweep_serial(matrix)
+        parallel = sweep_parallel(matrix, workers=4)
+        assert_equivalent(serial, parallel)
+        assert parallel.report.decide_rate == 1.0
+        assert parallel.report.all_safe

@@ -1,0 +1,112 @@
+"""Randomized scenario fuzzing over the matrix vocabulary.
+
+Samples scenarios uniformly from the full grid the sweep engine can
+express — sizes, topologies, adversaries, value diversity, seeds — and
+checks, for every sampled scenario:
+
+* the post-hoc safety invariants hold (agreement, validity, RB/CB
+  consistency), whatever the schedule or adversary;
+* the decided value (when unique) is a correct proposal, never an
+  adversary fabrication;
+* non-termination only ever happens where the theory allows it: a run
+  that hits its budget must live in a fully asynchronous cell (no
+  bisource, hence no liveness guarantee — paper §1/FLP).
+
+Sampling is seeded and every assertion message carries the offending
+spec, so any failure replays exactly with
+``run_scenario(ScenarioSpec(**spec_dict))``.
+"""
+
+import random
+
+import pytest
+
+from repro.orchestration.matrix import ScenarioMatrix, run_scenario
+
+SIZES = [(4, 1), (5, 1), (7, 1), (7, 2)]
+TOPOLOGIES = ["single_bisource", "fully_timely", "fully_asynchronous"]
+ADVERSARIES = [
+    "none", "crash", "noise:0.5", "two_faced:evil", "flip_flop",
+    "mute_coord", "collude:evil", "crash_at:25", "spam_decide:evil",
+    "bot_relays:50",
+]
+VARIANTS = ["standard", "standard", "standard", "bot"]  # bot 1-in-4
+
+#: Proposals are always drawn from v0..v(m-1); anything else on a
+#: decision line is an adversary value that leaked through validity.
+def proposed_values(spec):
+    return {repr(f"v{i}") for i in range(spec.num_values)}
+
+
+def sample_spec(rng: random.Random):
+    """One uniformly sampled scenario, fed through matrix expansion so
+    feasibility clamping and structural seed derivation apply."""
+    n, t = rng.choice(SIZES)
+    matrix = ScenarioMatrix(
+        sizes=[(n, t)],
+        topologies=[rng.choice(TOPOLOGIES)],
+        adversaries=[rng.choice(ADVERSARIES)],
+        value_counts=[rng.randint(1, 4)],
+        seeds=[rng.randrange(2**16)],
+        variant=rng.choice(VARIANTS),
+        base_seed=rng.randrange(2**16),
+        # Generous for feasible cells, bounded for asynchronous ones.
+        max_time=200_000.0,
+    )
+    [spec] = matrix.expand()
+    return spec
+
+
+@pytest.mark.parametrize("fuzz_seed", [101, 202, 303])
+def test_scenario_fuzz_safety_and_liveness(fuzz_seed):
+    rng = random.Random(fuzz_seed)
+    for _ in range(6):
+        spec = sample_spec(rng)
+        outcome = run_scenario(spec)
+        context = f"fuzz_seed={fuzz_seed} spec={spec.to_dict()}"
+        # No sampled scenario may fail to even configure.
+        assert outcome.error is None, f"{context}: {outcome.error}"
+        # Safety: agreement/validity/RB/CB invariants, every schedule.
+        assert outcome.invariants_ok, (
+            f"{context}: violations={outcome.violations}"
+        )
+        # Validity at the digest level: a unique decided value is a
+        # correct proposal (or ⊥ under the Section 7 variant).
+        if outcome.decided and outcome.decided_value is not None:
+            allowed = proposed_values(spec) | (
+                {"⊥"} if spec.variant == "bot" else set()
+            )
+            assert outcome.decided_value in allowed, (
+                f"{context}: decided {outcome.decided_value!r}"
+            )
+        # Liveness: only fully asynchronous cells may time out.
+        if outcome.timed_out:
+            assert spec.topology == "fully_asynchronous", (
+                f"{context}: timed out despite a bisource"
+            )
+        else:
+            assert outcome.decided, f"{context}: neither decided nor timed out"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fuzz_seed", [7, 1234])
+def test_scenario_fuzz_deep(fuzz_seed):
+    rng = random.Random(fuzz_seed)
+    for _ in range(25):
+        spec = sample_spec(rng)
+        outcome = run_scenario(spec)
+        context = f"fuzz_seed={fuzz_seed} spec={spec.to_dict()}"
+        assert outcome.error is None, f"{context}: {outcome.error}"
+        assert outcome.invariants_ok, (
+            f"{context}: violations={outcome.violations}"
+        )
+        if outcome.timed_out:
+            assert spec.topology == "fully_asynchronous", (
+                f"{context}: timed out despite a bisource"
+            )
+
+
+def test_sampling_is_reproducible():
+    a = [sample_spec(random.Random(99)).to_dict() for _ in range(5)]
+    b = [sample_spec(random.Random(99)).to_dict() for _ in range(5)]
+    assert a == b
