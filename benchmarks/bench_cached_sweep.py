@@ -1,0 +1,77 @@
+"""E12 — result-store leverage: cold vs warm cached sweeps.
+
+Runs one 32-scenario matrix cold (empty :class:`ResultCache`), then
+warm (same cache), and reports the executed-scenario counts and
+wall-clock for each.  The warm sweep must execute *zero* scenarios and
+return a bit-identical result — that equivalence, not raw speed, is
+what makes the store safe to leave on everywhere — while the measured
+speedup shows what incremental experiments save in practice.
+"""
+
+import pytest
+
+from repro.orchestration.matrix import ScenarioMatrix
+from repro.orchestration.parallel import sweep_serial
+from repro.store import ResultCache
+
+import sys, pathlib
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _common import report  # noqa: E402
+
+
+def cached_matrix() -> ScenarioMatrix:
+    """2 sizes x 2 topologies x 2 adversaries x 2 diversities x 2 seeds = 32."""
+    matrix = ScenarioMatrix(
+        sizes=[(4, 1), (7, 2)],
+        topologies=["single_bisource", "fully_timely"],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[1, 2],
+        seeds=range(2),
+    )
+    assert len(matrix) == 32
+    return matrix
+
+
+def test_cold_vs_warm_cache(tmp_path, capsys):
+    matrix = cached_matrix()
+    cache = ResultCache(tmp_path / "cache")
+    cold = sweep_serial(matrix, cache=cache)
+    warm = sweep_serial(matrix, cache=cache)
+    assert cold.executed == 32 and cold.cache_hits == 0
+    assert warm.executed == 0 and warm.cache_hits == 32
+    assert warm.outcomes == cold.outcomes, "warm sweep must be bit-identical"
+    assert warm.report == cold.report
+    assert cold.report.decide_rate == 1.0 and cold.report.all_safe
+    speedup = cold.elapsed / warm.elapsed if warm.elapsed else float("inf")
+    report(
+        "cached_sweep",
+        "E12 — result-store leverage (32 scenarios, serial backend)",
+        ["sweep", "executed", "cache hits", "wall s", "scenarios/s"],
+        [
+            ["cold", cold.executed, cold.cache_hits, f"{cold.elapsed:.3f}",
+             f"{cold.scenarios_per_second:.1f}"],
+            ["warm", warm.executed, warm.cache_hits, f"{warm.elapsed:.3f}",
+             f"{warm.scenarios_per_second:.1f}"],
+        ],
+        notes=(f"warm/cold speedup = {speedup:.0f}x; warm results are "
+               "bit-identical (cache entries are keyed on the scenario's "
+               "full semantic identity + code-version salt)"),
+        capsys=capsys,
+    )
+    # A warm sweep does no simulation at all; anything short of a clear
+    # win means the store itself became the bottleneck.
+    assert warm.elapsed < cold.elapsed
+
+
+@pytest.mark.benchmark(group="cached-sweep")
+def test_benchmark_warm_lookup(benchmark, tmp_path):
+    matrix = ScenarioMatrix(
+        sizes=[(4, 1)],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=range(2),
+    )
+    cache = ResultCache(tmp_path / "cache")
+    sweep_serial(matrix, cache=cache)  # populate
+    result = benchmark(sweep_serial, matrix, cache=cache)
+    assert result.executed == 0 and result.cache_hits == 4

@@ -53,10 +53,29 @@ Scenario expansion applies the paper's feasibility condition
 (``n - t > m*t``) to the requested value diversity, and each scenario's
 seed is derived structurally from its grid cell — execution order and
 worker count can never change what an experiment means.
+
+Sweeps are *incremental* through the persistent result store
+(:mod:`repro.store`): a content-addressed :class:`~repro.store.ResultCache`
+keyed on each scenario's full semantic identity (config + seed + a
+code-version salt) lets any backend — ``sweep_serial``, the cooperative
+in-process ``sweep_async``, or ``sweep_parallel`` — skip
+already-executed cells with bit-identical results (``repro sweep
+--cache DIR`` on the CLI), while :func:`repro.store.merge_shards` /
+``repro merge`` folds JSONL shards from separate runs or machines into
+one deduplicated :class:`~repro.analysis.aggregation.MatrixReport`::
+
+    from repro.orchestration import sweep_async
+    from repro.store import ResultCache
+
+    cache = ResultCache("results/cache")
+    sweep_async(matrix, cache=cache)   # cold: executes everything
+    again = sweep_async(matrix, cache=cache)
+    assert again.cache_hits == len(matrix)   # warm: executes nothing
 """
 
 from . import adversary, analysis, baselines, broadcast, core, net, orchestration
-from . import runtime, sim
+from . import runtime, sim, store
+from .store import ResultCache
 from .analysis import (
     MessageCounter,
     Tracer,
@@ -122,7 +141,9 @@ __all__ = [
     "orchestration",
     "runtime",
     "sim",
+    "store",
     # frequently used names
+    "ResultCache",
     "MessageCounter",
     "Tracer",
     "first_good_round",

@@ -6,6 +6,12 @@ module does the analogous job for the picklable
 :class:`~repro.orchestration.matrix.ScenarioOutcome` digests produced by
 the sweep engine — including per-cell breakdowns, which is what turns a
 flat list of thousands of runs into a readable scenario report.
+
+It is also the single aggregation path for the persistent result store:
+cache-served and freshly executed outcomes (:mod:`repro.store.cache`),
+and outcomes merged from JSONL shards (:func:`repro.store.merge_shards`),
+all flow through :func:`aggregate_outcomes`, so a resumed or merged
+sweep reports through exactly the same code as a fresh one.
 """
 
 from __future__ import annotations
@@ -127,9 +133,16 @@ def aggregate_outcomes(outcomes: Iterable["ScenarioOutcome"]) -> MatrixReport:
 
 
 def render_matrix_table(report: MatrixReport) -> str:
-    """Render the per-cell breakdown as an aligned text table."""
+    """Render the per-cell breakdown as an aligned text table.
+
+    Cells without timing samples (every run timed out, errored, or the
+    report is empty) render ``-`` placeholders rather than fake zeros;
+    an empty report yields just the header with a note.
+    """
     from ..orchestration.sweeps import format_table
 
+    if not report.cells:
+        return "(no scenarios)"
     rows: list[Sequence[object]] = []
     for cell in report.cells.values():
         rows.append([

@@ -4,9 +4,15 @@ Commands:
 
 * ``run`` — execute one consensus run and print the outcome;
 * ``sweep`` — expand a scenario matrix (sizes × topologies × adversaries
-  × value diversity × seeds), run it serially or on a worker pool, and
-  print aggregate plus per-cell statistics (optionally persisting one
-  JSONL record per scenario);
+  × value diversity × seeds), run it on the serial, cooperative-async or
+  process-pool backend, and print aggregate plus per-cell statistics
+  (optionally persisting one JSONL record per scenario).  With
+  ``--cache DIR`` the sweep goes through the persistent result store
+  (:mod:`repro.store`): already-executed scenarios are served from the
+  cache, only missing cells run, and re-running the same sweep executes
+  nothing while printing identical results;
+* ``merge`` — fold JSONL shards from several sweep runs (or machines)
+  into one deduplicated report, detecting conflicting duplicates;
 * ``bounds`` — print the Section 5.4 round-bound table for (n, t);
 * ``feasibility`` — print the m-valued feasibility envelope.
 
@@ -30,7 +36,7 @@ from .core.values import BOT
 from .net.topology import fully_asynchronous, fully_timely
 from .orchestration.config import RunConfig
 from .orchestration.matrix import ADVERSARY_KINDS, ScenarioMatrix
-from .orchestration.parallel import sweep_parallel
+from .orchestration.parallel import sweep_async, sweep_parallel, sweep_serial
 from .orchestration.runner import run_consensus
 from .orchestration.sweeps import format_table, standard_proposals
 
@@ -71,6 +77,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist one JSON record per scenario")
     sweep_p.add_argument("--progress", action="store_true",
                          help="print one line per finished scenario")
+    sweep_p.add_argument("--backend", default="auto",
+                         choices=["auto", "serial", "async", "parallel"],
+                         help="execution backend (auto: parallel when "
+                              "--workers > 1, else serial; async is the "
+                              "cooperative in-process backend)")
+    sweep_p.add_argument("--cache", default=None, metavar="DIR",
+                         help="persistent result store: cached scenarios "
+                              "are served without re-execution, fresh "
+                              "outcomes are written back")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="print the store diff (cached vs missing) "
+                              "before running; requires --cache")
+
+    merge_p = sub.add_parser(
+        "merge", help="merge JSONL sweep shards into one report"
+    )
+    merge_p.add_argument("shards", nargs="+", metavar="SHARD",
+                         help="JSONL shard files (from sweep --jsonl)")
+    merge_p.add_argument("--out", default=None, metavar="PATH",
+                         help="write the merged, deduplicated JSONL here")
+    merge_p.add_argument("--on-conflict", default="error",
+                         choices=["error", "first", "last"],
+                         help="how to resolve shards that disagree about "
+                              "the same scenario (default: error out)")
 
     bounds_p = sub.add_parser("bounds", help="Section 5.4 round-bound table")
     bounds_p.add_argument("--n", type=int, required=True)
@@ -233,7 +263,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{outcome.spec.cell_id} seed={outcome.spec.seed_index} "
                   f"{status}")
 
-    sweep = sweep_parallel(matrix, workers=args.workers, on_result=progress)
+    cache = None
+    if args.resume and not args.cache:
+        raise SystemExit("--resume requires --cache DIR")
+    if args.cache:
+        from .store import ResultCache
+
+        cache = ResultCache(args.cache)
+    if args.resume:
+        from .store import count_cached, describe_counts
+
+        print(f"resume       : {describe_counts(*count_cached(matrix, cache))}")
+    backend = args.backend
+    if backend == "auto":
+        backend = "parallel" if args.workers > 1 else "serial"
+    if backend == "serial":
+        sweep = sweep_serial(matrix, on_result=progress, cache=cache)
+    elif backend == "async":
+        sweep = sweep_async(matrix, on_result=progress, cache=cache)
+    else:
+        sweep = sweep_parallel(
+            matrix, workers=args.workers, on_result=progress, cache=cache
+        )
     report = sweep.report
     rounds, latency, messages = report.rounds, report.latency, report.messages
     print(format_table(
@@ -256,10 +307,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"throughput   : {len(sweep.outcomes)} scenarios in "
           f"{sweep.elapsed:.2f}s "
           f"({sweep.scenarios_per_second:.1f}/s, {sweep.workers} worker(s))")
+    if cache is not None:
+        print(f"cache        : {sweep.cache_hits} hit(s), "
+              f"{sweep.executed} executed -> {args.cache}")
     if args.jsonl:
         path = sweep.write_jsonl(args.jsonl)
         print(f"jsonl        : {path}")
     return 0 if report.decided_runs == report.runs and report.all_safe else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .store import ShardConflictError, merge_shards
+
+    try:
+        merged = merge_shards(args.shards, on_conflict=args.on_conflict)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"missing shard: {exc.filename or exc}")
+    except (ShardConflictError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    report = merged.report
+    print(f"shards       : {len(merged.sources)} file(s), "
+          f"{merged.total_records} record(s), "
+          f"{merged.duplicates} duplicate(s) dropped")
+    print(f"scenarios    : {report.runs}")
+    print(f"decided      : {report.decided_runs}/{report.runs} seeds")
+    print(f"values       : {report.values}")
+    print(f"safety       : {'OK' if report.all_safe else 'VIOLATED'}")
+    if report.cells:
+        print()
+        print(render_matrix_table(report))
+    if args.out:
+        path = merged.write_jsonl(args.out)
+        print(f"\nmerged jsonl : {path}")
+    return 0 if report.all_safe else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -299,6 +379,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "merge": _cmd_merge,
         "bounds": _cmd_bounds,
         "feasibility": _cmd_feasibility,
     }

@@ -7,10 +7,17 @@ from .matrix import (
     ScenarioSpec,
     adversary_from_name,
     build_config,
+    outcome_from_record,
     run_scenario,
     topology_from_name,
 )
-from .parallel import SweepResult, default_workers, sweep_parallel, sweep_serial
+from .parallel import (
+    SweepResult,
+    default_workers,
+    sweep_async,
+    sweep_parallel,
+    sweep_serial,
+)
 from .runner import (
     ConsensusRunResult,
     RandomizedRunResult,
@@ -27,10 +34,12 @@ __all__ = [
     "ScenarioSpec",
     "adversary_from_name",
     "build_config",
+    "outcome_from_record",
     "run_scenario",
     "topology_from_name",
     "SweepResult",
     "default_workers",
+    "sweep_async",
     "sweep_parallel",
     "sweep_serial",
     "ConsensusRunResult",

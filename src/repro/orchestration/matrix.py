@@ -45,6 +45,7 @@ __all__ = [
     "ScenarioOutcome",
     "ScenarioMatrix",
     "build_config",
+    "outcome_from_record",
     "run_scenario",
 ]
 
@@ -177,8 +178,32 @@ class ScenarioSpec:
             "values": list(self.values) if self.values is not None else None,
             "seed": self.seed, "seed_index": self.seed_index,
             "faults": self.faults, "variant": self.variant, "k": self.k,
+            "max_time": self.max_time, "max_events": self.max_events,
             "cell_id": self.cell_id, "index": self.index,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (extra keys, e.g. outcome fields in
+        a flat JSONL record, are ignored)."""
+        values = data.get("values")
+        faults = data.get("faults")
+        return cls(
+            n=int(data["n"]),
+            t=int(data["t"]),
+            topology=str(data["topology"]),
+            adversary=str(data["adversary"]),
+            num_values=int(data["num_values"]),
+            seed=int(data["seed"]),
+            seed_index=int(data.get("seed_index", 0)),
+            values=tuple(values) if values is not None else None,
+            faults=None if faults is None else int(faults),
+            variant=str(data.get("variant", "standard")),
+            k=int(data.get("k", 0)),
+            max_time=float(data.get("max_time", 1_000_000.0)),
+            max_events=int(data.get("max_events", 20_000_000)),
+            index=int(data.get("index", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -221,6 +246,35 @@ class ScenarioOutcome:
             "error": self.error,
         })
         return record
+
+
+def outcome_from_record(
+    record: dict[str, Any], spec: ScenarioSpec | None = None
+) -> ScenarioOutcome:
+    """Inverse of :meth:`ScenarioOutcome.to_record`.
+
+    Passing ``spec`` reattaches a live spec instead of reconstructing one
+    from the record — the result store uses this so a cache hit returns
+    an outcome carrying the *caller's* spec (same matrix index and all),
+    which keeps resumed sweeps bit-identical to fresh ones.
+    """
+    if spec is None:
+        spec = ScenarioSpec.from_dict(record)
+    return ScenarioOutcome(
+        spec=spec,
+        decided=bool(record["decided"]),
+        decisions={int(pid): v for pid, v in record["decisions"].items()},
+        decided_value=record["decided_value"],
+        rounds={int(pid): int(r) for pid, r in record["rounds"].items()},
+        max_round=int(record["max_round"]),
+        messages_sent=int(record["messages_sent"]),
+        events_processed=int(record["events_processed"]),
+        finished_at=float(record["finished_at"]),
+        timed_out=bool(record["timed_out"]),
+        invariants_ok=bool(record["invariants_ok"]),
+        violations=tuple(record.get("violations", ())),
+        error=record.get("error"),
+    )
 
 
 @dataclass

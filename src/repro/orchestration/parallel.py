@@ -1,4 +1,4 @@
-"""Serial and multi-process execution of scenario matrices.
+"""Serial, cooperative-async and multi-process execution of scenario matrices.
 
 :func:`sweep_parallel` fans a :class:`~repro.orchestration.matrix.ScenarioMatrix`
 (or any list of :class:`~repro.orchestration.matrix.ScenarioSpec`) out
@@ -12,27 +12,48 @@ randomness from the spec's derived seed), serial and parallel execution
 of the same matrix are bit-identical; ``tests/orchestration/test_parallel.py``
 locks this in.
 
-Dispatch is chunked: specs are dealt round-robin into ``chunksize``
-batches so each IPC round-trip amortises the pickle overhead, while
-results stream back per *chunk* to feed progress callbacks.
-:func:`sweep_serial` is the same pipeline minus the pool — both paths
-share one aggregation (:func:`repro.analysis.aggregation.aggregate_outcomes`)
-and one persistence format (:meth:`SweepResult.write_jsonl`).
+:func:`sweep_async` is the in-process cooperative backend for platforms
+where process pools are expensive (single-CPU containers, notebooks,
+services embedding the engine next to other event-loop work): a small
+set of asyncio tasks drains the spec queue, yielding to the loop between
+scenarios.  No processes are forked, and results are — again —
+bit-identical to :func:`sweep_serial`.
+
+All three backends accept an optional
+:class:`~repro.store.cache.ResultCache`: specs already in the store are
+served from it (and re-attached to the caller's matrix indices), only
+the missing cells are executed, and fresh outcomes are written back.
+``SweepResult.cache_hits`` reports how much work the store saved.
+
+Dispatch in the process-pool path is chunked: specs are dealt into
+``chunksize`` batches so each IPC round-trip amortises the pickle
+overhead, while results stream back per *chunk* to feed progress
+callbacks.  All paths share one aggregation
+(:func:`repro.analysis.aggregation.aggregate_outcomes`) and one
+persistence format (:meth:`SweepResult.write_jsonl`).
 """
 
 from __future__ import annotations
 
-import json
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..analysis.aggregation import MatrixReport, aggregate_outcomes
 from .matrix import ScenarioMatrix, ScenarioOutcome, ScenarioSpec, run_scenario
 
-__all__ = ["SweepResult", "sweep_serial", "sweep_parallel", "default_workers"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..store.cache import ResultCache
+
+__all__ = [
+    "SweepResult",
+    "sweep_serial",
+    "sweep_async",
+    "sweep_parallel",
+    "default_workers",
+]
 
 #: Progress callback: invoked once per finished scenario, main process.
 OnResult = Callable[[ScenarioOutcome], None]
@@ -46,10 +67,17 @@ class SweepResult:
     outcomes: list[ScenarioOutcome]
     #: Global and per-cell aggregates.
     report: MatrixReport
-    #: Worker processes used (1 = serial).
+    #: Worker processes used (1 = serial / async in-process).
     workers: int = 1
     #: Wall-clock seconds spent executing.
     elapsed: float = 0.0
+    #: Scenarios served from the result cache instead of executed.
+    cache_hits: int = 0
+
+    @property
+    def executed(self) -> int:
+        """Scenarios actually run (total minus cache hits)."""
+        return len(self.outcomes) - self.cache_hits
 
     @property
     def scenarios_per_second(self) -> float:
@@ -64,6 +92,7 @@ class SweepResult:
         outcomes: Sequence[ScenarioOutcome],
         workers: int = 1,
         elapsed: float = 0.0,
+        cache_hits: int = 0,
     ) -> "SweepResult":
         """Aggregate a finished outcome list into a result."""
         ordered = sorted(outcomes, key=lambda o: o.spec.index)
@@ -72,18 +101,19 @@ class SweepResult:
             report=aggregate_outcomes(ordered),
             workers=workers,
             elapsed=elapsed,
+            cache_hits=cache_hits,
         )
 
     def write_jsonl(self, path: str | os.PathLike[str]) -> Path:
-        """Persist one JSON record per scenario; returns the path."""
-        target = Path(path)
-        if target.parent != Path(""):
-            target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w", encoding="utf-8") as fh:
-            for outcome in self.outcomes:
-                fh.write(json.dumps(outcome.to_record(), sort_keys=True))
-                fh.write("\n")
-        return target
+        """Persist one JSON record per scenario; returns the path.
+
+        Parent directories are created, and the write is atomic (temp
+        file + rename via :func:`repro.store.shards.write_shard`), so an
+        interrupted sweep can never leave a truncated shard behind.
+        """
+        from ..store.shards import write_shard
+
+        return write_shard(self.outcomes, path)
 
 
 def _as_specs(
@@ -103,7 +133,20 @@ def _as_specs(
 
 
 def default_workers() -> int:
-    """Worker count matching the actually schedulable CPUs."""
+    """Worker count matching the actually schedulable CPUs.
+
+    The ``REPRO_SWEEP_WORKERS`` environment variable overrides (clamped
+    to >= 1; non-integer values are ignored).  Otherwise the size of the
+    process's CPU affinity set where the platform exposes one —
+    container CPU limits shrink affinity, not ``cpu_count()`` — falling
+    back to ``os.cpu_count()``.
+    """
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux fallback
@@ -123,22 +166,143 @@ def _timer() -> float:
     return time.perf_counter()
 
 
+def _split_cached(
+    specs: list[ScenarioSpec],
+    cache: "ResultCache | None",
+    check_invariants: bool,
+) -> tuple[list[ScenarioOutcome], list[ScenarioSpec]]:
+    """Partition specs into (cached outcomes, specs still to run).
+
+    A ``check_invariants`` sweep never reads from the cache: its
+    contract is that a safety violation *raises* during execution, and a
+    violating outcome served from the store would silently bypass that.
+    It still writes back — clean outcomes are identical either way.
+    """
+    if cache is None or check_invariants:
+        return [], specs
+    from ..store.resume import plan_resume
+
+    plan = plan_resume(specs, cache)
+    return plan.cached, plan.missing
+
+
+def _store(cache: "ResultCache | None", outcome: ScenarioOutcome) -> None:
+    """Write one fresh outcome back to the store.
+
+    Error outcomes are *not* cached: the error may be environmental
+    (memory pressure, recursion limits), and persisting it would poison
+    every future sweep of the cell.  Timeouts are cached — they are
+    deterministic in the spec's budgets, which are part of the key.
+    """
+    if cache is not None and outcome.error is None:
+        cache.put(outcome)
+
+
+def _emit(outcomes: Iterable[ScenarioOutcome], on_result: OnResult | None) -> None:
+    if on_result is not None:
+        for outcome in outcomes:
+            on_result(outcome)
+
+
+def _finish_serial(
+    cached: list[ScenarioOutcome],
+    missing: list[ScenarioSpec],
+    on_result: OnResult | None,
+    check_invariants: bool,
+    cache: "ResultCache | None",
+    workers: int,
+    started: float,
+) -> SweepResult:
+    """Shared tail for the serial paths: run ``missing``, merge, aggregate."""
+    outcomes = list(cached)
+    _emit(cached, on_result)
+    for spec in missing:
+        outcome = run_scenario(spec, check_invariants=check_invariants)
+        _store(cache, outcome)
+        outcomes.append(outcome)
+        _emit((outcome,), on_result)
+    return SweepResult.from_outcomes(
+        outcomes,
+        workers=workers,
+        elapsed=_timer() - started,
+        cache_hits=len(cached),
+    )
+
+
 def sweep_serial(
     scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
     on_result: OnResult | None = None,
     check_invariants: bool = False,
+    cache: "ResultCache | None" = None,
 ) -> SweepResult:
-    """Run every scenario in this process, in matrix order."""
-    specs = _as_specs(scenarios)
+    """Run every scenario in this process, in matrix order.
+
+    With a ``cache``, scenarios already in the store are served from it
+    (``on_result`` still sees them, first, in matrix order) and fresh
+    outcomes are written back.
+    """
     started = _timer()
-    outcomes: list[ScenarioOutcome] = []
-    for spec in specs:
-        outcome = run_scenario(spec, check_invariants=check_invariants)
-        outcomes.append(outcome)
-        if on_result is not None:
-            on_result(outcome)
+    cached, missing = _split_cached(
+        _as_specs(scenarios), cache, check_invariants
+    )
+    return _finish_serial(
+        cached, missing, on_result, check_invariants, cache,
+        workers=1, started=started,
+    )
+
+
+def sweep_async(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    concurrency: int | None = None,
+    on_result: OnResult | None = None,
+    check_invariants: bool = False,
+    cache: "ResultCache | None" = None,
+) -> SweepResult:
+    """Run a scenario matrix on a cooperative in-process asyncio backend.
+
+    ``concurrency`` tasks (default: up to 8) drain one shared spec queue
+    inside a private event loop, yielding control between scenarios — no
+    worker processes are forked, which is the right trade on platforms
+    where pools are expensive (single-CPU containers, notebooks) or when
+    the engine is embedded next to other event-loop work via
+    ``on_result``.  Scenario execution itself is synchronous and
+    deterministic, so results are bit-identical to :func:`sweep_serial`
+    on the same matrix.
+
+    Must be called from outside a running event loop (it owns its own,
+    via ``asyncio.run``).
+    """
+    import asyncio
+    from collections import deque
+
+    started = _timer()
+    cached, missing = _split_cached(
+        _as_specs(scenarios), cache, check_invariants
+    )
+    if concurrency is None:
+        concurrency = min(8, max(1, len(missing)))
+    outcomes: list[ScenarioOutcome] = list(cached)
+    _emit(cached, on_result)
+    queue: deque[ScenarioSpec] = deque(missing)
+
+    async def worker() -> None:
+        while queue:
+            spec = queue.popleft()
+            outcome = run_scenario(spec, check_invariants=check_invariants)
+            _store(cache, outcome)
+            outcomes.append(outcome)
+            _emit((outcome,), on_result)
+            await asyncio.sleep(0)
+
+    async def drive() -> None:
+        await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+
+    asyncio.run(drive())
     return SweepResult.from_outcomes(
-        outcomes, workers=1, elapsed=_timer() - started
+        outcomes,
+        workers=1,
+        elapsed=_timer() - started,
+        cache_hits=len(cached),
     )
 
 
@@ -148,40 +312,45 @@ def sweep_parallel(
     chunksize: int | None = None,
     on_result: OnResult | None = None,
     check_invariants: bool = False,
+    cache: "ResultCache | None" = None,
 ) -> SweepResult:
     """Run a scenario matrix on a process pool.
 
     Args:
         scenarios: A matrix or an explicit spec list.
         workers: Pool size; ``None`` uses :func:`default_workers`, and
-            ``workers <= 1`` (or a single scenario) degrades to
-            :func:`sweep_serial` — same results, no pool overhead.
+            ``workers <= 1`` (or at most one scenario left to execute)
+            degrades to the serial path — same results, no pool overhead.
         chunksize: Specs per dispatch unit; ``None`` picks a size that
             gives each worker ~4 chunks (latency/overhead balance).
-        on_result: Called in the parent for every finished scenario, in
-            completion order (chunks complete out of order; outcomes in
-            the returned result are nevertheless in matrix order).
+        on_result: Called in the parent for every finished scenario —
+            cache hits first, then fresh outcomes in completion order
+            (chunks complete out of order; outcomes in the returned
+            result are nevertheless in matrix order).
         check_invariants: Propagated to every run; when true a safety
             violation raises in the worker and aborts the sweep.
+        cache: Optional result store; cached scenarios are not
+            re-executed, fresh outcomes are written back (in the parent,
+            so workers never touch the store).  ``check_invariants``
+            sweeps bypass cache *reads* so violations always raise.
     """
     specs = _as_specs(scenarios)
     if workers is None:
         workers = default_workers()
-    if workers <= 1 or len(specs) <= 1:
-        result = sweep_serial(
-            specs, on_result=on_result, check_invariants=check_invariants
-        )
-        return SweepResult(
-            outcomes=result.outcomes,
-            report=result.report,
-            workers=max(1, workers),
-            elapsed=result.elapsed,
+    started = _timer()
+    cached, missing = _split_cached(specs, cache, check_invariants)
+    if workers <= 1 or len(missing) <= 1:
+        return _finish_serial(
+            cached, missing, on_result, check_invariants, cache,
+            workers=max(1, workers), started=started,
         )
     if chunksize is None:
-        chunksize = max(1, len(specs) // (workers * 4))
-    chunks = [specs[i : i + chunksize] for i in range(0, len(specs), chunksize)]
-    started = _timer()
-    outcomes: list[ScenarioOutcome] = []
+        chunksize = max(1, len(missing) // (workers * 4))
+    chunks = [
+        missing[i : i + chunksize] for i in range(0, len(missing), chunksize)
+    ]
+    outcomes: list[ScenarioOutcome] = list(cached)
+    _emit(cached, on_result)
     with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
         pending = {
             pool.submit(_run_chunk, chunk, check_invariants) for chunk in chunks
@@ -190,10 +359,13 @@ def sweep_parallel(
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 chunk_outcomes = future.result()
+                for outcome in chunk_outcomes:
+                    _store(cache, outcome)
                 outcomes.extend(chunk_outcomes)
-                if on_result is not None:
-                    for outcome in chunk_outcomes:
-                        on_result(outcome)
+                _emit(chunk_outcomes, on_result)
     return SweepResult.from_outcomes(
-        outcomes, workers=workers, elapsed=_timer() - started
+        outcomes,
+        workers=workers,
+        elapsed=_timer() - started,
+        cache_hits=len(cached),
     )

@@ -1,0 +1,66 @@
+"""repro.store — the persistent result store for scenario sweeps.
+
+PR 1's sweep engine is fire-and-forget: every invocation re-executes
+every cell.  This package turns it into an incremental experiment
+platform, in three layers:
+
+* :mod:`repro.store.cache` — :class:`ResultCache`, a content-addressed
+  on-disk cache keyed by a SHA-256 digest of each
+  :class:`~repro.orchestration.matrix.ScenarioSpec` (config + seed +
+  budgets + a code-version salt), with atomic writes and a bounded
+  in-memory LRU front.  Pass one to any sweep backend (or ``repro sweep
+  --cache DIR``) and repeated sweeps skip already-executed scenarios
+  with bit-identical results.
+* :mod:`repro.store.shards` — JSONL shard readers/writers and
+  :func:`merge_shards`, which folds shards from multiple runs (or
+  machines) into one deduplicated
+  :class:`~repro.analysis.aggregation.MatrixReport`, detecting
+  conflicting duplicate records.  ``repro merge SHARD... --out PATH``
+  is the CLI face.
+* :mod:`repro.store.resume` — :func:`plan_resume` diffs a matrix
+  against the store; :func:`sweep_resume` dispatches only the missing
+  cells on a chosen backend.
+
+All persistence goes through :func:`repro.store.atomic.atomic_write_text`
+(temp file + rename), so interrupted sweeps never leave truncated cache
+entries or shards behind.
+"""
+
+from .atomic import atomic_write_text
+from .cache import CacheStats, ResultCache, code_version, scenario_key
+from .shards import (
+    MergeResult,
+    ShardConflictError,
+    canonical_order,
+    iter_shard_records,
+    merge_shards,
+    read_shard,
+    write_shard,
+)
+from .resume import (
+    ResumePlan,
+    count_cached,
+    describe_counts,
+    plan_resume,
+    sweep_resume,
+)
+
+__all__ = [
+    "atomic_write_text",
+    "CacheStats",
+    "ResultCache",
+    "code_version",
+    "scenario_key",
+    "MergeResult",
+    "ShardConflictError",
+    "canonical_order",
+    "iter_shard_records",
+    "merge_shards",
+    "read_shard",
+    "write_shard",
+    "ResumePlan",
+    "count_cached",
+    "describe_counts",
+    "plan_resume",
+    "sweep_resume",
+]

@@ -1,0 +1,57 @@
+"""Atomic filesystem writes shared by the result store and sweep engine.
+
+Everything the store persists — cache entries, JSONL shards, merged
+reports — goes through :func:`atomic_write_text`: the payload is written
+to a temporary file in the *target* directory (same filesystem, so the
+final rename cannot degrade to a copy) and moved into place with
+``os.replace``.  A reader therefore sees either the previous complete
+file or the new complete file, never a truncated hybrid, even if the
+writing process is killed mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(
+    path: str | os.PathLike[str], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the target path.
+
+    Parent directories are created as needed.  The temporary file is
+    fsynced before the rename, and the parent directory is fsynced after
+    it (where the platform allows), so a crash immediately after return
+    cannot lose the payload; the temp file is unlinked on any failure so
+    interrupted writes leave no litter behind.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    try:
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory fds
+        return target
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(dir_fd)
+    return target

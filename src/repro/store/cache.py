@@ -1,0 +1,225 @@
+"""Content-addressed on-disk cache for scenario outcomes.
+
+A :class:`ResultCache` stores one JSON file per executed scenario under
+``root/<key[:2]>/<key>.json``, where ``key`` is a SHA-256 digest of the
+scenario's full semantic identity — every :class:`ScenarioSpec` field
+that can change the run's result (config, seed, budgets) plus a
+*code-version salt*, so upgrading the algorithms silently invalidates
+stale entries instead of replaying them.  The spec's ``index`` (its
+position inside one particular matrix expansion) is deliberately
+excluded: the same scenario reached through differently shaped grids
+shares one cache entry.
+
+Writes are atomic (:mod:`repro.store.atomic`), so a cache directory can
+be shared between concurrent sweeps; reads go through a bounded
+in-memory LRU front so a resumed sweep touching the same cells twice
+pays the disk cost once.  Corrupt or truncated entries are treated as
+misses, never as errors — the worst a damaged cache can do is cause
+re-execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator
+
+from ..orchestration.matrix import (
+    ScenarioOutcome,
+    ScenarioSpec,
+    outcome_from_record,
+)
+from .atomic import atomic_write_text
+
+__all__ = ["CacheStats", "ResultCache", "code_version", "scenario_key"]
+
+#: Bump when the on-disk entry layout changes (entries with another
+#: format are treated as misses).
+FORMAT_VERSION = 1
+
+
+def code_version() -> str:
+    """The package version, used as the default cache salt."""
+    try:
+        from .. import __version__
+    except Exception:  # pragma: no cover - broken partial install
+        return "0"
+    return str(__version__)
+
+
+def scenario_key(spec: ScenarioSpec, salt: str = "") -> str:
+    """Stable hex digest of a scenario's semantic identity.
+
+    Built from the spec's JSON representation minus ``index`` and the
+    derived ``cell_id``, canonicalised (sorted keys, no whitespace) and
+    hashed with SHA-256; ``salt`` folds in any extra invalidation
+    context (the cache uses the code version).
+    """
+    data = spec.to_dict()
+    data.pop("index", None)
+    data.pop("cell_id", None)
+    data["salt"] = str(salt)
+    material = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Running counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Persistent scenario-outcome store with an in-memory LRU front.
+
+    Args:
+        root: Cache directory (created lazily on first ``put``).
+        salt: Invalidation salt mixed into every key; defaults to the
+            package version so algorithm changes age out old entries.
+        memory_entries: LRU capacity of the in-memory front
+            (``0`` disables it — every hit reads from disk).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        salt: str | None = None,
+        memory_entries: int = 2048,
+    ) -> None:
+        self.root = Path(root)
+        self.salt = code_version() if salt is None else str(salt)
+        self.memory_entries = max(0, int(memory_entries))
+        self._memory: OrderedDict[str, ScenarioOutcome] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- keys and paths -------------------------------------------------
+
+    def key(self, spec: ScenarioSpec) -> str:
+        """The content-address of ``spec`` under this cache's salt."""
+        return scenario_key(spec, self.salt)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives on disk."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- core operations ------------------------------------------------
+
+    def get(self, spec: ScenarioSpec) -> ScenarioOutcome | None:
+        """The cached outcome for ``spec``, or ``None`` on a miss.
+
+        The returned outcome carries *this* spec (not the one that
+        populated the entry), so matrix indices survive a round-trip and
+        resumed sweeps stay bit-identical to fresh ones.
+        """
+        key = self.key(spec)
+        outcome = self._memory.get(key)
+        if outcome is not None:
+            self._memory.move_to_end(key)
+        else:
+            outcome = self._read(key)
+            if outcome is None:
+                self.stats.misses += 1
+                return None
+            self._remember(key, outcome)
+        self.stats.hits += 1
+        return outcome if outcome.spec == spec else replace(outcome, spec=spec)
+
+    def put(self, outcome: ScenarioOutcome) -> Path:
+        """Persist one outcome; returns the entry path."""
+        key = self.key(outcome.spec)
+        payload = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "salt": self.salt,
+            "record": outcome.to_record(),
+        }
+        path = atomic_write_text(
+            self.path_for(key), json.dumps(payload, sort_keys=True)
+        )
+        self._remember(key, outcome)
+        self.stats.puts += 1
+        return path
+
+    def invalidate(self, spec: ScenarioSpec) -> bool:
+        """Drop the entry for ``spec``; True if one existed."""
+        key = self.key(spec)
+        self._memory.pop(key, None)
+        try:
+            self.path_for(key).unlink()
+        except FileNotFoundError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self._entry_paths():
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._memory.clear()
+        return removed
+
+    # -- introspection --------------------------------------------------
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        key = self.key(spec)
+        return key in self._memory or self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def iter_outcomes(self) -> Iterator[ScenarioOutcome]:
+        """Every readable outcome on disk (unordered; corrupt entries
+        are skipped)."""
+        for path in self._entry_paths():
+            outcome = self._decode(path)
+            if outcome is not None:
+                yield outcome
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, salt={self.salt!r}, "
+            f"stats={self.stats})"
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for bucket in sorted(self.root.iterdir()):
+            if bucket.is_dir():
+                yield from sorted(bucket.glob("*.json"))
+
+    def _read(self, key: str) -> ScenarioOutcome | None:
+        return self._decode(self.path_for(key))
+
+    def _decode(self, path: Path) -> ScenarioOutcome | None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("format") != FORMAT_VERSION:
+                return None
+            return outcome_from_record(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _remember(self, key: str, outcome: ScenarioOutcome) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._memory[key] = outcome
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)

@@ -1,0 +1,123 @@
+"""Resumable sweeps: diff a scenario matrix against the result store.
+
+:func:`plan_resume` splits a matrix (or spec list) into the outcomes the
+cache already holds and the specs that still need execution — the
+partition every cache-aware sweep backend runs on.  :func:`sweep_resume`
+is the convenience wrapper: plan, dispatch only the missing cells on the
+chosen backend, and return one :class:`SweepResult` whose outcomes are
+indistinguishable from a fresh full sweep (cache hits reattach the
+caller's specs, so even matrix indices survive the round-trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..orchestration.matrix import ScenarioMatrix, ScenarioOutcome, ScenarioSpec
+from .cache import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..orchestration.parallel import SweepResult
+
+__all__ = [
+    "ResumePlan",
+    "count_cached",
+    "describe_counts",
+    "plan_resume",
+    "sweep_resume",
+]
+
+
+def describe_counts(cached: int, missing: int) -> str:
+    """The one-line resume summary shared by :meth:`ResumePlan.describe`
+    and the CLI's ``--resume`` preview."""
+    return f"{cached}/{cached + missing} scenarios cached, {missing} to run"
+
+
+@dataclass
+class ResumePlan:
+    """Partition of a matrix into already-cached and still-missing work."""
+
+    #: Cache hits, carrying the requesting matrix's specs.
+    cached: list[ScenarioOutcome]
+    #: Specs with no cache entry, in matrix order.
+    missing: list[ScenarioSpec]
+
+    @property
+    def total(self) -> int:
+        return len(self.cached) + len(self.missing)
+
+    @property
+    def complete(self) -> bool:
+        """True when the store already covers the whole matrix."""
+        return not self.missing
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI's ``--resume`` output)."""
+        return describe_counts(len(self.cached), len(self.missing))
+
+
+def count_cached(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    cache: ResultCache,
+) -> tuple[int, int]:
+    """Cheap ``(cached, missing)`` counts for a matrix.
+
+    Existence checks only — no entry is read or decoded and the cache's
+    hit/miss stats are untouched, so this is safe to run as a preview
+    right before a cache-aware sweep does the real partition.
+    """
+    from ..orchestration.parallel import _as_specs
+
+    cached = missing = 0
+    for spec in _as_specs(scenarios):
+        if spec in cache:
+            cached += 1
+        else:
+            missing += 1
+    return cached, missing
+
+
+def plan_resume(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    cache: ResultCache,
+) -> ResumePlan:
+    """Split ``scenarios`` into cached outcomes and missing specs."""
+    from ..orchestration.parallel import _as_specs
+
+    cached: list[ScenarioOutcome] = []
+    missing: list[ScenarioSpec] = []
+    for spec in _as_specs(scenarios):
+        outcome = cache.get(spec)
+        if outcome is None:
+            missing.append(spec)
+        else:
+            cached.append(outcome)
+    return ResumePlan(cached=cached, missing=missing)
+
+
+def sweep_resume(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    cache: ResultCache,
+    backend: str = "serial",
+    **kwargs: object,
+) -> "SweepResult":
+    """Run only the scenarios the store is missing, on the named backend
+    (``"serial"``, ``"async"`` or ``"parallel"``); cache hits and fresh
+    results come back merged in matrix order."""
+    from ..orchestration import parallel
+
+    backends = {
+        "serial": parallel.sweep_serial,
+        "async": parallel.sweep_async,
+        "parallel": parallel.sweep_parallel,
+    }
+    try:
+        sweep = backends[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r} "
+            f"(known: {', '.join(sorted(backends))})"
+        ) from None
+    return sweep(scenarios, cache=cache, **kwargs)  # type: ignore[operator]

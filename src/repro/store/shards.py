@@ -1,0 +1,209 @@
+"""JSONL shard reading, writing and merging.
+
+A *shard* is the JSONL file a sweep persists (one flat record per
+scenario, the format of :meth:`ScenarioOutcome.to_record`).  Sweeps run
+at different times — or on different machines — each produce their own
+shard; :func:`merge_shards` folds any number of them into one
+deduplicated outcome set and a single
+:class:`~repro.analysis.aggregation.MatrixReport`.
+
+Deduplication is content-addressed: records are keyed by
+:func:`~repro.store.cache.scenario_key` (semantic identity, matrix
+``index`` excluded), so re-running an overlapping grid is harmless.  Two
+records with the same key but *different* results mean the shards were
+produced by incompatible code or a corrupted run; that raises
+:class:`ShardConflictError` by default (``on_conflict="first"/"last"``
+picks a side instead).
+
+Merged outcomes are ordered canonically — by cell id, then seed index,
+then seed — so the merge of a partitioned sweep is deterministic no
+matter how the work was split.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..analysis.aggregation import MatrixReport, aggregate_outcomes
+from ..orchestration.matrix import ScenarioOutcome, outcome_from_record
+from .atomic import atomic_write_text
+from .cache import scenario_key
+
+__all__ = [
+    "MergeResult",
+    "ShardConflictError",
+    "canonical_order",
+    "iter_shard_records",
+    "merge_shards",
+    "read_shard",
+    "write_shard",
+]
+
+#: Salt for merge identity keys: constant, so shards written by any
+#: sweep of the same scenarios collide (which is the point).
+_MERGE_SALT = "shard-merge"
+
+
+class ShardConflictError(ValueError):
+    """Two shards disagree about the result of the same scenario."""
+
+
+def _iter_shard_lines(
+    path: str | os.PathLike[str],
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    shard = Path(path)
+    with shard.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield lineno, json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{shard}:{lineno}: malformed shard record: {exc}"
+                ) from None
+
+
+def iter_shard_records(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
+    """Yield each JSON record in a shard (blank lines are skipped).
+
+    Malformed lines raise ``ValueError`` naming the file and line — a
+    truncated shard should fail loudly here, not surface as a half-merged
+    report (writes via :func:`write_shard` are atomic precisely so this
+    never happens in normal operation).
+    """
+    for _, record in _iter_shard_lines(path):
+        yield record
+
+
+def _iter_shard_outcomes(
+    path: str | os.PathLike[str],
+) -> Iterator[ScenarioOutcome]:
+    """Reconstruct each record, failing loudly with file and line on
+    schema-invalid (but well-formed JSON) records."""
+    for lineno, record in _iter_shard_lines(path):
+        try:
+            yield outcome_from_record(record)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(
+                f"{Path(path)}:{lineno}: invalid shard record "
+                f"({type(exc).__name__}: {exc})"
+            ) from None
+
+
+def read_shard(path: str | os.PathLike[str]) -> list[ScenarioOutcome]:
+    """Load every outcome in one JSONL shard, in file order."""
+    return list(_iter_shard_outcomes(path))
+
+
+def write_shard(
+    outcomes: Iterable[ScenarioOutcome], path: str | os.PathLike[str]
+) -> Path:
+    """Write outcomes as one JSONL shard (atomically); returns the path."""
+    text = "".join(
+        json.dumps(outcome.to_record(), sort_keys=True) + "\n"
+        for outcome in outcomes
+    )
+    return atomic_write_text(path, text)
+
+
+def canonical_order(outcome: ScenarioOutcome) -> tuple[Any, ...]:
+    """Sort key giving merged outcomes a split-independent order."""
+    spec = outcome.spec
+    return (spec.cell_id, spec.seed_index, spec.seed, spec.index)
+
+
+def _identity(outcome: ScenarioOutcome) -> dict[str, Any]:
+    """An outcome's comparable payload: its canonical record minus the
+    matrix index (two runs may legitimately place one scenario at
+    different grid positions).  Built from the *reconstructed* outcome,
+    not the raw shard line, so records written by older code (before
+    optional spec fields existed) compare equal to current-code records
+    of the same result instead of spuriously conflicting."""
+    payload = outcome.to_record()
+    payload.pop("index", None)
+    return payload
+
+
+@dataclass
+class MergeResult:
+    """Outcome of merging one or more JSONL shards."""
+
+    #: Deduplicated outcomes in canonical (cell, seed) order.
+    outcomes: list[ScenarioOutcome]
+    #: Aggregates over the merged outcomes.
+    report: MatrixReport
+    #: Records read across all shards (before deduplication).
+    total_records: int
+    #: Records dropped as exact duplicates of an earlier one.
+    duplicates: int
+    #: Shard paths, in merge order.
+    sources: tuple[str, ...]
+
+    def write_jsonl(self, path: str | os.PathLike[str]) -> Path:
+        """Persist the merged outcomes as a single shard."""
+        return write_shard(self.outcomes, path)
+
+
+def merge_shards(
+    paths: Iterable[str | os.PathLike[str]],
+    on_conflict: str = "error",
+) -> MergeResult:
+    """Merge JSONL shards into one deduplicated report.
+
+    Args:
+        paths: Shard files, e.g. from ``repro sweep --jsonl`` runs on
+            disjoint (or overlapping) slices of one matrix.
+        on_conflict: What to do when two shards carry *different* results
+            for the same scenario: ``"error"`` (default) raises
+            :class:`ShardConflictError`; ``"first"`` / ``"last"`` keep
+            the earliest / latest record in merge order.
+    """
+    if on_conflict not in ("error", "first", "last"):
+        raise ValueError(
+            f"on_conflict must be 'error', 'first' or 'last', "
+            f"got {on_conflict!r}"
+        )
+    ordered_paths = [str(p) for p in paths]
+    chosen: dict[str, ScenarioOutcome] = {}
+    payloads: dict[str, dict[str, Any]] = {}
+    origins: dict[str, str] = {}
+    total = 0
+    duplicates = 0
+    for path in ordered_paths:
+        for outcome in _iter_shard_outcomes(path):
+            total += 1
+            key = scenario_key(outcome.spec, _MERGE_SALT)
+            payload = _identity(outcome)
+            if key not in chosen:
+                chosen[key] = outcome
+                payloads[key] = payload
+                origins[key] = path
+                continue
+            if payloads[key] == payload:
+                duplicates += 1
+                continue
+            if on_conflict == "error":
+                raise ShardConflictError(
+                    f"shards disagree about scenario "
+                    f"{outcome.spec.cell_id} (seed {outcome.spec.seed}): "
+                    f"{origins[key]} vs {path}"
+                )
+            duplicates += 1
+            if on_conflict == "last":
+                chosen[key] = outcome
+                payloads[key] = payload
+                origins[key] = path
+    outcomes = sorted(chosen.values(), key=canonical_order)
+    return MergeResult(
+        outcomes=outcomes,
+        report=aggregate_outcomes(outcomes),
+        total_records=total,
+        duplicates=duplicates,
+        sources=tuple(ordered_paths),
+    )

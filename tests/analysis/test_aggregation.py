@@ -1,0 +1,102 @@
+"""Edge cases for sweep aggregation and the per-cell table renderer."""
+
+from repro.analysis.aggregation import aggregate_outcomes, render_matrix_table
+from repro.orchestration.matrix import (
+    ScenarioMatrix,
+    ScenarioOutcome,
+    ScenarioSpec,
+)
+from repro.orchestration.parallel import sweep_serial
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        n=4, t=1, topology="single_bisource", adversary="crash",
+        num_values=2, seed=0,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def timed_out_outcome(spec: ScenarioSpec) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        spec=spec, decided=False, decisions={}, decided_value=None,
+        rounds={}, max_round=7, messages_sent=321, events_processed=1000,
+        finished_at=5.0, timed_out=True, invariants_ok=True,
+    )
+
+
+def error_outcome(spec: ScenarioSpec) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        spec=spec, decided=False, decisions={}, decided_value=None,
+        rounds={}, max_round=0, messages_sent=0, events_processed=0,
+        finished_at=0.0, timed_out=False, invariants_ok=False,
+        error="ValueError: boom",
+    )
+
+
+class TestEmptyOutcomeList:
+    def test_all_zero_report(self):
+        report = aggregate_outcomes([])
+        assert report.runs == 0 and report.decided_runs == 0
+        assert report.decide_rate == 0.0
+        assert report.all_safe
+        assert report.cells == {} and report.values == {}
+        assert report.rounds.count == 0 and report.rounds.mean == 0.0
+
+    def test_render_does_not_crash(self):
+        assert render_matrix_table(aggregate_outcomes([])) == "(no scenarios)"
+
+
+class TestSingleCellMatrix:
+    def test_one_cell_aggregates_and_renders(self):
+        matrix = ScenarioMatrix(sizes=[(4, 1)], seeds=range(3))
+        assert len(matrix.cells()) == 1
+        report = sweep_serial(matrix).report
+        assert list(report.cells) == ["n4/t1/single_bisource/crash/m2/f1"]
+        cell = report.cells["n4/t1/single_bisource/crash/m2/f1"]
+        assert cell.runs == 3 and cell.decide_rate == 1.0
+        assert cell.rounds.count == 3
+        table = render_matrix_table(report)
+        assert "n4/t1/single_bisource/crash/m2/f1" in table
+        assert "3/3" in table
+
+
+class TestDegenerateCells:
+    def test_all_runs_timed_out(self):
+        outcomes = [
+            timed_out_outcome(make_spec(seed=s, seed_index=s, index=s))
+            for s in range(3)
+        ]
+        report = aggregate_outcomes(outcomes)
+        assert report.runs == 3 and report.timed_out_runs == 3
+        assert report.decided_runs == 0 and report.decide_rate == 0.0
+        cell = report.cells["n4/t1/single_bisource/crash/m2/f1"]
+        assert cell.timed_out_runs == 3
+        # Undecided runs contribute no timing samples: placeholders, not
+        # fake zeros.
+        assert cell.rounds.count == 0 and cell.messages.count == 0
+        row = render_matrix_table(report).splitlines()[-1]
+        assert "0/3" in row and "-" in row
+
+    def test_error_runs_counted_but_excluded_from_stats(self):
+        ok = sweep_serial(
+            ScenarioMatrix(sizes=[(4, 1)], seeds=range(2))
+        ).outcomes
+        broken = [error_outcome(make_spec(adversary="noise", seed=9, index=2))]
+        report = aggregate_outcomes(list(ok) + broken)
+        assert report.runs == 3 and report.error_runs == 1
+        assert not report.all_safe  # error outcomes fail invariants_ok
+        assert report.rounds.count == 2  # only the decided runs sampled
+        bad_cell = report.cells["n4/t1/single_bisource/noise/m2/f1"]
+        assert bad_cell.error_runs == 1 and bad_cell.rounds.count == 0
+
+    def test_mixed_cell_timeout_and_decide(self):
+        matrix = ScenarioMatrix(sizes=[(4, 1)], seeds=range(2))
+        decided = sweep_serial(matrix).outcomes
+        extra = timed_out_outcome(make_spec(seed=77, seed_index=2, index=2))
+        report = aggregate_outcomes(list(decided) + [extra])
+        cell = report.cells["n4/t1/single_bisource/crash/m2/f1"]
+        assert cell.runs == 3 and cell.decided_runs == 2
+        assert cell.timed_out_runs == 1
+        assert 0 < cell.decide_rate < 1

@@ -102,6 +102,16 @@ class TestSweepCommandMatrix:
             assert record["decided"] is True
             assert record["invariants_ok"] is True
 
+    def test_backend_async_matches_serial(self, tmp_path, capsys):
+        argv = ["sweep", "--grid", "4:1", "--adversaries",
+                "crash,two_faced:evil", "--seeds", "2"]
+        serial_path = tmp_path / "serial.jsonl"
+        async_path = tmp_path / "async.jsonl"
+        assert main(argv + ["--jsonl", str(serial_path)]) == 0
+        assert main(argv + ["--backend", "async",
+                            "--jsonl", str(async_path)]) == 0
+        assert serial_path.read_bytes() == async_path.read_bytes()
+
     def test_end_to_end_two_workers(self, tmp_path, capsys):
         # A tiny genuinely multi-process run: 8 scenarios on 2 workers,
         # persisted, and identical to the serial CLI run.
@@ -119,3 +129,102 @@ class TestSweepCommandMatrix:
         parallel = [json.loads(l) for l in parallel_path.read_text().splitlines()]
         assert serial == parallel
         assert len(serial) == 8
+
+
+class TestSweepCache:
+    ARGV = ["sweep", "--grid", "4:1", "--adversaries", "crash,two_faced:evil",
+            "--seeds", "2"]
+
+    def test_second_run_executes_zero_bit_identical(self, tmp_path, capsys):
+        # The acceptance criterion: same sweep + same cache dir twice ->
+        # the rerun executes nothing and persists identical bytes.
+        cache_dir = str(tmp_path / "cache")
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        assert main(self.ARGV + ["--cache", cache_dir,
+                                 "--jsonl", str(first)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "0 hit(s), 4 executed" in cold_out
+        assert main(self.ARGV + ["--cache", cache_dir,
+                                 "--jsonl", str(second)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "4 hit(s), 0 executed" in warm_out
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_cache_shared_across_backends(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.ARGV + ["--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(self.ARGV + ["--cache", cache_dir,
+                                 "--backend", "async"]) == 0
+        assert "4 hit(s), 0 executed" in capsys.readouterr().out
+
+    def test_resume_prints_the_plan(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.ARGV + ["--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(self.ARGV + ["--cache", cache_dir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume       : 4/4 scenarios cached, 0 to run" in out
+
+    def test_resume_requires_cache(self):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(self.ARGV + ["--resume"])
+
+    def test_no_cache_no_cache_line(self, capsys):
+        assert main(["sweep", "--seeds", "1"]) == 0
+        assert "cache        :" not in capsys.readouterr().out
+
+
+class TestMergeCommand:
+    def _shard(self, tmp_path, name, adversary):
+        path = tmp_path / name
+        assert main(["sweep", "--grid", "4:1", "--adversaries", adversary,
+                     "--seeds", "2", "--jsonl", str(path)]) == 0
+        return path
+
+    def test_merge_disjoint_shards(self, tmp_path, capsys):
+        a = self._shard(tmp_path, "a.jsonl", "crash")
+        b = self._shard(tmp_path, "b.jsonl", "two_faced:evil")
+        capsys.readouterr()
+        out_path = tmp_path / "merged.jsonl"
+        assert main(["merge", str(a), str(b), "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 file(s), 4 record(s), 0 duplicate(s)" in out
+        assert "decided      : 4/4 seeds" in out
+        assert "n4/t1/single_bisource/crash/m2/f1" in out
+        assert "n4/t1/single_bisource/two_faced:evil/m2/f1" in out
+        assert len(out_path.read_text().splitlines()) == 4
+
+    def test_merge_overlap_dedupes(self, tmp_path, capsys):
+        a = self._shard(tmp_path, "a.jsonl", "crash")
+        capsys.readouterr()
+        assert main(["merge", str(a), str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "4 record(s), 2 duplicate(s)" in out
+        assert "scenarios    : 2" in out
+
+    def test_merge_conflict_exits(self, tmp_path, capsys):
+        import json as _json
+
+        a = self._shard(tmp_path, "a.jsonl", "crash")
+        records = [_json.loads(l) for l in a.read_text().splitlines()]
+        records[0]["messages_sent"] += 1
+        b = tmp_path / "b.jsonl"
+        b.write_text("".join(_json.dumps(r) + "\n" for r in records))
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="disagree"):
+            main(["merge", str(a), str(b)])
+        assert main(["merge", str(a), str(b), "--on-conflict", "first"]) == 0
+
+    def test_merge_missing_shard_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="missing shard"):
+            main(["merge", str(tmp_path / "nope.jsonl")])
+
+    def test_merge_schema_invalid_record_exits_cleanly(self, tmp_path):
+        # Valid JSON but not a sweep record: a clean error naming the
+        # file and line, not a KeyError traceback.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"foo": 1}\n', encoding="utf-8")
+        with pytest.raises(SystemExit, match=r"bad\.jsonl:1.*invalid"):
+            main(["merge", str(bad)])

@@ -1,4 +1,4 @@
-"""Serial vs parallel sweep equivalence, aggregation and persistence."""
+"""Serial vs async vs parallel sweep equivalence, aggregation, persistence."""
 
 import json
 
@@ -8,6 +8,7 @@ from repro.orchestration.matrix import ScenarioMatrix, build_config
 from repro.orchestration.parallel import (
     SweepResult,
     default_workers,
+    sweep_async,
     sweep_parallel,
     sweep_serial,
 )
@@ -98,8 +99,63 @@ class TestSweepParallel:
         assert sweep.workers == 1
         assert_equivalent(sweep, sweep_serial(matrix))
 
-    def test_default_workers_positive(self):
+
+class TestSweepAsync:
+    def test_bit_identical_to_serial(self):
+        matrix = small_matrix()
+        serial = sweep_serial(matrix)
+        cooperative = sweep_async(matrix)
+        assert cooperative.outcomes == serial.outcomes
+        assert cooperative.report == serial.report
+        assert cooperative.workers == 1
+
+    def test_concurrency_never_changes_results(self):
+        matrix = small_matrix()
+        assert (
+            sweep_async(matrix, concurrency=1).outcomes
+            == sweep_async(matrix, concurrency=3).outcomes
+            == sweep_async(matrix, concurrency=100).outcomes
+        )
+
+    def test_on_result_sees_every_scenario(self):
+        seen = []
+        sweep = sweep_async(small_matrix(), concurrency=3, on_result=seen.append)
+        assert sorted(o.spec.index for o in seen) == list(range(8))
+        assert len(sweep.outcomes) == 8
+
+    def test_accepts_spec_list(self):
+        specs = small_matrix().expand()[:3]
+        assert len(sweep_async(specs).outcomes) == 3
+
+    def test_empty_spec_list(self):
+        sweep = sweep_async([])
+        assert sweep.outcomes == [] and sweep.report.runs == 0
+
+
+class TestDefaultWorkers:
+    def test_positive(self):
         assert default_workers() >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "-4")
+        assert default_workers() == 1
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        assert default_workers() >= 1
+
+    def test_matches_affinity_when_available(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        if hasattr(os, "sched_getaffinity"):
+            assert default_workers() == max(1, len(os.sched_getaffinity(0)))
 
 
 class TestSweepSeedsEquivalence:
@@ -144,6 +200,28 @@ class TestSweepResult:
         sweep = sweep_serial(small_matrix(seeds=range(1)))
         assert sweep.elapsed > 0
         assert sweep.scenarios_per_second > 0
+
+    def test_jsonl_overwrite_is_atomic(self, tmp_path):
+        # Re-persisting over an existing shard must replace it whole and
+        # leave no temp litter (temp file + rename, never truncate).
+        sweep = sweep_serial(small_matrix(seeds=range(1)))
+        path = tmp_path / "sweep.jsonl"
+        sweep.write_jsonl(path)
+        first = path.read_text()
+        sweep.write_jsonl(path)
+        assert path.read_text() == first
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+    def test_jsonl_creates_nested_parents(self, tmp_path):
+        sweep = sweep_serial(small_matrix(seeds=range(1)))
+        path = sweep.write_jsonl(tmp_path / "a" / "b" / "c" / "sweep.jsonl")
+        assert path.exists()
+        assert len(path.read_text().splitlines()) == len(sweep.outcomes)
+
+    def test_cache_hits_default_zero(self):
+        sweep = sweep_serial(small_matrix(seeds=range(1)))
+        assert sweep.cache_hits == 0
+        assert sweep.executed == len(sweep.outcomes)
 
 
 @pytest.mark.slow

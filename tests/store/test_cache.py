@@ -1,0 +1,125 @@
+"""Content-addressed result cache: keys, round-trips, LRU, robustness."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.orchestration.matrix import ScenarioMatrix, run_scenario
+from repro.store import ResultCache, code_version, scenario_key
+
+
+def small_matrix(seeds=range(2)) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        sizes=[(4, 1)],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=seeds,
+    )
+
+
+@pytest.fixture
+def spec():
+    return small_matrix().expand()[0]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestScenarioKey:
+    def test_stable_and_deterministic(self, spec):
+        assert scenario_key(spec) == scenario_key(spec)
+        assert len(scenario_key(spec)) == 64
+
+    def test_semantic_fields_change_the_key(self, spec):
+        assert scenario_key(spec) != scenario_key(replace(spec, seed=spec.seed + 1))
+        assert scenario_key(spec) != scenario_key(replace(spec, n=7, t=2))
+        assert scenario_key(spec) != scenario_key(replace(spec, max_time=5.0))
+        assert scenario_key(spec) != scenario_key(replace(spec, variant="bot"))
+
+    def test_matrix_index_is_excluded(self, spec):
+        # The same scenario reached through differently shaped grids
+        # must share one cache entry.
+        assert scenario_key(spec) == scenario_key(replace(spec, index=99))
+
+    def test_salt_partitions_the_keyspace(self, spec):
+        assert scenario_key(spec, "v1") != scenario_key(spec, "v2")
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, cache, spec):
+        assert cache.get(spec) is None
+        assert cache.stats.misses == 1
+        outcome = run_scenario(spec)
+        cache.put(outcome)
+        assert cache.get(spec) == outcome
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+        assert spec in cache and len(cache) == 1
+
+    def test_persists_across_instances(self, tmp_path, spec):
+        outcome = run_scenario(spec)
+        ResultCache(tmp_path / "c").put(outcome)
+        fresh = ResultCache(tmp_path / "c")
+        assert fresh.get(spec) == outcome
+
+    def test_hit_reattaches_the_callers_spec(self, cache, spec):
+        # Same scenario, different matrix position: the cached entry
+        # must come back carrying the asking spec's index.
+        cache.put(run_scenario(spec))
+        moved = replace(spec, index=42)
+        hit = cache.get(moved)
+        assert hit is not None and hit.spec == moved
+        # ... including through a cold (disk) read.
+        cold = ResultCache(cache.root)
+        assert cold.get(moved).spec == moved
+
+    def test_invalidate(self, cache, spec):
+        cache.put(run_scenario(spec))
+        assert cache.invalidate(spec) is True
+        assert cache.get(spec) is None
+        assert cache.invalidate(spec) is False
+        assert cache.stats.invalidations == 1
+
+    def test_clear(self, cache):
+        for spec in small_matrix():
+            cache.put(run_scenario(spec))
+        assert len(cache) == 4
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+    def test_default_salt_is_code_version(self, cache, tmp_path, spec):
+        assert cache.salt == code_version()
+        cache.put(run_scenario(spec))
+        other = ResultCache(cache.root, salt="some-other-version")
+        assert other.get(spec) is None  # salted out, not served stale
+
+    def test_corrupt_entry_is_a_miss(self, cache, spec):
+        cache.put(run_scenario(spec))
+        path = cache.path_for(cache.key(spec))
+        path.write_text("{ truncated", encoding="utf-8")
+        cold = ResultCache(cache.root)  # bypass the in-memory front
+        assert cold.get(spec) is None
+
+    def test_atomic_writes_leave_no_litter(self, cache):
+        for spec in small_matrix():
+            cache.put(run_scenario(spec))
+        stray = [p for p in cache.root.rglob("*") if p.suffix == ".tmp"]
+        assert stray == []
+
+    def test_lru_front_is_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", memory_entries=2)
+        specs = small_matrix().expand()
+        for spec in specs:
+            cache.put(run_scenario(spec))
+        assert len(cache._memory) == 2
+        # Evicted entries are still served — from disk.
+        for spec in specs:
+            assert cache.get(spec) is not None
+
+    def test_iter_outcomes(self, cache):
+        specs = small_matrix().expand()
+        for spec in specs:
+            cache.put(run_scenario(spec))
+        keys = {cache.key(o.spec) for o in cache.iter_outcomes()}
+        assert keys == {cache.key(spec) for spec in specs}
