@@ -33,6 +33,9 @@ from .behaviors import DROP, OutboundFilter
 
 __all__ = [
     "AdversarySpec",
+    "PLACEMENTS",
+    "normalize_placement",
+    "place_adversaries",
     "crash",
     "noise",
     "crash_at",
@@ -69,6 +72,47 @@ class AdversarySpec:
     proposal: Any = None
     params: dict[str, Any] = field(default_factory=dict)
     runs_protocol: bool = True
+
+
+# ----------------------------------------------------------------------
+# Fault placement
+# ----------------------------------------------------------------------
+#: Where a cell's Byzantine processes sit in the pid space.  ``tail``
+#: (the historical default) corrupts the highest pids, ``head`` the
+#: lowest (displacing the default single-bisource, which is the lowest
+#: *correct* pid), and ``spread`` distributes faults evenly across the
+#: ring.  The ``placement`` scenario axis grids over these.
+PLACEMENTS = ("tail", "head", "spread")
+
+
+def normalize_placement(name: str) -> str:
+    """Validate a fault-placement name (the ``placement`` axis codec)."""
+    if name not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {name!r} (known: {', '.join(PLACEMENTS)})"
+        )
+    return name
+
+
+def place_adversaries(placement: str, n: int, faults: int) -> list[int]:
+    """The pids a cell's ``faults`` Byzantine processes occupy.
+
+    Deterministic in ``(placement, n, faults)`` — placement is part of a
+    scenario's semantic identity, so it must not consume randomness.
+    """
+    normalize_placement(placement)
+    if faults <= 0:
+        return []
+    if faults >= n:
+        raise ValueError(f"cannot place {faults} faults among {n} processes")
+    if placement == "tail":
+        return list(range(n - faults + 1, n + 1))
+    if placement == "head":
+        return list(range(1, faults + 1))
+    # spread: march down from pid n in even steps; step >= 1 and
+    # (faults - 1) * step < n keep the pids distinct and in 1..n.
+    step = max(1, n // faults)
+    return sorted(n - i * step for i in range(faults))
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,12 @@ cache-served and freshly executed outcomes (:mod:`repro.store.cache`),
 and outcomes merged from JSONL shards (:func:`repro.store.merge_shards`),
 all flow through :func:`aggregate_outcomes`, so a resumed or merged
 sweep reports through exactly the same code as a fresh one.
+
+Reports can additionally be regrouped along *any* registered scenario
+axis (:mod:`repro.orchestration.axes`): :func:`group_outcomes` buckets
+outcomes by one or more axis values (``k``, ``faults``, ``placement``,
+a custom axis, ...) and aggregates each bucket into its own
+:class:`MatrixReport` — ``repro sweep --group-by k`` is the CLI face.
 """
 
 from __future__ import annotations
@@ -24,7 +30,14 @@ from .metrics import LatencySummary, summarize
 if TYPE_CHECKING:  # pragma: no cover
     from ..orchestration.matrix import ScenarioOutcome
 
-__all__ = ["CellStats", "MatrixReport", "aggregate_outcomes", "render_matrix_table"]
+__all__ = [
+    "CellStats",
+    "MatrixReport",
+    "aggregate_outcomes",
+    "group_outcomes",
+    "render_group_table",
+    "render_matrix_table",
+]
 
 
 @dataclass
@@ -130,6 +143,54 @@ def aggregate_outcomes(outcomes: Iterable["ScenarioOutcome"]) -> MatrixReport:
         cell.messages = summarize(cell_messages)
         report.cells[cell.cell_id] = cell
     return report
+
+
+def group_outcomes(
+    outcomes: Iterable["ScenarioOutcome"], by: Sequence[str]
+) -> dict[str, MatrixReport]:
+    """Regroup outcomes along arbitrary scenario axes.
+
+    ``by`` names registered axes (or their aliases); each distinct value
+    combination becomes one group keyed by a readable label like
+    ``"k=1/faults=2"``, aggregated into its own :class:`MatrixReport`.
+    Groups appear in first-seen (matrix) order.  Unknown axis names
+    raise ``ValueError`` with the registered vocabulary.
+    """
+    from ..orchestration.axes import AXES
+
+    axes = [AXES.resolve(name) for name in by]
+    buckets: dict[str, list["ScenarioOutcome"]] = {}
+    for outcome in outcomes:
+        label = "/".join(
+            f"{axis.name}={axis.of_spec(outcome.spec)}" for axis in axes
+        )
+        buckets.setdefault(label, []).append(outcome)
+    return {label: aggregate_outcomes(group) for label, group in buckets.items()}
+
+
+def render_group_table(grouped: dict[str, MatrixReport]) -> str:
+    """Render a :func:`group_outcomes` result as an aligned text table
+    (one row per group, same placeholder conventions as
+    :func:`render_matrix_table`)."""
+    from ..orchestration.sweeps import format_table
+
+    if not grouped:
+        return "(no scenarios)"
+    rows: list[Sequence[object]] = []
+    for label, report in grouped.items():
+        rows.append([
+            label,
+            f"{report.decided_runs}/{report.runs}",
+            f"{report.rounds.mean:.2f}" if report.rounds.count else "-",
+            f"{report.messages.mean:.0f}" if report.messages.count else "-",
+            report.timed_out_runs,
+            "OK" if report.all_safe else "VIOLATED",
+        ])
+    return format_table(
+        ["group", "decided", "mean rounds", "mean messages", "timeouts",
+         "safety"],
+        rows,
+    )
 
 
 def render_matrix_table(report: MatrixReport) -> str:

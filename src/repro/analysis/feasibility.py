@@ -16,6 +16,8 @@ __all__ = [
     "check_feasibility",
     "max_values",
     "min_processes",
+    "feasible_cell",
+    "clamp_values",
 ]
 
 
@@ -49,6 +51,43 @@ def max_values(n: int, t: int) -> int:
     if t == 0:
         return n  # no Byzantine processes: any profile is fine
     return (n - (t + 1)) // t
+
+
+def feasible_cell(
+    n: int, t: int, k: int = 0, faults: int | None = None
+) -> bool:
+    """Whether one scenario cell satisfies every structural bound.
+
+    Combines the resilience bound ``n > 3t``, the Section 5.4 knob bound
+    ``0 <= k <= t`` (a ``<t+1+k>bisource`` needs at least ``t + 1 + k``
+    processes worth of slack), and the fault-count bounds
+    ``0 <= faults <= t`` and ``faults < n`` (``faults=None`` means the
+    full budget ``t``).  The scenario-axis registry uses this as the
+    shared feasibility hook for the ``size``, ``k`` and ``faults`` axes.
+    """
+    f = t if faults is None else faults
+    return n > 3 * t and 0 <= k <= t and 0 <= f <= t and f < n
+
+
+def clamp_values(
+    n: int,
+    t: int,
+    requested: int,
+    faults: int | None = None,
+    variant: str = "standard",
+) -> int:
+    """Clamp a requested value diversity ``m`` for one cell.
+
+    The standard variant is bounded by :func:`max_values` (the ⊥ variant
+    tolerates any diversity), and every variant is bounded by the number
+    of correct processes ``n - faults`` — you cannot deal more distinct
+    values than there are proposers.  Always at least 1.
+    """
+    m = requested
+    if variant == "standard":
+        m = max(1, min(m, max_values(n, t)))
+    f = t if faults is None else faults
+    return max(1, min(m, n - f))
 
 
 def min_processes(t: int, m: int) -> int:

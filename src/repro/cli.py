@@ -4,13 +4,19 @@ Commands:
 
 * ``run`` — execute one consensus run and print the outcome;
 * ``sweep`` — expand a scenario matrix (sizes × topologies × adversaries
-  × value diversity × seeds), run it on the serial, cooperative-async or
-  process-pool backend, and print aggregate plus per-cell statistics
-  (optionally persisting one JSONL record per scenario).  With
+  × value diversity × seeds — plus ``--axis NAME=V1,V2,...`` for *any*
+  registered scenario axis: ``k``, per-cell ``faults``, fault
+  ``placement``, ``proposals`` profiles, budgets, custom axes; see
+  :mod:`repro.orchestration.axes`), run it on the serial,
+  cooperative-async or process-pool backend, and print aggregate plus
+  per-cell statistics (optionally persisting one JSONL record per
+  scenario, regrouped along any axes via ``--group-by``).  With
   ``--cache DIR`` the sweep goes through the persistent result store
   (:mod:`repro.store`): already-executed scenarios are served from the
   cache, only missing cells run, and re-running the same sweep executes
-  nothing while printing identical results;
+  nothing while printing identical results.  ``--shard I/N`` runs the
+  deterministic i-th of N round-robin slices of the expanded matrix —
+  the N shard JSONLs merge back into exactly the full sweep;
 * ``merge`` — fold JSONL shards from several sweep runs (or machines)
   into one deduplicated report, detecting conflicting duplicates;
 * ``bounds`` — print the Section 5.4 round-bound table for (n, t);
@@ -29,14 +35,24 @@ import json
 import sys
 from typing import Any, Sequence
 
-from .analysis.aggregation import render_matrix_table
+from .analysis.aggregation import (
+    group_outcomes,
+    render_group_table,
+    render_matrix_table,
+)
 from .analysis.combinatorics import beta, worst_case_round_bound
 from .analysis.feasibility import max_values, min_processes
 from .core.values import BOT
 from .net.topology import fully_asynchronous, fully_timely
 from .orchestration.config import RunConfig
+from .orchestration.axes import AXES
 from .orchestration.matrix import ADVERSARY_KINDS, ScenarioMatrix
-from .orchestration.parallel import sweep_async, sweep_parallel, sweep_serial
+from .orchestration.parallel import (
+    shard_slice,
+    sweep_async,
+    sweep_parallel,
+    sweep_serial,
+)
 from .orchestration.runner import run_consensus
 from .orchestration.sweeps import format_table, standard_proposals
 
@@ -70,6 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--value-counts", default=None, metavar="M,...",
                          help="value-diversity grid, clamped to the "
                               "feasibility bound (default: len(--values))")
+    sweep_p.add_argument("--axis", action="append", default=None,
+                         metavar="NAME=V1,V2,...", dest="axis",
+                         help="grid over any registered scenario axis "
+                              "(repeatable; 'list' prints the vocabulary), "
+                              "e.g. --axis k=0,1,2 --axis faults=0,1 "
+                              "--axis placement=tail,head,spread")
+    sweep_p.add_argument("--shard", default=None, metavar="I/N",
+                         help="run only the deterministic i-th of N "
+                              "round-robin slices of the expanded matrix "
+                              "(1-based; the N shards partition the sweep)")
+    sweep_p.add_argument("--group-by", default=None, metavar="AXIS[,AXIS]",
+                         help="print an extra breakdown grouped by the "
+                              "named axes (e.g. k or k,faults)")
     sweep_p.add_argument("--workers", type=int, default=1,
                          help="worker processes (1 = serial; results are "
                               "identical either way)")
@@ -203,6 +232,58 @@ def _parse_grid(text: str) -> list[tuple[int, int]]:
     return sizes
 
 
+def _parse_axes(entries: Sequence[str]) -> dict[str, list[Any]]:
+    """Parse repeated ``--axis NAME=V1,V2,...`` flags via the registry.
+
+    Each axis's own parser handles its tokens (``k=0,1`` parses ints,
+    ``size=4:1,7:2`` parses pairs, ``faults=none,0,1`` understands the
+    full-budget sentinel).  ``--axis list`` prints the vocabulary.
+    """
+    axes: dict[str, list[Any]] = {}
+    for entry in entries:
+        if entry in ("list", "help"):
+            print(f"registered axes:\n{AXES.describe()}")
+            raise SystemExit(0)
+        name, sep, rest = entry.partition("=")
+        if not sep or not rest:
+            raise SystemExit(
+                f"bad --axis entry {entry!r} (expected NAME=V1,V2,...)"
+            )
+        try:
+            axis = AXES.resolve(name)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        values = axes.setdefault(axis.name, [])
+        for token in rest.split(","):
+            if not token:
+                continue
+            try:
+                values.append(axis.canonical(axis.parse(token)))
+            except (ValueError, TypeError) as exc:
+                raise SystemExit(
+                    f"bad value {token!r} for axis {axis.name!r}: {exc}"
+                )
+        if not values:
+            raise SystemExit(f"empty value list for axis {axis.name!r}")
+    return axes
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` (1-based)."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"bad --shard {text!r} (expected I/N, e.g. 2/4)")
+    if count < 1 or not 1 <= index <= count:
+        raise SystemExit(
+            f"bad --shard {text!r}: need 1 <= I <= N"
+        )
+    return index, count
+
+
 def _build_matrix(args: argparse.Namespace) -> ScenarioMatrix:
     sizes = _parse_grid(args.grid) if args.grid else [(args.n, args.t)]
     topologies = (
@@ -235,6 +316,7 @@ def _build_matrix(args: argparse.Namespace) -> ScenarioMatrix:
         k=args.k,
         base_seed=args.seed,
         max_time=args.max_time,
+        axes=_parse_axes(args.axis) if getattr(args, "axis", None) else None,
     )
 
 
@@ -250,6 +332,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                              "--seeds must be >= 1)")
         raise SystemExit("the scenario matrix is empty "
                          "(every cell was infeasible)")
+    work: Any = matrix
+    if args.shard:
+        index, count = _parse_shard(args.shard)
+        work = shard_slice(matrix, index, count)
+        print(f"shard        : {index}/{count} -> {len(work)} of "
+              f"{total} scenarios")
+        total = len(work)
     progress = None
     if args.progress:
         state = {"done": 0}
@@ -273,17 +362,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume:
         from .store import count_cached, describe_counts
 
-        print(f"resume       : {describe_counts(*count_cached(matrix, cache))}")
+        print(f"resume       : {describe_counts(*count_cached(work, cache))}")
     backend = args.backend
     if backend == "auto":
         backend = "parallel" if args.workers > 1 else "serial"
     if backend == "serial":
-        sweep = sweep_serial(matrix, on_result=progress, cache=cache)
+        sweep = sweep_serial(work, on_result=progress, cache=cache)
     elif backend == "async":
-        sweep = sweep_async(matrix, on_result=progress, cache=cache)
+        sweep = sweep_async(work, on_result=progress, cache=cache)
     else:
         sweep = sweep_parallel(
-            matrix, workers=args.workers, on_result=progress, cache=cache
+            work, workers=args.workers, on_result=progress, cache=cache
         )
     report = sweep.report
     rounds, latency, messages = report.rounds, report.latency, report.messages
@@ -301,6 +390,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if len(report.cells) > 1:
         print()
         print(render_matrix_table(report))
+    if args.group_by:
+        names = [p for p in args.group_by.split(",") if p]
+        try:
+            grouped = group_outcomes(sweep.outcomes, names)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print()
+        print(render_group_table(grouped))
     print(f"\ndecided      : {report.decided_runs}/{report.runs} seeds")
     print(f"values       : {report.values}")
     print(f"safety       : {'OK' if report.all_safe else 'VIOLATED'}")

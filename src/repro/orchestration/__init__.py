@@ -1,5 +1,12 @@
-"""Experiment orchestration: configs, the runner, matrices, sweep engines."""
+"""Experiment orchestration: configs, the runner, matrices, sweep engines.
 
+The sweepable vocabulary — which knobs a :class:`ScenarioMatrix` can
+grid over — lives in the :mod:`~repro.orchestration.axes` registry;
+register an :class:`~repro.orchestration.axes.Axis` to add a dimension
+without touching the matrix, the store or the CLI.
+"""
+
+from .axes import AXES, SCHEMA_VERSION, Axis, AxisRegistry
 from .config import RunConfig
 from .matrix import (
     ScenarioMatrix,
@@ -7,6 +14,7 @@ from .matrix import (
     ScenarioSpec,
     adversary_from_name,
     build_config,
+    normalize_topology,
     outcome_from_record,
     run_scenario,
     topology_from_name,
@@ -14,6 +22,7 @@ from .matrix import (
 from .parallel import (
     SweepResult,
     default_workers,
+    shard_slice,
     sweep_async,
     sweep_parallel,
     sweep_serial,
@@ -25,20 +34,32 @@ from .runner import (
     run_consensus,
     run_randomized,
 )
-from .sweeps import format_table, standard_proposals, sweep_seeds
+from .sweeps import (
+    PROPOSAL_PROFILES,
+    format_table,
+    proposal_profile,
+    standard_proposals,
+    sweep_seeds,
+)
 
 __all__ = [
+    "AXES",
+    "SCHEMA_VERSION",
+    "Axis",
+    "AxisRegistry",
     "RunConfig",
     "ScenarioMatrix",
     "ScenarioOutcome",
     "ScenarioSpec",
     "adversary_from_name",
     "build_config",
+    "normalize_topology",
     "outcome_from_record",
     "run_scenario",
     "topology_from_name",
     "SweepResult",
     "default_workers",
+    "shard_slice",
     "sweep_async",
     "sweep_parallel",
     "sweep_serial",
@@ -47,7 +68,9 @@ __all__ = [
     "default_topology",
     "run_consensus",
     "run_randomized",
+    "PROPOSAL_PROFILES",
     "format_table",
+    "proposal_profile",
     "standard_proposals",
     "sweep_seeds",
 ]

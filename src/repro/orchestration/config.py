@@ -1,4 +1,16 @@
-"""Run configuration for consensus experiments."""
+"""Run configuration for consensus experiments.
+
+A :class:`RunConfig` is the *live* description of one run (value
+objects, callables, a topology instance).  The sweep engine never ships
+it across process boundaries: workers reconstruct it from a picklable
+:class:`~repro.orchestration.matrix.ScenarioSpec` via
+:func:`~repro.orchestration.matrix.build_config`, where every registered
+scenario axis (:mod:`repro.orchestration.axes`) contributes its field —
+fault placement chooses ``adversaries``, the proposal profile deals
+``proposals``, and extras-backed custom axes patch keyword arguments
+(e.g. ``fifo``) through their ``apply`` hooks before ``__post_init__``
+validates the result.
+"""
 
 from __future__ import annotations
 

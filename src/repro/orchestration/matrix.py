@@ -1,38 +1,59 @@
 """Declarative scenario matrices for batch consensus experiments.
 
-A :class:`ScenarioMatrix` describes a grid over system sizes, synchrony
-topologies, adversary strategies, value diversity and seeds, and expands
-it into a list of :class:`ScenarioSpec` cells.  Specs are deliberately
-*light*: plain picklable data (ints and strings, no live objects), so a
-spec can cross a process boundary and be reconstructed into a full
-:class:`~repro.orchestration.config.RunConfig` on the worker side via
-:func:`build_config`.  :func:`run_scenario` executes one spec and boils
-the heavyweight :class:`~repro.orchestration.runner.ConsensusRunResult`
-down to a picklable :class:`ScenarioOutcome`.
+A :class:`ScenarioMatrix` describes a grid over scenario axes and
+expands it into a list of :class:`ScenarioSpec` cells.  The *vocabulary*
+of axes lives in :mod:`repro.orchestration.axes`: every sweepable knob
+(system size, topology, adversary, value diversity, per-cell fault
+count and placement, proposal profile, the Section 5.4 ``k`` knob,
+timing budgets, plus any user-registered axis) is an
+:class:`~repro.orchestration.axes.Axis` with its own parser, validator,
+feasibility hook and canonical codec.  The matrix takes the cross
+product of whatever axes are present — the classic field-based
+constructor still works, and the open ``axes={"k": [0, 1], ...}``
+mapping grids over anything registered.
 
-Expansion applies the paper's m-valued feasibility condition
-(``n - t > m*t``, see :mod:`repro.analysis.feasibility`): requested value
-diversity is clamped to ``max_values(n, t)`` for the standard variant
-(the ⊥ variant tolerates any diversity), and (n, t) pairs violating the
-resilience bound or a ``k > t`` knob are filtered out.
+Specs are deliberately *light*: plain picklable data (ints and strings,
+no live objects), so a spec can cross a process boundary and be
+reconstructed into a full :class:`~repro.orchestration.config.RunConfig`
+on the worker side via :func:`build_config`.  :func:`run_scenario`
+executes one spec and boils the heavyweight
+:class:`~repro.orchestration.runner.ConsensusRunResult` down to a
+picklable :class:`ScenarioOutcome`.
+
+Expansion applies the paper's feasibility conditions through the axis
+hooks (:mod:`repro.analysis.feasibility`): requested value diversity is
+clamped to ``max_values(n, t)`` for the standard variant (the ⊥ variant
+tolerates any diversity), and cells violating the resilience bound, the
+``k <= t`` knob bound or the fault-count bounds are filtered out.
 
 Seed derivation is deterministic and *structural*: every scenario's
 master seed is derived from the matrix ``base_seed`` plus the cell key
 and the seed index, so the same cell gets the same seed no matter how
 the surrounding grid is shaped, and serial and parallel execution are
-bit-identical by construction.
+bit-identical by construction.  Cells using only pre-registry axes keep
+their historical seeds, serialized records and cache digests exactly
+(see the schema-versioning notes in :mod:`repro.orchestration.axes`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Iterator, Sequence
+from itertools import product
+from typing import Any, Iterator, Mapping, Sequence
 
 from ..adversary import strategies
 from ..adversary.strategies import AdversarySpec
-from ..analysis.feasibility import max_values
-from ..net.topology import Topology, fully_asynchronous, fully_timely
 from ..sim.random import derive_seed
+from . import axes as axes_mod
+from .axes import (
+    ADVERSARY_KINDS,
+    AXES,
+    SCHEMA_VERSION,
+    TOPOLOGY_KINDS,
+    adversary_from_name,
+    normalize_topology,
+    topology_from_name,
+)
 from .config import RunConfig
 from .runner import ConsensusRunResult, run_consensus
 
@@ -40,6 +61,7 @@ __all__ = [
     "TOPOLOGY_KINDS",
     "ADVERSARY_KINDS",
     "adversary_from_name",
+    "normalize_topology",
     "topology_from_name",
     "ScenarioSpec",
     "ScenarioOutcome",
@@ -49,73 +71,6 @@ __all__ = [
     "run_scenario",
 ]
 
-#: Topology grid vocabulary (aliases accepted by :func:`normalize_topology`).
-TOPOLOGY_KINDS = ("single_bisource", "fully_timely", "fully_asynchronous")
-
-_TOPOLOGY_ALIASES = {
-    "minimal": "single_bisource",
-    "bisource": "single_bisource",
-    "single_bisource": "single_bisource",
-    "timely": "fully_timely",
-    "fully_timely": "fully_timely",
-    "async": "fully_asynchronous",
-    "asynchronous": "fully_asynchronous",
-    "fully_asynchronous": "fully_asynchronous",
-}
-
-#: ``kind -> (arg string -> AdversarySpec)``; the CLI shares this registry.
-ADVERSARY_KINDS: dict[str, Callable[[str], AdversarySpec]] = {
-    "crash": lambda arg: strategies.crash(),
-    "noise": lambda arg: strategies.noise(float(arg) if arg else 0.5),
-    "two_faced": lambda arg: strategies.two_faced(arg or "evil"),
-    "flip_flop": lambda arg: strategies.flip_flop(
-        arg.split("|") if arg else None
-    ),
-    "mute_coord": lambda arg: strategies.mute_coordinator(),
-    "collude": lambda arg: strategies.collude(arg or "evil"),
-    "spam_decide": lambda arg: strategies.spam_decide(arg or "evil"),
-    "bot_relays": lambda arg: strategies.bot_relays(int(arg) if arg else 500),
-    "crash_at": lambda arg: strategies.crash_at(float(arg) if arg else 25.0),
-}
-
-
-def adversary_from_name(name: str) -> AdversarySpec | None:
-    """Build an :class:`AdversarySpec` from ``"kind"`` or ``"kind:arg"``.
-
-    ``"none"`` (or the empty string) yields ``None`` — no adversary.
-    """
-    if name in ("", "none"):
-        return None
-    kind, _, arg = name.partition(":")
-    if kind not in ADVERSARY_KINDS:
-        raise ValueError(
-            f"unknown adversary kind {kind!r} "
-            f"(known: {', '.join(sorted(ADVERSARY_KINDS))}, none)"
-        )
-    return ADVERSARY_KINDS[kind](arg)
-
-
-def normalize_topology(name: str) -> str:
-    """Canonicalise a topology name (accepting CLI-style aliases)."""
-    try:
-        return _TOPOLOGY_ALIASES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown topology {name!r} (known: "
-            f"{', '.join(sorted(set(_TOPOLOGY_ALIASES)))})"
-        ) from None
-
-
-def topology_from_name(kind: str, n: int) -> Topology | None:
-    """Instantiate the named topology (``None`` = the runner's minimal
-    single-bisource default, which depends on the correct set)."""
-    kind = normalize_topology(kind)
-    if kind == "single_bisource":
-        return None
-    if kind == "fully_timely":
-        return fully_timely(n)
-    return fully_asynchronous(n)
-
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -124,7 +79,10 @@ class ScenarioSpec:
     ``seed`` is the run's master seed (already derived); ``seed_index``
     records which ensemble slot it came from.  ``index`` is the spec's
     position in its matrix expansion, used to keep parallel results in
-    deterministic order.
+    deterministic order.  ``extras`` carries the values of any
+    user-registered (non-built-in) axes as sorted ``(name, value)``
+    pairs, so custom dimensions survive pickling, JSONL and the cache
+    without new dataclass fields.
     """
 
     n: int
@@ -140,6 +98,9 @@ class ScenarioSpec:
     faults: int | None = None
     variant: str = "standard"
     k: int = 0
+    placement: str = "tail"
+    proposals: str = "round_robin"
+    extras: tuple[tuple[str, Any], ...] = ()
     max_time: float = 1_000_000.0
     max_events: int = 20_000_000
     index: int = 0
@@ -150,11 +111,18 @@ class ScenarioSpec:
         return (
             self.n, self.t, self.topology, self.adversary, self.num_values,
             self.values, self.faults, self.variant, self.k,
+            self.placement, self.proposals, self.extras,
         )
 
     @property
     def cell_id(self) -> str:
-        """Human-readable cell label, stable across runs."""
+        """Human-readable cell label, stable across runs.
+
+        Legacy axes keep their historical fragments; non-legacy axes
+        (placement, proposal profile, custom extras) contribute a
+        fragment only at non-default values, so pre-registry cells keep
+        their pre-registry ids.
+        """
         faults = self.t if self.faults is None else self.faults
         parts = [
             f"n{self.n}", f"t{self.t}", self.topology, self.adversary,
@@ -164,6 +132,7 @@ class ScenarioSpec:
             parts.append(self.variant)
         if self.k:
             parts.append(f"k{self.k}")
+        parts.extend(axes_mod.spec_extra_labels(self))
         return "/".join(parts)
 
     def with_seed(self, seed: int, seed_index: int = 0) -> "ScenarioSpec":
@@ -171,8 +140,15 @@ class ScenarioSpec:
         return replace(self, seed=seed, seed_index=seed_index)
 
     def to_dict(self) -> dict[str, Any]:
-        """Flat JSON-ready representation (JSONL persistence)."""
-        return {
+        """Flat JSON-ready representation (JSONL persistence).
+
+        Schema-versioned: the legacy (schema-1) fields are always
+        present; non-legacy axes appear only at non-default values,
+        together with a ``"schema"`` marker — so a spec that uses no
+        new axis serializes byte-for-byte like pre-registry code did,
+        and its cache digest is unchanged.
+        """
+        data = {
             "n": self.n, "t": self.t, "topology": self.topology,
             "adversary": self.adversary, "num_values": self.num_values,
             "values": list(self.values) if self.values is not None else None,
@@ -181,13 +157,39 @@ class ScenarioSpec:
             "max_time": self.max_time, "max_events": self.max_events,
             "cell_id": self.cell_id, "index": self.index,
         }
+        extra = axes_mod.spec_schema2_fields(self)
+        if extra:
+            data["schema"] = SCHEMA_VERSION
+            data.update(extra)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
         """Inverse of :meth:`to_dict` (extra keys, e.g. outcome fields in
-        a flat JSONL record, are ignored)."""
+        a flat JSONL record, are ignored).
+
+        This is also the migration shim: schema-1 (pre-registry) records
+        carry no ``schema`` key and no non-legacy fields, which decode
+        to the axes' defaults — the exact spec the old code built.
+        Records from a *newer* schema than this code raise ``ValueError``
+        rather than silently dropping dimensions, and ``extras`` entries
+        of axes this process never registered are preserved verbatim for
+        the same reason (they are part of the scenario's identity).
+        """
+        schema = int(data.get("schema", 1))
+        if schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"record schema {schema} is newer than supported "
+                f"schema {SCHEMA_VERSION}"
+            )
         values = data.get("values")
         faults = data.get("faults")
+        extras = axes_mod.decode_extras(data.get("extras") or {})
+        kwargs: dict[str, Any] = {}
+        for axis in AXES:
+            if axis.legacy or not axis.fields or axis.name not in data:
+                continue
+            kwargs[axis.fields[0]] = axis.canonical(axis.decode(data[axis.name]))
         return cls(
             n=int(data["n"]),
             t=int(data["t"]),
@@ -200,9 +202,11 @@ class ScenarioSpec:
             faults=None if faults is None else int(faults),
             variant=str(data.get("variant", "standard")),
             k=int(data.get("k", 0)),
+            extras=axes_mod.canonical_extras(extras),
             max_time=float(data.get("max_time", 1_000_000.0)),
             max_events=int(data.get("max_events", 20_000_000)),
             index=int(data.get("index", 0)),
+            **kwargs,
         )
 
 
@@ -281,6 +285,12 @@ def outcome_from_record(
 class ScenarioMatrix:
     """A declarative grid of consensus scenarios.
 
+    The classic field-based surface (``sizes`` / ``topologies`` /
+    ``adversaries`` / ``value_counts`` plus scalar knobs) is unchanged;
+    the ``axes`` mapping grids over *any* registered axis by name —
+    including the scalar knobs (``axes={"k": [0, 1, 2]}`` overrides
+    ``k``) and user-registered custom axes.
+
     Attributes:
         sizes: ``(n, t)`` pairs; pairs violating ``n > 3t`` are dropped.
         topologies: Topology names (``single_bisource`` / ``fully_timely``
@@ -297,8 +307,13 @@ class ScenarioMatrix:
         faults: Byzantine process count (``None``: ``t``).
         variant: ``"standard"`` or ``"bot"``.
         k: Section 5.4 knob; cells with ``k > t`` are dropped.
+        placement: Fault placement (``tail`` / ``head`` / ``spread``).
+        proposals: Proposal profile (``round_robin`` / ``block`` /
+            ``skewed`` / ``unanimous``).
         base_seed: Root of the deterministic seed derivation.
         max_time / max_events: Per-run budgets.
+        axes: ``axis name -> values`` grid entries; overrides the
+            field-based value list for that axis (aliases accepted).
     """
 
     sizes: Sequence[tuple[int, int]] = ((4, 1),)
@@ -310,54 +325,120 @@ class ScenarioMatrix:
     faults: int | None = None
     variant: str = "standard"
     k: int = 0
+    placement: str = "tail"
+    proposals: str = "round_robin"
     base_seed: int = 0
     max_time: float = 1_000_000.0
     max_events: int = 20_000_000
+    axes: Mapping[str, Sequence[Any]] | None = None
 
-    def cells(self) -> list[tuple[int, int, str, str, int]]:
-        """The feasible (n, t, topology, adversary, m) grid cells."""
-        out: list[tuple[int, int, str, str, int]] = []
-        seen: set[tuple[int, int, str, str, int]] = set()
-        for n, t in self.sizes:
-            if not n > 3 * t or self.k > t:
+    def _axis_values(self) -> list[tuple[axes_mod.Axis, list[Any]]]:
+        """Per-axis value lists in registry order, canonicalised.
+
+        Field-based values seed the built-in axes; ``axes`` entries
+        override by name (or alias); every other registered axis
+        contributes its single default value.
+        """
+        base: dict[str, list[Any]] = {
+            "size": list(self.sizes),
+            "topology": list(self.topologies),
+            "adversary": list(self.adversaries),
+            "num_values": list(self.value_counts),
+            "faults": [self.faults],
+            "variant": [self.variant],
+            "k": [self.k],
+            "placement": [self.placement],
+            "proposals": [self.proposals],
+            "max_time": [self.max_time],
+            "max_events": [self.max_events],
+        }
+        for name, values in (self.axes or {}).items():
+            axis = AXES.resolve(name)
+            base[axis.name] = list(values)
+        return [
+            (axis, [axis.canonical(v) for v in base.get(axis.name, [axis.default])])
+            for axis in AXES
+        ]
+
+    def cell_dicts(self) -> list[dict[str, Any]]:
+        """The feasible grid cells as full axis-field mappings.
+
+        The cross product runs in registry order (legacy axes first, so
+        purely legacy grids expand in the historical order), feasibility
+        ``check`` hooks drop infeasible cells, ``clamp`` hooks adjust
+        them, and cells that coincide after clamping are deduplicated.
+        """
+        per_axis = self._axis_values()
+        pool = tuple(self.value_pool) if self.value_pool is not None else None
+        out: list[dict[str, Any]] = []
+        seen: set[tuple[Any, ...]] = set()
+        for combo in product(*(values for _, values in per_axis)):
+            cell: dict[str, Any] = {"extras": {}}
+            for (axis, _), value in zip(per_axis, combo):
+                axis.set_on(cell, value)
+            if not all(
+                axis.check(cell) for axis, _ in per_axis if axis.check
+            ):
                 continue
-            faults = t if self.faults is None else self.faults
-            if faults > t or faults >= n:
+            for axis, _ in per_axis:
+                if axis.clamp:
+                    axis.clamp(cell)
+            if pool is not None:
+                cell["num_values"] = max(
+                    1, min(cell["num_values"], len(pool))
+                )
+            cell["values"] = (
+                pool[: cell["num_values"]] if pool is not None else None
+            )
+            key = tuple(
+                sorted((name, value) for name, value in cell.items()
+                       if name != "extras")
+            ) + (tuple(sorted(cell["extras"].items())),)
+            if key in seen:
                 continue
-            for topology in self.topologies:
-                topo = normalize_topology(topology)
-                for adversary in self.adversaries:
-                    adversary_from_name(adversary)  # validate early
-                    for requested in self.value_counts:
-                        m = requested
-                        if self.variant == "standard":
-                            m = max(1, min(requested, max_values(n, t)))
-                        m = max(1, min(m, n - faults))
-                        if self.value_pool is not None:
-                            m = max(1, min(m, len(self.value_pool)))
-                        cell = (n, t, topo, adversary, m)
-                        if cell in seen:
-                            continue
-                        seen.add(cell)
-                        out.append(cell)
+            seen.add(key)
+            out.append(cell)
         return out
 
+    def cells(self) -> list[tuple[int, int, str, str, int]]:
+        """The feasible ``(n, t, topology, adversary, m)`` cells
+        (compatibility view of :meth:`cell_dicts`; cells that differ
+        only in non-legacy axes repeat here)."""
+        return [
+            (c["n"], c["t"], c["topology"], c["adversary"], c["num_values"])
+            for c in self.cell_dicts()
+        ]
+
     def expand(self) -> list[ScenarioSpec]:
-        """All scenarios: feasible cells × seed indices, in grid order."""
+        """All scenarios: feasible cells × seed indices, in grid order.
+
+        The structural seed key of a purely legacy cell is the exact
+        pre-registry tuple; non-default non-legacy axis values extend it
+        — so historical grids keep historical seeds bit for bit.
+        """
         specs: list[ScenarioSpec] = []
-        values = tuple(self.value_pool) if self.value_pool is not None else None
-        for n, t, topology, adversary, m in self.cells():
-            cell_values = values[:m] if values is not None else None
+        for cell in self.cell_dicts():
+            cell_values = cell["values"]
+            key: tuple[Any, ...] = (
+                cell["n"], cell["t"], cell["topology"], cell["adversary"],
+                cell["num_values"], cell_values, cell["faults"],
+                cell["variant"], cell["k"],
+            )
+            extra = axes_mod.cell_extra_items(cell)
+            if extra:
+                key = key + (extra,)
             for seed_index in self.seeds:
-                key = (n, t, topology, adversary, m, cell_values,
-                       self.faults, self.variant, self.k)
                 specs.append(ScenarioSpec(
-                    n=n, t=t, topology=topology, adversary=adversary,
-                    num_values=m, values=cell_values,
+                    n=cell["n"], t=cell["t"], topology=cell["topology"],
+                    adversary=cell["adversary"],
+                    num_values=cell["num_values"], values=cell_values,
                     seed=derive_seed(self.base_seed, "scenario", key, seed_index),
                     seed_index=seed_index,
-                    faults=self.faults, variant=self.variant, k=self.k,
-                    max_time=self.max_time, max_events=self.max_events,
+                    faults=cell["faults"], variant=cell["variant"],
+                    k=cell["k"], placement=cell["placement"],
+                    proposals=cell["proposals"],
+                    extras=axes_mod.canonical_extras(cell["extras"]),
+                    max_time=cell["max_time"], max_events=cell["max_events"],
                     index=len(specs),
                 ))
         return specs
@@ -366,29 +447,50 @@ class ScenarioMatrix:
         return iter(self.expand())
 
     def __len__(self) -> int:
-        return len(self.cells()) * len(self.seeds)
+        return len(self.cell_dicts()) * len(self.seeds)
 
 
 def build_config(spec: ScenarioSpec) -> RunConfig:
-    """Reconstruct the full :class:`RunConfig` for one spec (worker side)."""
-    from .sweeps import standard_proposals
+    """Reconstruct the full :class:`RunConfig` for one spec (worker side).
 
+    Every axis participates: the built-in fields map directly (fault
+    *placement* chooses the Byzantine pid set, the proposal *profile*
+    deals the value pool), and registered axes with an ``apply`` hook —
+    extras-backed custom axes — get a final pass over the keyword
+    arguments before :class:`RunConfig` validates them.
+    """
+    from .sweeps import proposal_profile
+
+    for name, _ in spec.extras:
+        if AXES.get(name) is None:
+            # Refusing beats silently running the default config: worker
+            # processes started via spawn/forkserver do not inherit the
+            # parent's registrations, so a missing axis here means the
+            # run would not match the identity it gets recorded under.
+            raise ValueError(
+                f"scenario uses unregistered axis {name!r}; register it "
+                f"with repro.orchestration.axes.AXES at import time in "
+                f"every process that executes scenarios"
+            )
     faults = spec.t if spec.faults is None else spec.faults
     adversary = adversary_from_name(spec.adversary)
     adversaries: dict[int, AdversarySpec] = {}
     if adversary is not None and faults > 0:
         adversaries = {
-            pid: adversary for pid in range(spec.n - faults + 1, spec.n + 1)
+            pid: adversary
+            for pid in strategies.place_adversaries(
+                spec.placement, spec.n, faults
+            )
         }
     correct = [pid for pid in range(1, spec.n + 1) if pid not in adversaries]
     if spec.values is not None:
         values = list(spec.values[: spec.num_values])
     else:
         values = [f"v{i}" for i in range(spec.num_values)]
-    return RunConfig(
+    kwargs: dict[str, Any] = dict(
         n=spec.n,
         t=spec.t,
-        proposals=standard_proposals(correct, values),
+        proposals=proposal_profile(spec.proposals)(correct, values),
         adversaries=adversaries,
         topology=topology_from_name(spec.topology, spec.n),
         variant=spec.variant,
@@ -397,6 +499,10 @@ def build_config(spec: ScenarioSpec) -> RunConfig:
         max_time=spec.max_time,
         max_events=spec.max_events,
     )
+    for axis in AXES:
+        if axis.apply is not None:
+            axis.apply(kwargs, axis.of_spec(spec))
+    return RunConfig(**kwargs)
 
 
 def summarize_run(spec: ScenarioSpec, result: ConsensusRunResult) -> ScenarioOutcome:

@@ -26,9 +26,25 @@ the missing cells are executed, and fresh outcomes are written back.
 ``SweepResult.cache_hits`` reports how much work the store saved.
 
 Dispatch in the process-pool path is chunked: specs are dealt into
-``chunksize`` batches so each IPC round-trip amortises the pickle
-overhead, while results stream back per *chunk* to feed progress
-callbacks.  All paths share one aggregation
+batches so each IPC round-trip amortises the pickle overhead, while
+results stream back per *chunk* to feed progress callbacks.  Chunk
+sizing is *adaptive* by default: workers report each chunk's wall time,
+the parent keeps an exponential moving average of the per-scenario
+cost, and subsequent chunks are sized to take roughly
+:data:`TARGET_CHUNK_SECONDS` each — so a sweep of millisecond cells
+ships big batches while a sweep of second-long cells stays responsive.
+Passing an explicit ``chunksize`` restores fixed-size dispatch.
+Chunking never affects results: outcomes are re-ordered by matrix index
+before aggregation.
+
+:func:`shard_slice` deterministically slices an expanded matrix into
+``1/N .. N/N`` round-robin shards (``repro sweep --shard i/N``), the
+building block for distributed dispatch: the N shards partition the
+full sweep exactly, so merging their JSONL outputs
+(:func:`repro.store.shards.merge_shards`) reproduces the single-machine
+sweep.
+
+All paths share one aggregation
 (:func:`repro.analysis.aggregation.aggregate_outcomes`) and one
 persistence format (:meth:`SweepResult.write_jsonl`).
 """
@@ -39,7 +55,7 @@ import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..analysis.aggregation import MatrixReport, aggregate_outcomes
 from .matrix import ScenarioMatrix, ScenarioOutcome, ScenarioSpec, run_scenario
@@ -52,11 +68,25 @@ __all__ = [
     "sweep_serial",
     "sweep_async",
     "sweep_parallel",
+    "shard_slice",
     "default_workers",
+    "TARGET_CHUNK_SECONDS",
 ]
 
 #: Progress callback: invoked once per finished scenario, main process.
 OnResult = Callable[[ScenarioOutcome], None]
+
+#: Adaptive dispatch aims each chunk at about this much worker wall time
+#: — long enough to amortise pickling, short enough that progress
+#: callbacks and work stealing stay responsive.
+TARGET_CHUNK_SECONDS = 0.25
+
+#: Chunk size used before any timing observation exists.
+_PROBE_CHUNK = 4
+
+#: Upper bound on an adaptive chunk (keeps one IPC payload bounded even
+#: for microsecond-scale cells).
+_MAX_CHUNK = 256
 
 
 @dataclass
@@ -121,14 +151,21 @@ def _as_specs(
 ) -> list[ScenarioSpec]:
     if isinstance(scenarios, ScenarioMatrix):
         return scenarios.expand()
-    # Hand-built / filtered spec lists may carry stale or duplicate
-    # indices; re-index positionally so result ordering (which sorts on
-    # spec.index) always reproduces the input order.
+    # Strictly increasing indices (a matrix expansion, or a shard_slice
+    # of one) are kept: result ordering (which sorts on spec.index)
+    # already reproduces the input order, and preserving the original
+    # matrix positions keeps shard JSONLs mergeable bit-identically with
+    # the unsharded sweep.  Hand-built / filtered lists with stale or
+    # duplicate indices are re-indexed positionally instead.
+    specs = list(scenarios)
+    indices = [spec.index for spec in specs]
+    if all(b > a for a, b in zip(indices, indices[1:])):
+        return specs
     from dataclasses import replace
 
     return [
         spec if spec.index == i else replace(spec, index=i)
-        for i, spec in enumerate(scenarios)
+        for i, spec in enumerate(specs)
     ]
 
 
@@ -153,11 +190,43 @@ def default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+def shard_slice(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    index: int,
+    count: int,
+) -> list[ScenarioSpec]:
+    """The 1-based shard ``index/count`` of an expanded scenario list.
+
+    Slicing is round-robin over the deterministic matrix expansion, so
+    the ``count`` shards partition the full sweep exactly (every
+    scenario lands in precisely one shard) and shard sizes differ by at
+    most one.  Each machine of a distributed sweep runs
+    ``shard_slice(matrix, i, N)`` and persists a JSONL shard;
+    :func:`repro.store.shards.merge_shards` folds them back into the
+    single-machine result.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must be in 1..{count}, got {index}"
+        )
+    return _as_specs(scenarios)[index - 1 :: count]
+
+
 def _run_chunk(
     specs: list[ScenarioSpec], check_invariants: bool
-) -> list[ScenarioOutcome]:
-    """Worker-side entry point: execute one batch of specs."""
-    return [run_scenario(spec, check_invariants=check_invariants) for spec in specs]
+) -> tuple[list[ScenarioOutcome], float]:
+    """Worker-side entry point: execute one batch of specs.
+
+    Returns the outcomes plus the chunk's wall time, which the parent
+    feeds into adaptive chunk sizing.
+    """
+    started = _timer()
+    outcomes = [
+        run_scenario(spec, check_invariants=check_invariants) for spec in specs
+    ]
+    return outcomes, _timer() - started
 
 
 def _timer() -> float:
@@ -321,8 +390,11 @@ def sweep_parallel(
         workers: Pool size; ``None`` uses :func:`default_workers`, and
             ``workers <= 1`` (or at most one scenario left to execute)
             degrades to the serial path — same results, no pool overhead.
-        chunksize: Specs per dispatch unit; ``None`` picks a size that
-            gives each worker ~4 chunks (latency/overhead balance).
+        chunksize: Specs per dispatch unit.  ``None`` (default) sizes
+            chunks adaptively from the observed per-scenario wall time,
+            targeting ~:data:`TARGET_CHUNK_SECONDS` of work per chunk;
+            an explicit value restores fixed-size dispatch.  Either way
+            the returned outcomes are in matrix order.
         on_result: Called in the parent for every finished scenario —
             cache hits first, then fresh outcomes in completion order
             (chunks complete out of order; outcomes in the returned
@@ -344,21 +416,38 @@ def sweep_parallel(
             cached, missing, on_result, check_invariants, cache,
             workers=max(1, workers), started=started,
         )
-    if chunksize is None:
-        chunksize = max(1, len(missing) // (workers * 4))
-    chunks = [
-        missing[i : i + chunksize] for i in range(0, len(missing), chunksize)
-    ]
+    adaptive = chunksize is None
+    # Seconds-per-scenario EMA; None until the first chunk reports back.
+    cost_ema: float | None = None
+
+    def _next_size() -> int:
+        if not adaptive:
+            return max(1, int(chunksize))
+        if cost_ema is None or cost_ema <= 0:
+            return _PROBE_CHUNK
+        return max(1, min(_MAX_CHUNK, int(TARGET_CHUNK_SECONDS / cost_ema)))
+
     outcomes: list[ScenarioOutcome] = list(cached)
     _emit(cached, on_result)
-    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        pending = {
-            pool.submit(_run_chunk, chunk, check_invariants) for chunk in chunks
-        }
-        while pending:
+    position = 0
+    with ProcessPoolExecutor(max_workers=min(workers, len(missing))) as pool:
+        pending: set[Any] = set()
+        while pending or position < len(missing):
+            # Keep up to two chunks in flight per worker so a finishing
+            # worker never idles while the parent drains results.
+            while position < len(missing) and len(pending) < workers * 2:
+                chunk = missing[position : position + _next_size()]
+                position += len(chunk)
+                pending.add(pool.submit(_run_chunk, chunk, check_invariants))
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                chunk_outcomes = future.result()
+                chunk_outcomes, spent = future.result()
+                if adaptive and chunk_outcomes and spent > 0:
+                    per_spec = spent / len(chunk_outcomes)
+                    cost_ema = (
+                        per_spec if cost_ema is None
+                        else 0.5 * cost_ema + 0.5 * per_spec
+                    )
                 for outcome in chunk_outcomes:
                     _store(cache, outcome)
                 outcomes.extend(chunk_outcomes)

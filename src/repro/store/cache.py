@@ -10,12 +10,25 @@ position inside one particular matrix expansion) is deliberately
 excluded: the same scenario reached through differently shaped grids
 shares one cache entry.
 
+Keys are *schema-versioned* through the spec codec
+(:mod:`repro.orchestration.axes`): a spec using only pre-registry axes
+serializes to the exact schema-1 record, so caches written before the
+axis registry existed keep hitting; specs gridding new axes (fault
+placement, proposal profiles, custom axes) add fields — and therefore
+get distinct keys — without touching old entries.
+
 Writes are atomic (:mod:`repro.store.atomic`), so a cache directory can
 be shared between concurrent sweeps; reads go through a bounded
 in-memory LRU front so a resumed sweep touching the same cells twice
 pays the disk cost once.  Corrupt or truncated entries are treated as
 misses, never as errors — the worst a damaged cache can do is cause
 re-execution.
+
+Caches grow without bound by default; opting into ``max_entries``
+and/or ``max_age`` enables LRU-on-disk pruning: disk hits touch an
+entry's mtime, :meth:`ResultCache.prune` drops entries beyond the age
+cap and then the oldest entries beyond the size cap, and ``put`` prunes
+opportunistically every ``prune_interval`` insertions.
 """
 
 from __future__ import annotations
@@ -74,6 +87,8 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     invalidations: int = 0
+    #: Entries removed by :meth:`ResultCache.prune` (size/age caps).
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -90,6 +105,12 @@ class ResultCache:
             package version so algorithm changes age out old entries.
         memory_entries: LRU capacity of the in-memory front
             (``0`` disables it — every hit reads from disk).
+        max_entries: On-disk entry cap; when exceeded, :meth:`prune`
+            evicts least-recently-used entries (``None``: unbounded).
+        max_age: Entry lifetime in seconds since last use; older entries
+            are evicted by :meth:`prune` (``None``: immortal).
+        prune_interval: With caps set, ``put`` calls :meth:`prune` every
+            this many insertions (amortises the directory scan).
     """
 
     def __init__(
@@ -97,10 +118,17 @@ class ResultCache:
         root: str | Path,
         salt: str | None = None,
         memory_entries: int = 2048,
+        max_entries: int | None = None,
+        max_age: float | None = None,
+        prune_interval: int = 64,
     ) -> None:
         self.root = Path(root)
         self.salt = code_version() if salt is None else str(salt)
         self.memory_entries = max(0, int(memory_entries))
+        self.max_entries = None if max_entries is None else max(0, int(max_entries))
+        self.max_age = None if max_age is None else float(max_age)
+        self.prune_interval = max(1, int(prune_interval))
+        self._puts_since_prune = 0
         self._memory: OrderedDict[str, ScenarioOutcome] = OrderedDict()
         self.stats = CacheStats()
 
@@ -127,11 +155,13 @@ class ResultCache:
         outcome = self._memory.get(key)
         if outcome is not None:
             self._memory.move_to_end(key)
+            self._touch(key)  # keep on-disk LRU recency in sync
         else:
             outcome = self._read(key)
             if outcome is None:
                 self.stats.misses += 1
                 return None
+            self._touch(key)
             self._remember(key, outcome)
         self.stats.hits += 1
         return outcome if outcome.spec == spec else replace(outcome, spec=spec)
@@ -150,7 +180,50 @@ class ResultCache:
         )
         self._remember(key, outcome)
         self.stats.puts += 1
+        if self.max_entries is not None or self.max_age is not None:
+            self._puts_since_prune += 1
+            if self._puts_since_prune >= self.prune_interval:
+                self.prune()
         return path
+
+    def prune(self, now: float | None = None) -> int:
+        """Enforce the ``max_age`` / ``max_entries`` caps (LRU on disk).
+
+        Recency is an entry's file mtime: writes stamp it and disk hits
+        re-touch it, so the least-recently-*used* entries go first.
+        Returns how many entries were removed (0 when no caps are set).
+        """
+        self._puts_since_prune = 0
+        if self.max_entries is None and self.max_age is None:
+            return 0
+        import time
+
+        now = time.time() if now is None else now
+        aged: list[tuple[float, Path]] = []
+        for path in self._entry_paths():
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        doomed: list[Path] = []
+        if self.max_age is not None:
+            cutoff = now - self.max_age
+            doomed.extend(path for mtime, path in aged if mtime < cutoff)
+            aged = [(m, p) for m, p in aged if m >= cutoff]
+        if self.max_entries is not None and len(aged) > self.max_entries:
+            aged.sort()  # oldest first
+            excess = len(aged) - self.max_entries
+            doomed.extend(path for _, path in aged[:excess])
+        removed = 0
+        for path in doomed:
+            self._memory.pop(path.stem, None)
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            removed += 1
+        self.stats.evictions += removed
+        return removed
 
     def invalidate(self, spec: ScenarioSpec) -> bool:
         """Drop the entry for ``spec``; True if one existed."""
@@ -206,6 +279,17 @@ class ResultCache:
 
     def _read(self, key: str) -> ScenarioOutcome | None:
         return self._decode(self.path_for(key))
+
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's mtime (its LRU recency) after a disk hit."""
+        if self.max_entries is None and self.max_age is None:
+            return
+        import os
+
+        try:
+            os.utime(self.path_for(key))
+        except OSError:
+            pass
 
     def _decode(self, path: Path) -> ScenarioOutcome | None:
         try:

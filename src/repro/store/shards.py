@@ -18,6 +18,15 @@ picks a side instead).
 Merged outcomes are ordered canonically — by cell id, then seed index,
 then seed — so the merge of a partitioned sweep is deterministic no
 matter how the work was split.
+
+Shards are schema-versioned through the spec codec
+(:mod:`repro.orchestration.axes`): schema-1 records (written before the
+axis registry) decode via the omit-defaults migration shim in
+:meth:`ScenarioSpec.from_dict` and compare equal to current-code
+records of the same scenario, so old and new shards merge cleanly;
+records from a *newer* schema fail loudly with file and line.  This is
+also the merge path for ``repro sweep --shard i/N`` runs: the N shard
+files of one matrix merge back into exactly the single-machine sweep.
 """
 
 from __future__ import annotations

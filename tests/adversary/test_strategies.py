@@ -91,3 +91,42 @@ class TestSafetyUnderEveryStrategy:
         for seed in seeds:
             result = run_with(crash_at(10.0), seed=seed)
             assert result.all_decided
+
+
+class TestPlacement:
+    def test_tail_matches_historical_default(self):
+        from repro.adversary.strategies import place_adversaries
+
+        assert place_adversaries("tail", 7, 2) == [6, 7]
+        assert place_adversaries("tail", 4, 1) == [4]
+
+    def test_head_and_spread(self):
+        from repro.adversary.strategies import place_adversaries
+
+        assert place_adversaries("head", 7, 2) == [1, 2]
+        assert place_adversaries("spread", 7, 2) == [4, 7]
+        assert place_adversaries("spread", 10, 3) == [4, 7, 10]
+
+    def test_zero_faults_places_nobody(self):
+        from repro.adversary.strategies import place_adversaries
+
+        for placement in ("tail", "head", "spread"):
+            assert place_adversaries(placement, 5, 0) == []
+
+    def test_placements_always_distinct_and_in_range(self):
+        from repro.adversary.strategies import PLACEMENTS, place_adversaries
+
+        for placement in PLACEMENTS:
+            for n in range(2, 12):
+                for faults in range(0, n):
+                    pids = place_adversaries(placement, n, faults)
+                    assert len(pids) == len(set(pids)) == faults
+                    assert all(1 <= pid <= n for pid in pids)
+
+    def test_unknown_placement_rejected(self):
+        import pytest
+
+        from repro.adversary.strategies import place_adversaries
+
+        with pytest.raises(ValueError, match="unknown placement"):
+            place_adversaries("diagonal", 4, 1)

@@ -72,3 +72,29 @@ class TestMinProcesses:
                 n = min_processes(t, m)
                 assert is_feasible(n, t, m)
                 assert n > 3 * t
+
+
+class TestCellFeasibility:
+    def test_feasible_cell_combines_all_bounds(self):
+        from repro.analysis.feasibility import feasible_cell
+
+        assert feasible_cell(4, 1)
+        assert feasible_cell(7, 2, k=2)
+        assert not feasible_cell(6, 2)          # resilience
+        assert not feasible_cell(4, 1, k=2)     # k > t
+        assert not feasible_cell(7, 2, faults=3)  # faults > t
+        assert feasible_cell(7, 2, faults=0)
+
+    def test_faults_none_means_full_budget(self):
+        from repro.analysis.feasibility import feasible_cell
+
+        assert feasible_cell(4, 1, faults=None)
+
+    def test_clamp_values_standard_vs_bot(self):
+        from repro.analysis.feasibility import clamp_values, max_values
+
+        assert clamp_values(4, 1, 5) == max_values(4, 1) == 2
+        assert clamp_values(7, 2, 5, variant="bot") == 5
+        # bounded by the correct-process count either way
+        assert clamp_values(7, 2, 9, faults=2, variant="bot") == 5
+        assert clamp_values(4, 1, 0) == 1

@@ -1,0 +1,246 @@
+"""Unit tests for the extensible scenario-axis registry."""
+
+import pytest
+
+from repro.orchestration.axes import (
+    AXES,
+    SCHEMA_VERSION,
+    Axis,
+    AxisRegistry,
+    parse_bool,
+)
+from repro.orchestration.matrix import ScenarioMatrix, ScenarioSpec, build_config
+
+
+class TestRegistry:
+    def test_builtin_vocabulary(self):
+        names = AXES.names()
+        for expected in ("size", "topology", "adversary", "num_values",
+                         "faults", "variant", "k", "max_time", "max_events",
+                         "placement", "proposals", "fifo"):
+            assert expected in names
+
+    def test_registration_order_starts_with_legacy_grid(self):
+        # The cross-product nests in registry order; the first four axes
+        # must reproduce the historical expansion order.
+        assert AXES.names()[:4] == ("size", "topology", "adversary",
+                                    "num_values")
+
+    def test_resolve_by_alias(self):
+        assert AXES.resolve("grid").name == "size"
+        assert AXES.resolve("m").name == "num_values"
+
+    def test_unknown_axis_lists_vocabulary(self):
+        with pytest.raises(ValueError, match="unknown axis.*size"):
+            AXES.resolve("wormhole")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            AXES.register(Axis(name="k", default=0, parse=int))
+
+    def test_register_unregister_round_trip(self):
+        registry = AxisRegistry()
+        axis = registry.register(Axis(name="demo", default=1, parse=int,
+                                      aliases=("d",)))
+        assert registry.resolve("d") is axis
+        registry.unregister("demo")
+        assert "demo" not in registry and "d" not in registry
+
+    def test_describe_mentions_every_axis(self):
+        text = AXES.describe()
+        for name in AXES.names():
+            assert name in text
+
+
+class TestParsers:
+    def test_size_parser(self):
+        assert AXES.resolve("size").parse("7:2") == (7, 2)
+        with pytest.raises(ValueError):
+            AXES.resolve("size").parse("7")
+
+    def test_faults_parser_none_sentinel(self):
+        faults = AXES.resolve("faults")
+        assert faults.parse("none") is None
+        assert faults.parse("t") is None
+        assert faults.parse("2") == 2
+
+    def test_parse_bool(self):
+        assert parse_bool("true") and parse_bool("1") and parse_bool("Yes")
+        assert not parse_bool("false") and not parse_bool("off")
+        with pytest.raises(ValueError):
+            parse_bool("maybe")
+
+    def test_canonical_rejects_junk(self):
+        with pytest.raises(ValueError):
+            AXES.resolve("k").canonical(-1)
+        with pytest.raises(ValueError):
+            AXES.resolve("variant").canonical("quantum")
+        with pytest.raises(ValueError):
+            AXES.resolve("placement").canonical("diagonal")
+        with pytest.raises(ValueError):
+            AXES.resolve("proposals").canonical("chaotic")
+
+
+class TestGriddedAxes:
+    def test_k_grid_expands_and_filters(self):
+        matrix = ScenarioMatrix(sizes=[(7, 2)], axes={"k": [0, 1, 2, 3]})
+        ks = sorted({s.k for s in matrix})
+        assert ks == [0, 1, 2]  # k=3 > t dropped by the feasibility hook
+
+    def test_faults_grid_expands_per_cell(self):
+        matrix = ScenarioMatrix(sizes=[(7, 2)], axes={"faults": [0, 1, 2]})
+        assert sorted(s.faults for s in matrix) == [0, 1, 2]
+
+    def test_axes_override_scalar_fields(self):
+        matrix = ScenarioMatrix(sizes=[(7, 2)], k=1, axes={"k": [0, 2]})
+        assert sorted({s.k for s in matrix}) == [0, 2]
+
+    def test_alias_key_accepted(self):
+        matrix = ScenarioMatrix(axes={"grid": [(4, 1), (7, 2)]})
+        assert {(s.n, s.t) for s in matrix} == {(4, 1), (7, 2)}
+
+    def test_unknown_axis_name_raises(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            ScenarioMatrix(axes={"wormhole": [1]}).expand()
+
+    def test_default_valued_axis_entry_changes_nothing(self):
+        plain = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        explicit = ScenarioMatrix(
+            sizes=[(4, 1)], axes={"placement": ["tail"], "fifo": [False]}
+        ).expand()
+        assert plain == explicit
+
+    def test_budget_axis_grids(self):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)], axes={"max_time": [50.0, 1000.0]}
+        )
+        assert sorted(s.max_time for s in matrix) == [50.0, 1000.0]
+
+
+class TestPlacementAxis:
+    def test_placements_choose_distinct_pid_sets(self):
+        sets = {}
+        for placement in ("tail", "head", "spread"):
+            [spec] = ScenarioMatrix(
+                sizes=[(7, 2)], placement=placement
+            ).expand()
+            config = build_config(spec)
+            sets[placement] = frozenset(config.adversaries)
+            assert len(config.adversaries) == 2
+        assert sets["tail"] == {6, 7}
+        assert sets["head"] == {1, 2}
+        assert sets["spread"] == {4, 7}
+
+    def test_placement_labels_cell_id(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)], placement="head").expand()
+        assert spec.cell_id.endswith("place=head")
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        assert "place=" not in spec.cell_id
+
+    def test_placement_changes_seed_but_not_default_cells(self):
+        [tail] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        [head] = ScenarioMatrix(sizes=[(4, 1)], placement="head").expand()
+        assert tail.seed != head.seed
+
+
+class TestProposalsAxis:
+    def test_profiles_reach_run_config(self):
+        [spec] = ScenarioMatrix(
+            sizes=[(7, 1)], adversaries=["none"], value_counts=[3],
+            proposals="skewed",
+        ).expand()
+        config = build_config(spec)
+        tally = {}
+        for value in config.proposals.values():
+            tally[value] = tally.get(value, 0) + 1
+        assert tally == {"v0": 5, "v1": 1, "v2": 1}
+
+    def test_unanimous_always_feasible(self):
+        [spec] = ScenarioMatrix(
+            sizes=[(4, 1)], proposals="unanimous", value_counts=[2]
+        ).expand()
+        config = build_config(spec)
+        assert set(config.proposals.values()) == {"v0"}
+
+    def test_profile_grid(self):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)], axes={"proposals": ["round_robin", "block"]}
+        )
+        assert sorted(s.proposals for s in matrix) == ["block", "round_robin"]
+
+
+class TestExtrasAxes:
+    def test_fifo_axis_reaches_run_config(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)], axes={"fifo": [True]}).expand()
+        assert spec.extras == (("fifo", True),)
+        assert build_config(spec).fifo is True
+        assert "fifo" in spec.cell_id
+
+    def test_fifo_default_leaves_spec_pristine(self):
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        assert spec.extras == ()
+        assert build_config(spec).fifo is False
+
+    def test_custom_axis_end_to_end(self):
+        axis = Axis(
+            name="max_rounds", default=None,
+            parse=lambda text: None if text == "none" else int(text),
+            apply=lambda kwargs, v: kwargs.__setitem__("max_rounds", v),
+        )
+        AXES.register(axis)
+        try:
+            matrix = ScenarioMatrix(
+                sizes=[(4, 1)], axes={"max_rounds": [None, 50]}
+            )
+            specs = matrix.expand()
+            assert len(specs) == 2
+            plain, capped = specs
+            assert plain.extras == () and capped.extras == (("max_rounds", 50),)
+            assert build_config(capped).max_rounds == 50
+            assert capped.cell_id.endswith("max_rounds=50")
+            # codec round-trip with the axis registered
+            clone = ScenarioSpec.from_dict(capped.to_dict())
+            assert clone == capped
+            assert capped.to_dict()["schema"] == SCHEMA_VERSION
+        finally:
+            AXES.unregister("max_rounds")
+
+    def test_unknown_toplevel_keys_are_ignored_on_decode(self):
+        # Top-level unknown keys are outcome fields (a flat JSONL record
+        # inlines them next to the spec), not axis values.
+        record = ScenarioMatrix(sizes=[(4, 1)]).expand()[0].to_dict()
+        record["schema"] = 2
+        record["mystery_outcome_field"] = 42
+        spec = ScenarioSpec.from_dict(record)
+        assert spec.extras == ()
+
+    def test_unregistered_extras_round_trip_verbatim(self):
+        # A record written with a custom axis must keep its identity on
+        # a machine that never registered that axis: the extras entry
+        # survives decode, distinguishes the digest and labels the cell.
+        from repro.store.cache import scenario_key
+
+        [plain] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        record = plain.to_dict()
+        record["schema"] = 2
+        record["extras"] = {"mystery_axis": 42}
+        spec = ScenarioSpec.from_dict(record)
+        assert spec.extras == (("mystery_axis", 42),)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert scenario_key(spec, "") != scenario_key(plain, "")
+        assert spec.cell_id.endswith("mystery_axis=42")
+
+    def test_unregistered_extras_refuse_to_execute(self):
+        # build_config must fail loudly rather than run the default
+        # config under a spec claiming a custom-axis value (spawned
+        # pool workers do not inherit the parent's registrations).
+        from dataclasses import replace
+
+        from repro.orchestration.matrix import run_scenario
+
+        [spec] = ScenarioMatrix(sizes=[(4, 1)]).expand()
+        rogue = replace(spec, extras=(("mystery_axis", 42),))
+        with pytest.raises(ValueError, match="unregistered axis"):
+            build_config(rogue)
+        outcome = run_scenario(rogue)
+        assert outcome.error is not None and "mystery_axis" in outcome.error

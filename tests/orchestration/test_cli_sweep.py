@@ -228,3 +228,102 @@ class TestMergeCommand:
         bad.write_text('{"foo": 1}\n', encoding="utf-8")
         with pytest.raises(SystemExit, match=r"bad\.jsonl:1.*invalid"):
             main(["merge", str(bad)])
+
+
+class TestAxisFlag:
+    def test_axis_grids_k(self, capsys):
+        code = main([
+            "sweep", "--grid", "7:2", "--seeds", "1", "--axis", "k=0,1,2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decided      : 3/3 seeds" in out
+        assert "k1" in out and "k2" in out
+
+    def test_axis_grids_faults_and_placement(self, capsys):
+        code = main([
+            "sweep", "--grid", "7:2", "--seeds", "1",
+            "--axis", "faults=0,2", "--axis", "placement=tail,head",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # f0 cells collapse across placements (no faults to place is
+        # still two distinct cells by identity but same label set);
+        # the f2 cells split by placement.
+        assert "/f2\n" in out or "/f2 " in out
+        assert "place=head" in out
+
+    def test_axis_list_prints_vocabulary_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["sweep", "--axis", "list"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "placement" in out and "proposals" in out and "size" in out
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SystemExit, match="unknown axis"):
+            main(["sweep", "--axis", "wormhole=1", "--seeds", "1"])
+
+    def test_bad_axis_value_rejected(self):
+        with pytest.raises(SystemExit, match="bad value"):
+            main(["sweep", "--axis", "k=banana", "--seeds", "1"])
+
+    def test_bad_axis_syntax_rejected(self):
+        with pytest.raises(SystemExit, match="expected NAME="):
+            main(["sweep", "--axis", "k", "--seeds", "1"])
+
+    def test_group_by_prints_breakdown(self, capsys):
+        code = main([
+            "sweep", "--grid", "7:2", "--seeds", "1", "--axis", "k=0,1",
+            "--group-by", "k",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k=0" in out and "k=1" in out
+        assert "group" in out
+
+    def test_group_by_unknown_axis_rejected(self):
+        with pytest.raises(SystemExit, match="unknown axis"):
+            main([
+                "sweep", "--seeds", "1", "--group-by", "wormhole",
+            ])
+
+
+class TestShardFlag:
+    def test_shards_partition_and_merge_bit_identical(self, tmp_path, capsys):
+        base = [
+            "sweep", "--grid", "4:1", "--adversaries", "crash,two_faced:evil",
+            "--seeds", "2",
+        ]
+        full = tmp_path / "full.jsonl"
+        assert main(base + ["--jsonl", str(full)]) == 0
+        shard_paths = []
+        for i in (1, 2):
+            path = tmp_path / f"shard{i}.jsonl"
+            assert main(base + ["--shard", f"{i}/2", "--jsonl", str(path)]) == 0
+            shard_paths.append(path)
+        out = capsys.readouterr().out
+        assert "shard        : 1/2 -> 2 of 4 scenarios" in out
+        merged = tmp_path / "merged.jsonl"
+        reference = tmp_path / "reference.jsonl"
+        assert main(["merge", str(full), "--out", str(reference)]) == 0
+        assert main([
+            "merge", *map(str, shard_paths), "--out", str(merged),
+        ]) == 0
+        assert merged.read_bytes() == reference.read_bytes()
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(SystemExit, match="bad --shard"):
+            main(["sweep", "--seeds", "1", "--shard", "3"])
+        with pytest.raises(SystemExit, match="bad --shard"):
+            main(["sweep", "--seeds", "1", "--shard", "5/2"])
+
+    def test_shard_works_with_cache(self, tmp_path, capsys):
+        base = [
+            "sweep", "--grid", "4:1", "--seeds", "2",
+            "--cache", str(tmp_path / "cache"),
+        ]
+        assert main(base + ["--shard", "1/2"]) == 0
+        assert main(base + ["--shard", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 hit(s), 0 executed" in out

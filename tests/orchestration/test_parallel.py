@@ -241,3 +241,76 @@ class TestLargeMatrixEquivalence:
         assert_equivalent(serial, parallel)
         assert parallel.report.decide_rate == 1.0
         assert parallel.report.all_safe
+
+
+class TestShardSlice:
+    def test_shards_partition_the_sweep_exactly(self):
+        from repro.orchestration.parallel import shard_slice
+
+        matrix = small_matrix(seeds=range(3))
+        full = matrix.expand()
+        count = 3
+        shards = [shard_slice(matrix, i, count) for i in range(1, count + 1)]
+        # exact partition: disjoint, exhaustive, balanced within one
+        combined = [spec for shard in shards for spec in shard]
+        assert sorted(combined, key=lambda s: s.index) == full
+        assert len({spec.index for spec in combined}) == len(full)
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard_is_the_full_sweep(self):
+        from repro.orchestration.parallel import shard_slice
+
+        matrix = small_matrix()
+        assert shard_slice(matrix, 1, 1) == matrix.expand()
+
+    def test_shard_sweeps_merge_to_the_unsharded_sweep(self, tmp_path):
+        from repro.store.shards import merge_shards
+
+        matrix = small_matrix(seeds=range(2))
+        from repro.orchestration.parallel import shard_slice
+
+        full_path = tmp_path / "full.jsonl"
+        sweep_serial(matrix).write_jsonl(full_path)
+        paths = []
+        for i in (1, 2):
+            path = tmp_path / f"shard{i}.jsonl"
+            sweep_serial(shard_slice(matrix, i, 2)).write_jsonl(path)
+            paths.append(path)
+        merged = merge_shards(paths)
+        reference = merge_shards([full_path])
+        assert [o.to_record() for o in merged.outcomes] == \
+            [o.to_record() for o in reference.outcomes]
+
+    def test_bad_indices_rejected(self):
+        from repro.orchestration.parallel import shard_slice
+
+        matrix = small_matrix()
+        with pytest.raises(ValueError, match="shard index"):
+            shard_slice(matrix, 0, 3)
+        with pytest.raises(ValueError, match="shard index"):
+            shard_slice(matrix, 4, 3)
+        with pytest.raises(ValueError, match="shard count"):
+            shard_slice(matrix, 1, 0)
+
+
+class TestAdaptiveChunking:
+    def test_adaptive_dispatch_matches_serial(self):
+        # chunksize=None is the adaptive path; results must stay
+        # bit-identical to serial regardless of how chunks were sized.
+        matrix = small_matrix()
+        assert_equivalent(
+            sweep_serial(matrix), sweep_parallel(matrix, workers=2)
+        )
+
+    def test_worker_chunks_report_wall_time(self):
+        from repro.orchestration.parallel import _run_chunk
+
+        outcomes, elapsed = _run_chunk(small_matrix().expand()[:2], False)
+        assert len(outcomes) == 2
+        assert elapsed > 0
+
+    def test_explicit_chunksize_still_fixed(self):
+        matrix = small_matrix()
+        sweep = sweep_parallel(matrix, workers=2, chunksize=3)
+        assert [o.spec.index for o in sweep.outcomes] == list(range(8))

@@ -80,3 +80,47 @@ class TestFormatTable:
     def test_empty_rows(self):
         table = format_table(["h"], [])
         assert "h" in table
+
+
+class TestProposalProfiles:
+    def test_registry_contains_all_profiles(self):
+        from repro.orchestration.sweeps import PROPOSAL_PROFILES
+
+        assert set(PROPOSAL_PROFILES) == {
+            "round_robin", "block", "skewed", "unanimous",
+        }
+
+    def test_every_profile_covers_exactly_the_correct_set(self):
+        from repro.orchestration.sweeps import PROPOSAL_PROFILES
+
+        correct = [1, 2, 4, 5, 7]
+        for name, profile in PROPOSAL_PROFILES.items():
+            proposals = profile(correct, ["a", "b"])
+            assert sorted(proposals) == correct, name
+
+    def test_block_deals_contiguous_blocks(self):
+        from repro.orchestration.sweeps import block_proposals
+
+        assert block_proposals([1, 2, 3, 4], ["a", "b"]) == {
+            1: "a", 2: "a", 3: "b", 4: "b",
+        }
+
+    def test_skewed_gives_slack_to_first_value(self):
+        from repro.orchestration.sweeps import skewed_proposals
+
+        assert skewed_proposals([1, 2, 3, 4, 5], ["a", "b", "c"]) == {
+            1: "a", 2: "a", 3: "a", 4: "b", 5: "c",
+        }
+
+    def test_unanimous_single_value(self):
+        from repro.orchestration.sweeps import unanimous_proposals
+
+        assert set(unanimous_proposals([1, 2, 3], ["a", "b"]).values()) == {"a"}
+
+    def test_unknown_profile_rejected(self):
+        import pytest
+
+        from repro.orchestration.sweeps import proposal_profile
+
+        with pytest.raises(ValueError, match="unknown proposal profile"):
+            proposal_profile("chaotic")

@@ -123,3 +123,82 @@ class TestResultCache:
             cache.put(run_scenario(spec))
         keys = {cache.key(o.spec) for o in cache.iter_outcomes()}
         assert keys == {cache.key(spec) for spec in specs}
+
+
+class TestEviction:
+    def _fill(self, cache, count):
+        specs = ScenarioMatrix(
+            sizes=[(4, 1)], adversaries=["crash"], seeds=range(count)
+        ).expand()
+        outcomes = [run_scenario(spec) for spec in specs]
+        for outcome in outcomes:
+            cache.put(outcome)
+        return outcomes
+
+    def test_no_caps_means_no_pruning(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c", max_entries=2, prune_interval=100)
+        outcomes = self._fill(cache, 3)
+        # Make the first entry oldest, then most-recently-used via a
+        # disk hit (fresh cache instance: no memory front shortcut).
+        paths = [cache.path_for(cache.key(o.spec)) for o in outcomes]
+        for age, path in enumerate(reversed(paths), start=1):
+            os.utime(path, (path.stat().st_atime, path.stat().st_mtime - 10 * age))
+        reopened = ResultCache(
+            tmp_path / "c", max_entries=2, prune_interval=100
+        )
+        assert reopened.get(outcomes[0].spec) is not None  # touch: now MRU
+        removed = reopened.prune()
+        assert removed == 1
+        assert reopened.stats.evictions == 1
+        assert reopened.get(outcomes[0].spec) is not None
+        assert len(reopened) == 2
+
+    def test_max_age_expires_old_entries(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c", max_age=60.0, prune_interval=100)
+        outcomes = self._fill(cache, 2)
+        old = cache.path_for(cache.key(outcomes[0].spec))
+        os.utime(old, (old.stat().st_atime, old.stat().st_mtime - 3600))
+        assert cache.prune() == 1
+        assert cache.get(outcomes[1].spec) is not None
+        # evicted entry is a miss for a fresh instance
+        fresh = ResultCache(tmp_path / "c")
+        assert fresh.get(outcomes[0].spec) is None
+
+    def test_put_prunes_opportunistically(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=1, prune_interval=1)
+        self._fill(cache, 3)
+        assert len(cache) == 1
+        assert cache.stats.evictions >= 1
+
+    def test_pruned_entries_drop_from_memory_front(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=0, prune_interval=100)
+        outcomes = self._fill(cache, 1)
+        assert cache.prune() == 1
+        # memory front must not resurrect the evicted entry
+        assert cache.get(outcomes[0].spec) is None
+
+    def test_memory_front_hits_refresh_disk_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c", max_entries=1, prune_interval=100)
+        outcomes = self._fill(cache, 2)
+        hot, cold = outcomes[0], outcomes[1]
+        # Age both on disk, then hit `hot` via the memory front only.
+        for outcome in outcomes:
+            path = cache.path_for(cache.key(outcome.spec))
+            os.utime(path, (path.stat().st_atime, path.stat().st_mtime - 3600))
+        assert cache.get(hot.spec) is not None  # memory hit
+        assert cache.prune() == 1
+        assert cache.get(hot.spec) is not None
+        fresh = ResultCache(tmp_path / "c")
+        assert fresh.get(cold.spec) is None

@@ -1,0 +1,125 @@
+"""Schema-migration guarantees: PR-2-era (schema-1) stores load unchanged.
+
+The fixtures below are *frozen literals* captured from pre-registry
+code: a JSONL shard record and a cache entry exactly as PR 2 wrote
+them, plus the content digest PR 2 derived.  If any of these tests
+break, old cache directories or shard files would stop hitting/merging
+— that is a compatibility break, not a test to update casually.
+"""
+
+import json
+
+import pytest
+
+from repro.orchestration.matrix import (
+    ScenarioMatrix,
+    ScenarioSpec,
+    outcome_from_record,
+)
+from repro.orchestration.parallel import sweep_serial
+from repro.store.cache import ResultCache, scenario_key
+from repro.store.shards import merge_shards, read_shard
+
+# One scenario executed and serialized by pre-registry (PR-2) code:
+# ScenarioMatrix(sizes=[(4, 1)], adversaries=["crash"], seeds=[0]).
+LEGACY_SEED = 9196872787765944999
+LEGACY_KEY_NO_SALT = (
+    "b610ffd29022a201019db1cf99eac2a677d4521c954a927687a72d9d20b34610"
+)
+LEGACY_RECORD = json.loads(
+    '{"adversary": "crash", "cell_id": "n4/t1/single_bisource/crash/m2/f1",'
+    ' "decided": true, "decided_value": "\'v0\'",'
+    ' "decisions": {"1": "\'v0\'", "2": "\'v0\'", "3": "\'v0\'"},'
+    ' "error": null, "events_processed": 548, "faults": null,'
+    ' "finished_at": 95.62352121263967, "index": 0, "invariants_ok": true,'
+    ' "k": 0, "max_events": 20000000, "max_round": 2, "max_time": 1000000.0,'
+    ' "messages_sent": 584, "n": 4, "num_values": 2,'
+    ' "rounds": {"1": 2, "2": 2, "3": 2}, "seed": 9196872787765944999,'
+    ' "seed_index": 0, "t": 1, "timed_out": false,'
+    ' "topology": "single_bisource", "values": null, "variant": "standard",'
+    ' "violations": []}'
+)
+
+
+def legacy_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix(sizes=[(4, 1)], adversaries=["crash"], seeds=[0])
+
+
+class TestSeedAndDigestStability:
+    def test_legacy_cell_keeps_its_seed(self):
+        [spec] = legacy_matrix().expand()
+        assert spec.seed == LEGACY_SEED
+
+    def test_legacy_spec_keeps_its_digest(self):
+        [spec] = legacy_matrix().expand()
+        assert scenario_key(spec, "") == LEGACY_KEY_NO_SALT
+
+    def test_legacy_spec_serializes_without_schema_marker(self):
+        # Omit-defaults codec: a spec using no registry axis writes the
+        # exact schema-1 record (no "schema", "placement", ... keys).
+        [spec] = legacy_matrix().expand()
+        data = spec.to_dict()
+        for key in ("schema", "placement", "proposals", "extras", "fifo"):
+            assert key not in data
+
+    def test_registry_axes_bump_the_schema_and_digest(self):
+        [spec] = legacy_matrix().expand()
+        from dataclasses import replace
+
+        moved = replace(spec, placement="head")
+        data = moved.to_dict()
+        assert data["schema"] == 2 and data["placement"] == "head"
+        assert scenario_key(moved, "") != scenario_key(spec, "")
+
+
+class TestLegacyShard:
+    def test_schema1_record_parses(self):
+        outcome = outcome_from_record(LEGACY_RECORD)
+        assert outcome.spec == legacy_matrix().expand()[0]
+        assert outcome.decided and outcome.messages_sent == 584
+
+    def test_schema1_shard_merges_with_fresh_shard(self, tmp_path):
+        legacy = tmp_path / "legacy.jsonl"
+        legacy.write_text(
+            json.dumps(LEGACY_RECORD, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        fresh = tmp_path / "fresh.jsonl"
+        sweep_serial(legacy_matrix()).write_jsonl(fresh)
+        assert read_shard(fresh)[0].to_record() == LEGACY_RECORD
+        merged = merge_shards([legacy, fresh])  # no ShardConflictError
+        assert merged.total_records == 2 and merged.duplicates == 1
+        assert len(merged.outcomes) == 1
+
+    def test_newer_schema_fails_loudly(self, tmp_path):
+        record = dict(LEGACY_RECORD, schema=99)
+        shard = tmp_path / "future.jsonl"
+        shard.write_text(json.dumps(record) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="newer"):
+            read_shard(shard)
+
+
+class TestLegacyCacheDir:
+    def test_schema1_entry_is_a_hit(self, tmp_path):
+        # Recreate a PR-2 cache entry byte layout: format-1 payload at
+        # root/<key[:2]>/<key>.json with the schema-1 record inside.
+        cache = ResultCache(tmp_path / "cache", salt="pr2")
+        [spec] = legacy_matrix().expand()
+        key = scenario_key(spec, "pr2")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({
+            "format": 1, "key": key, "salt": "pr2", "record": LEGACY_RECORD,
+        }), encoding="utf-8")
+        outcome = cache.get(spec)
+        assert outcome is not None and outcome.decided
+        assert outcome.spec == spec
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_schema2_spec_misses_a_legacy_dir(self, tmp_path):
+        # A new-axis spec must get its own key, never collide with (or
+        # poison) a pre-registry entry.
+        from dataclasses import replace
+
+        cache = ResultCache(tmp_path / "cache", salt="pr2")
+        [spec] = legacy_matrix().expand()
+        assert cache.get(replace(spec, placement="spread")) is None
