@@ -9,7 +9,17 @@ The speedup assertion is gated on the *schedulable* CPU count: a
 single-core container cannot exhibit multi-process speedup no matter how
 good the engine is, so there the benchmark only locks in equivalence and
 reports the measured ratio.
+
+Running the file as a script records the sweep-throughput point of the
+perf trajectory as machine-readable JSON (default ``BENCH_sweep.json``
+at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py [--quick]
 """
+
+import sys, pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
@@ -20,7 +30,6 @@ from repro.orchestration.parallel import (
     sweep_serial,
 )
 
-import sys, pathlib
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from _common import report  # noqa: E402
 
@@ -90,3 +99,66 @@ def test_benchmark_serial_chunk(benchmark):
     )
     result = benchmark(sweep_serial, matrix)
     assert result.report.decide_rate == 1.0
+
+
+def main(argv=None) -> int:
+    """Record the sweep-throughput trajectory point as JSON."""
+    import argparse
+    import json
+    import platform
+    import time
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=repo_root / "BENCH_sweep.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="quarter-size matrix (CI smoke)")
+    args = parser.parse_args(argv)
+
+    matrix = throughput_matrix() if not args.quick else ScenarioMatrix(
+        sizes=[(4, 1)],
+        topologies=["single_bisource", "fully_timely"],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=range(2),
+    )
+    workers = default_workers()
+    serial = sweep_serial(matrix)
+    parallel = sweep_parallel(matrix, workers=workers)
+    assert identical(serial, parallel), "parallel sweep must be bit-identical"
+    payload = {
+        "bench": "sweep_throughput",
+        "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": len(serial.outcomes),
+        "workers": workers,
+        "metrics": {
+            "serial": {
+                "wall_seconds": round(serial.elapsed, 4),
+                "scenarios_per_sec": round(serial.scenarios_per_second, 2),
+            },
+            "parallel": {
+                "wall_seconds": round(parallel.elapsed, 4),
+                "scenarios_per_sec": round(parallel.scenarios_per_second, 2),
+            },
+        },
+        "parallel_speedup": round(
+            parallel.scenarios_per_second / serial.scenarios_per_second, 3
+        ) if serial.scenarios_per_second else 0.0,
+        "bit_identical": True,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"serial   : {payload['metrics']['serial']['scenarios_per_sec']}/s")
+    print(f"parallel : {payload['metrics']['parallel']['scenarios_per_sec']}/s "
+          f"({workers} workers)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

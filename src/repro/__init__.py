@@ -75,6 +75,7 @@ one deduplicated :class:`~repro.analysis.aggregation.MatrixReport`::
 
 from . import adversary, analysis, baselines, broadcast, core, net, orchestration
 from . import runtime, sim, store
+from .instrumentation import InstrumentationBus, Probe
 from .store import ResultCache
 from .analysis import (
     MessageCounter,
@@ -143,6 +144,8 @@ __all__ = [
     "sim",
     "store",
     # frequently used names
+    "InstrumentationBus",
+    "Probe",
     "ResultCache",
     "MessageCounter",
     "Tracer",

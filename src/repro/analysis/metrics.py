@@ -14,7 +14,14 @@ __all__ = ["MessageCounter", "summarize", "LatencySummary"]
 
 
 class MessageCounter:
-    """Network hook counting sends and deliveries by tag and by sender."""
+    """Instrumentation sink counting sends/deliveries by tag and sender.
+
+    Attaches to a network's ``net.send`` / ``net.deliver`` probes (one
+    sink per probe, no ``kind`` string dispatch).  The network itself
+    already counts ``messages_sent`` / ``sent_by_tag`` natively; attach
+    a counter only when delivery counts or per-sender breakdowns are
+    actually needed — a detached probe costs nothing.
+    """
 
     def __init__(self) -> None:
         self.sends_by_tag: dict[str, int] = {}
@@ -25,21 +32,41 @@ class MessageCounter:
 
     def attach(self, network: "Network") -> "MessageCounter":
         """Register this counter on a network; returns self for chaining."""
-        network.add_hook(self._on_event)
+        from ..instrumentation import NET_DELIVER, NET_SEND
+
+        network.bus.attach(NET_SEND, self.on_send)
+        network.bus.attach(NET_DELIVER, self.on_deliver)
         return self
 
-    def _on_event(self, kind: str, message: Message, time: float) -> None:
-        if kind == "send":
-            self.total_sends += 1
-            self.sends_by_tag[message.tag] = self.sends_by_tag.get(message.tag, 0) + 1
-            self.sends_by_sender[message.sender] = (
-                self.sends_by_sender.get(message.sender, 0) + 1
-            )
-        elif kind == "deliver":
-            self.total_delivers += 1
-            self.delivers_by_tag[message.tag] = (
-                self.delivers_by_tag.get(message.tag, 0) + 1
-            )
+    def detach(self, network: "Network") -> None:
+        """Remove this counter's sinks from a network's probes."""
+        from ..instrumentation import NET_DELIVER, NET_SEND
+
+        network.bus.detach(NET_SEND, self.on_send)
+        network.bus.detach(NET_DELIVER, self.on_deliver)
+
+    def reset(self) -> None:
+        """Zero every counter (for reuse across runs)."""
+        self.sends_by_tag.clear()
+        self.delivers_by_tag.clear()
+        self.sends_by_sender.clear()
+        self.total_sends = 0
+        self.total_delivers = 0
+
+    def on_send(self, message: Message, time: float) -> None:
+        """``net.send`` probe sink."""
+        self.total_sends += 1
+        self.sends_by_tag[message.tag] = self.sends_by_tag.get(message.tag, 0) + 1
+        self.sends_by_sender[message.sender] = (
+            self.sends_by_sender.get(message.sender, 0) + 1
+        )
+
+    def on_deliver(self, message: Message, time: float) -> None:
+        """``net.deliver`` probe sink."""
+        self.total_delivers += 1
+        self.delivers_by_tag[message.tag] = (
+            self.delivers_by_tag.get(message.tag, 0) + 1
+        )
 
 
 @dataclass

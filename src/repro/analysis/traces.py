@@ -64,8 +64,16 @@ class Tracer:
         self.truncated = False
 
     def attach_network(self, network: "Network") -> "Tracer":
-        """Record every network send/delivery; returns self."""
-        network.add_hook(self._on_network_event)
+        """Record every network send/delivery; returns self.
+
+        Implemented as two instrumentation-bus sinks (``net.send`` /
+        ``net.deliver``), so an unattached tracer costs the network
+        nothing at all.
+        """
+        from ..instrumentation import NET_DELIVER, NET_SEND
+
+        network.bus.attach(NET_SEND, self._on_send)
+        network.bus.attach(NET_DELIVER, self._on_deliver)
         return self
 
     def record(
@@ -77,15 +85,18 @@ class Tracer:
             return
         self.events.append(TraceEvent(time=time, kind=kind, pid=pid, detail=detail))
 
-    def _on_network_event(self, kind: str, message: Message, time: float) -> None:
+    def _on_send(self, message: Message, time: float) -> None:
         self.record(
-            time,
-            kind,
-            pid=message.dest if kind == "deliver" else message.sender,
-            sender=message.sender,
-            dest=message.dest,
-            tag=message.tag,
-            payload=message.payload,
+            time, "send", pid=message.sender,
+            sender=message.sender, dest=message.dest, tag=message.tag,
+            uid=message.uid, payload=message.payload,
+        )
+
+    def _on_deliver(self, message: Message, time: float) -> None:
+        self.record(
+            time, "deliver", pid=message.dest,
+            sender=message.sender, dest=message.dest, tag=message.tag,
+            uid=message.uid, payload=message.payload,
         )
 
     def filter(self, kind: str | None = None, pid: int | None = None) -> Iterator[TraceEvent]:

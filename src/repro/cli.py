@@ -19,6 +19,11 @@ Commands:
   the N shard JSONLs merge back into exactly the full sweep;
 * ``merge`` — fold JSONL shards from several sweep runs (or machines)
   into one deduplicated report, detecting conflicting duplicates;
+  ``--group-by AXIS[,AXIS]`` regroups the merged outcomes along any
+  registered axes;
+* ``store verify`` — integrity scrub: re-execute a deterministic sample
+  of cached scenarios on the current kernel and compare digests against
+  the stored records (non-zero exit on drift);
 * ``bounds`` — print the Section 5.4 round-bound table for (n, t);
 * ``feasibility`` — print the m-valued feasibility envelope.
 
@@ -72,7 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true",
                        help="emit a JSON summary instead of text")
 
-    sweep_p = sub.add_parser("sweep", help="run a scenario-matrix sweep")
+    sweep_p = sub.add_parser(
+        "sweep", help="run a scenario-matrix sweep",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="registered scenario axes (usable with --axis NAME=V1,V2,...):\n"
+               + AXES.describe(),
+    )
     _add_system_args(sweep_p)
     sweep_p.add_argument("--seeds", type=int, default=10,
                          help="seeds per grid cell")
@@ -130,6 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["error", "first", "last"],
                          help="how to resolve shards that disagree about "
                               "the same scenario (default: error out)")
+    merge_p.add_argument("--group-by", default=None, metavar="AXIS[,AXIS]",
+                         help="print an extra breakdown of the merged "
+                              "outcomes grouped by the named axes")
+
+    store_p = sub.add_parser("store", help="persistent result-store tools")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    verify_p = store_sub.add_parser(
+        "verify",
+        help="re-execute a sample of cached scenarios and compare digests",
+    )
+    verify_p.add_argument("cache", metavar="DIR", help="cache directory")
+    def nonnegative(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
+    verify_p.add_argument("--sample", type=nonnegative, default=None,
+                          metavar="N",
+                          help="re-execute at most N entries "
+                               "(deterministic in --seed; default: all)")
+    verify_p.add_argument("--seed", type=int, default=0,
+                          help="sample-selection seed")
+    verify_p.add_argument("--progress", action="store_true",
+                          help="print one line per re-executed entry")
 
     bounds_p = sub.add_parser("bounds", help="Section 5.4 round-bound table")
     bounds_p.add_argument("--n", type=int, required=True)
@@ -390,14 +425,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if len(report.cells) > 1:
         print()
         print(render_matrix_table(report))
-    if args.group_by:
-        names = [p for p in args.group_by.split(",") if p]
-        try:
-            grouped = group_outcomes(sweep.outcomes, names)
-        except ValueError as exc:
-            raise SystemExit(str(exc))
-        print()
-        print(render_group_table(grouped))
+    _print_group_breakdown(sweep.outcomes, args.group_by)
     print(f"\ndecided      : {report.decided_runs}/{report.runs} seeds")
     print(f"values       : {report.values}")
     print(f"safety       : {'OK' if report.all_safe else 'VIOLATED'}")
@@ -411,6 +439,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path = sweep.write_jsonl(args.jsonl)
         print(f"jsonl        : {path}")
     return 0 if report.decided_runs == report.runs and report.all_safe else 1
+
+
+def _print_group_breakdown(outcomes: Any, group_by: str | None) -> None:
+    """Shared ``--group-by`` tail of the sweep and merge commands."""
+    if not group_by:
+        return
+    names = [p for p in group_by.split(",") if p]
+    try:
+        grouped = group_outcomes(outcomes, names)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print()
+    print(render_group_table(grouped))
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -433,10 +474,39 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     if report.cells:
         print()
         print(render_matrix_table(report))
+    _print_group_breakdown(merged.outcomes, args.group_by)
     if args.out:
         path = merged.write_jsonl(args.out)
         print(f"\nmerged jsonl : {path}")
     return 0 if report.all_safe else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    # Only "verify" exists today; the subparser enforces that.
+    from .store import ResultCache, verify_store
+
+    cache = ResultCache(args.cache)
+    if not cache.root.is_dir():
+        raise SystemExit(f"no cache directory at {args.cache}")
+    on_entry = None
+    if args.progress:
+        def on_entry(key: str, matched: bool) -> None:
+            print(f"  {key[:16]}… {'ok' if matched else 'MISMATCH'}")
+
+    report = verify_store(
+        cache, sample=args.sample, seed=args.seed, on_entry=on_entry
+    )
+    print(f"verify       : {report.describe()}")
+    if not report.ok:
+        print("integrity    : DRIFT DETECTED")
+        return 1
+    if report.vacuous and args.sample != 0:
+        # Entries exist but every candidate was stale or unreadable: a
+        # clean exit here would be a false bill of health.
+        print("integrity    : UNVERIFIED (no entry could be re-executed)")
+        return 2
+    print("integrity    : OK")
+    return 0
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -477,6 +547,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "merge": _cmd_merge,
+        "store": _cmd_store,
         "bounds": _cmd_bounds,
         "feasibility": _cmd_feasibility,
     }

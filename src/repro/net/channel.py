@@ -40,8 +40,10 @@ class ChannelStats:
         """Account for one transmitted message."""
         self.messages += 1
         self.total_delay += delay
-        self.max_delay = max(self.max_delay, delay)
-        self.last_delivery = max(self.last_delivery, delivery_time)
+        if delay > self.max_delay:
+            self.max_delay = delay
+        if delivery_time > self.last_delivery:
+            self.last_delivery = delivery_time
 
 
 class Channel:
@@ -78,7 +80,7 @@ class Channel:
         deliver: Callable[[Message], None],
     ) -> float:
         """Schedule delivery of ``message``; return the delivery time."""
-        send_time = sim.now
+        send_time = sim._clock._now
         delivery_time = self.timing.delivery_time_for(message, send_time, self.rng)
         if delivery_time < send_time:
             # Defensive: a broken timing model must not move time backwards.

@@ -15,7 +15,7 @@ from typing import Any
 __all__ = ["Message"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An immutable network message.
 

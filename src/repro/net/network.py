@@ -6,6 +6,19 @@ channel level*: a message handed to process ``j`` always carries the true
 identity of its sender, so Byzantine processes cannot impersonate others.
 Byzantine processes also cannot influence the delivery schedule — delays
 are drawn by the channel timing models alone.
+
+Fast-path notes.  Channels are materialized *lazily*: the conceptual
+n×n matrix exists, but a :class:`~repro.net.channel.Channel` object (and
+its seeded RNG stream) is only built the first time an ordered pair
+carries a message, so large-n grid cells stop paying O(n²) setup for
+pairs the protocol never exercises.  Laziness cannot perturb results:
+each channel's RNG stream is derived from the pair's *key*, not from
+creation order.  Observability goes through the instrumentation bus
+(:mod:`repro.instrumentation`): the network publishes ``net.send`` and
+``net.deliver`` probes whose emit path is a single pointer check while
+no sink is attached.  The two counters every run result needs
+(``messages_sent``, ``sent_by_tag``) stay native — they are C-level
+int/dict operations, cheaper than any sink indirection.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..errors import ConfigurationError
+from ..instrumentation import NET_DELIVER, NET_SEND, InstrumentationBus
 from ..sim.random import RngRegistry
 from .channel import Channel
 from .messages import Message
@@ -43,6 +57,9 @@ class Network:
             (default: asynchronous with exponential delays).
         rng: Seed registry; each channel gets stream ``("chan", src, dst)``.
         fifo: Whether channels deliver in FIFO order (default False).
+        bus: Instrumentation bus to publish the ``net.send`` /
+            ``net.deliver`` probes on (default: the simulator's bus, so
+            one run shares one bus without extra wiring).
     """
 
     def __init__(
@@ -53,6 +70,7 @@ class Network:
         default_timing: ChannelTiming | None = None,
         rng: RngRegistry | None = None,
         fifo: bool = False,
+        bus: InstrumentationBus | None = None,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"need at least 2 processes, got {n}")
@@ -68,19 +86,17 @@ class Network:
                 raise ConfigurationError(
                     f"timing override for out-of-range pair ({src}, {dst})"
                 )
-        self_timing = Timely(delta=_SELF_CHANNEL_DELTA)
+        self._overrides = overrides
+        self._self_timing = Timely(delta=_SELF_CHANNEL_DELTA)
+        self._fifo = fifo
+        #: Lazily materialized channels, keyed by ordered pair.
         self._channels: dict[tuple[int, int], Channel] = {}
-        for src in range(1, n + 1):
-            for dst in range(1, n + 1):
-                if src == dst:
-                    model: ChannelTiming = overrides.get((src, dst), self_timing)
-                else:
-                    model = overrides.get((src, dst), self._default_timing)
-                self._channels[(src, dst)] = Channel(
-                    src, dst, model, self.rng.stream("chan", src, dst), fifo=fifo
-                )
         self._processes: dict[int, DeliverFn] = {}
-        self._hooks: list[HookFn] = []
+        self.bus = bus if bus is not None else getattr(
+            sim, "bus", None
+        ) or InstrumentationBus()
+        self._send_probe = self.bus.probe(NET_SEND)
+        self._deliver_probe = self.bus.probe(NET_DELIVER)
         self._next_uid = 0
         #: Total messages sent through the network.
         self.messages_sent = 0
@@ -101,13 +117,41 @@ class Network:
     def add_hook(self, hook: HookFn) -> None:
         """Register a tracing hook ``hook(kind, message, time)``.
 
-        ``kind`` is ``"send"`` or ``"deliver"``.
+        ``kind`` is ``"send"`` or ``"deliver"``.  Compatibility shim over
+        the instrumentation bus: the hook is attached as one sink on each
+        of the ``net.send`` / ``net.deliver`` probes.  New code should
+        attach probe sinks directly (they skip the ``kind`` dispatch).
         """
-        self._hooks.append(hook)
+        self._send_probe.attach(lambda message, now: hook("send", message, now))
+        self._deliver_probe.attach(
+            lambda message, now: hook("deliver", message, now)
+        )
 
     def channel(self, src: int, dst: int) -> Channel:
-        """Return the channel object for the ordered pair ``(src, dst)``."""
-        return self._channels[(src, dst)]
+        """The channel object for the ordered pair (built on first use)."""
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            channel = self._materialize(src, dst)
+        return channel
+
+    def _materialize(self, src: int, dst: int) -> Channel:
+        if not (1 <= src <= self.n and 1 <= dst <= self.n):
+            raise ConfigurationError(
+                f"channel pair ({src}, {dst}) out of range 1..{self.n}"
+            )
+        model = self._overrides.get((src, dst))
+        if model is None:
+            model = self._self_timing if src == dst else self._default_timing
+        channel = Channel(
+            src, dst, model, self.rng.stream("chan", src, dst), fifo=self._fifo
+        )
+        self._channels[(src, dst)] = channel
+        return channel
+
+    @property
+    def channels_materialized(self) -> int:
+        """How many of the n² conceptual channels actually exist."""
+        return len(self._channels)
 
     # ------------------------------------------------------------------
     # Sending
@@ -121,20 +165,20 @@ class Network:
         """
         if dst not in self._processes:
             raise ConfigurationError(f"no process registered with id {dst}")
-        message = Message(
-            sender=src,
-            dest=dst,
-            tag=tag,
-            payload=payload,
-            sent_at=self.sim.now,
-            uid=self._next_uid,
-        )
-        self._next_uid += 1
+        now = self.sim._clock._now
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        message = Message(src, dst, tag, payload, now, uid)
         self.messages_sent += 1
-        self.sent_by_tag[tag] = self.sent_by_tag.get(tag, 0) + 1
-        for hook in self._hooks:
-            hook("send", message, self.sim.now)
-        self._channels[(src, dst)].transmit(self.sim, message, self._deliver)
+        counts = self.sent_by_tag
+        counts[tag] = counts.get(tag, 0) + 1
+        emit = self._send_probe.emit
+        if emit is not None:
+            emit(message, now)
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            channel = self._materialize(src, dst)
+        channel.transmit(self.sim, message, self._deliver)
         return message
 
     def broadcast(self, src: int, tag: str, payload: Any) -> None:
@@ -144,12 +188,14 @@ class Network:
         sender is free not to use it and send different payloads to
         different destinations via :meth:`send`.
         """
+        send = self.send
         for dst in range(1, self.n + 1):
-            self.send(src, dst, tag, payload)
+            send(src, dst, tag, payload)
 
     def _deliver(self, message: Message) -> None:
-        for hook in self._hooks:
-            hook("deliver", message, self.sim.now)
+        emit = self._deliver_probe.emit
+        if emit is not None:
+            emit(message, self.sim._clock._now)
         self._processes[message.dest](message)
 
     def __repr__(self) -> str:

@@ -35,6 +35,9 @@ __all__ = [
     "Asynchronous",
     "PerTagTiming",
     "ScriptedTiming",
+    "TIMEOUT_SCHEDULE_KINDS",
+    "normalize_timeout_schedule",
+    "timeout_schedule",
 ]
 
 
@@ -139,6 +142,27 @@ class ScriptedDelay(DelayDistribution):
 class ChannelTiming(ABC):
     """Maps a send time to an absolute delivery time."""
 
+    def _guard_fast_path(self, base: type) -> None:
+        """Re-route the fast path through ``delivery_time`` overrides.
+
+        ``base`` (:class:`Asynchronous` / :class:`EventuallyTimely`)
+        duplicates its ``delivery_time`` body into ``delivery_time_for``
+        to skip one Python call per message.  A subclass that overrides
+        ``delivery_time`` — the documented extension point — but not
+        ``delivery_time_for`` would silently keep the parent's delays;
+        this guard (called from ``base.__init__``) detects that case and
+        shadows the fast path with a delegating instance attribute.
+        """
+        cls = type(self)
+        if (
+            cls.delivery_time is not base.delivery_time
+            and cls.delivery_time_for is base.delivery_time_for
+        ):
+            self.delivery_time_for = (  # type: ignore[method-assign]
+                lambda message, send_time, rng:
+                self.delivery_time(send_time, rng)
+            )
+
     @abstractmethod
     def delivery_time(self, send_time: float, rng: random.Random) -> float:
         """Absolute virtual time at which the message is delivered."""
@@ -186,11 +210,23 @@ class EventuallyTimely(ChannelTiming):
         self.tau = float(tau)
         self.delta = float(delta)
         self.pre = pre if pre is not None else ExponentialDelay(mean=4.0 * delta)
+        self._guard_fast_path(EventuallyTimely)
 
     def delivery_time(self, send_time: float, rng: random.Random) -> float:
         natural = send_time + self.pre.sample(send_time, rng)
         bound = max(self.tau, send_time) + self.delta
         return min(natural, bound)
+
+    def delivery_time_for(
+        self, message: object, send_time: float, rng: random.Random
+    ) -> float:
+        # Identical to delivery_time; overridden to skip one Python call
+        # on the per-message fast path (messages are ignored here).
+        # _guard_fast_path in __init__ restores base-class delegation
+        # for subclasses that customize delivery_time.
+        natural = send_time + self.pre.sample(send_time, rng)
+        bound = max(self.tau, send_time) + self.delta
+        return natural if natural < bound else bound
 
     @property
     def is_eventually_timely(self) -> bool:
@@ -219,8 +255,15 @@ class Asynchronous(ChannelTiming):
 
     def __init__(self, dist: DelayDistribution | None = None) -> None:
         self.dist = dist if dist is not None else ExponentialDelay(mean=5.0)
+        self._guard_fast_path(Asynchronous)
 
     def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        return send_time + self.dist.sample(send_time, rng)
+
+    def delivery_time_for(
+        self, message: object, send_time: float, rng: random.Random
+    ) -> float:
+        # Fast-path override: one call fewer per message (see base class).
         return send_time + self.dist.sample(send_time, rng)
 
     def describe(self) -> str:
@@ -254,6 +297,110 @@ class PerTagTiming(ChannelTiming):
     def describe(self) -> str:
         slowed = ", ".join(sorted(self.overrides))
         return f"PerTag(base={self.base.describe()}, overrides=[{slowed}])"
+
+
+# ----------------------------------------------------------------------
+# Round-timeout schedules (EA round timers, Figure 3 / footnote 3)
+# ----------------------------------------------------------------------
+#: Named timeout-schedule kinds accepted by :func:`timeout_schedule`.
+TIMEOUT_SCHEDULE_KINDS = ("linear", "constant", "exponential")
+
+
+def normalize_timeout_schedule(name: str) -> str:
+    """Validate and canonicalise a timeout-schedule token.
+
+    Grammar: ``linear[:SLOPE]`` / ``constant:VALUE`` /
+    ``exponential:BASE[:SCALE]``.  The canonical form drops redundant
+    parameters (``linear:1`` -> ``linear``) and ``%g``-formats the rest,
+    so equal schedules always serialize — and therefore hash and cache —
+    identically.
+    """
+    kind, _, rest = str(name).partition(":")
+    parts = [p for p in rest.split(":") if p] if rest else []
+    try:
+        params = [float(p) for p in parts]
+    except ValueError:
+        raise ConfigurationError(
+            f"bad timeout schedule parameter in {name!r}"
+        ) from None
+    if not all(math.isfinite(p) for p in params):
+        # NaN slips through every `<= 0` comparison below and would
+        # poison the event heap with incomparable times; inf never makes
+        # a usable timer either.  Reject both at parse time.
+        raise ConfigurationError(
+            f"timeout schedule parameters must be finite: {name!r}"
+        )
+    # Round through the %g codec *before* validating, so the canonical
+    # token always re-validates to itself and the executed schedule is
+    # exactly the one that was serialized and hashed (a base of
+    # 1.0000001 is rejected here as 1, not accepted and then refused at
+    # apply time).
+    params = [float(f"{p:g}") for p in params]
+    if kind == "linear":
+        if len(params) > 1:
+            raise ConfigurationError(f"linear takes at most one slope: {name!r}")
+        slope = params[0] if params else 1.0
+        if slope <= 0:
+            raise ConfigurationError(f"slope must be positive, got {slope!r}")
+        return "linear" if slope == 1.0 else f"linear:{slope:g}"
+    if kind == "constant":
+        if len(params) != 1:
+            raise ConfigurationError(f"constant needs exactly one value: {name!r}")
+        if params[0] <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {params[0]!r}")
+        return f"constant:{params[0]:g}"
+    if kind == "exponential":
+        if not 1 <= len(params) <= 2:
+            raise ConfigurationError(
+                f"exponential needs BASE and optional SCALE: {name!r}"
+            )
+        base = params[0]
+        scale = params[1] if len(params) == 2 else 1.0
+        if base <= 1:
+            raise ConfigurationError(
+                f"exponential base must exceed 1, got {base!r}"
+            )
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale!r}")
+        if scale == 1.0:
+            return f"exponential:{base:g}"
+        return f"exponential:{base:g}:{scale:g}"
+    raise ConfigurationError(
+        f"unknown timeout schedule {kind!r} "
+        f"(known: {', '.join(TIMEOUT_SCHEDULE_KINDS)})"
+    )
+
+
+def timeout_schedule(name: str) -> Callable[[int], float]:
+    """Build the round-timeout function for a canonical schedule token.
+
+    The paper only requires an increasing schedule that eventually
+    exceeds ``2 * delta`` (footnote 3); ``linear`` (the default
+    ``timeout(r) = slope * r``) and ``exponential``
+    (``scale * base**(r-1)``) both qualify.  ``constant`` deliberately
+    does *not* — it exists so sweeps can measure what happens when the
+    liveness condition is violated (runs stay safe but may never
+    converge).
+    """
+    canonical = normalize_timeout_schedule(name)
+    kind, _, rest = canonical.partition(":")
+    params = [float(p) for p in rest.split(":") if p] if rest else []
+    if kind == "linear":
+        slope = params[0] if params else 1.0
+        if slope == 1.0:
+            return _linear_timeout
+        return lambda r: slope * r
+    if kind == "constant":
+        value = params[0]
+        return lambda r: value
+    base = params[0]
+    scale = params[1] if len(params) == 2 else 1.0
+    return lambda r: scale * base ** (r - 1)
+
+
+def _linear_timeout(r: int) -> float:
+    """The paper's default schedule: round ``r`` waits ``r`` time units."""
+    return float(r)
 
 
 class ScriptedTiming(ChannelTiming):

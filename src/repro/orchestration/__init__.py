@@ -8,6 +8,7 @@ without touching the matrix, the store or the CLI.
 
 from .axes import AXES, SCHEMA_VERSION, Axis, AxisRegistry
 from .config import RunConfig
+from .kernel import KernelContext, default_context
 from .matrix import (
     ScenarioMatrix,
     ScenarioOutcome,
@@ -47,6 +48,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "Axis",
     "AxisRegistry",
+    "KernelContext",
+    "default_context",
     "RunConfig",
     "ScenarioMatrix",
     "ScenarioOutcome",

@@ -457,6 +457,34 @@ AXES.register(Axis(
 ))
 
 
+def _canonical_timeouts(value: Any) -> str:
+    from ..errors import ConfigurationError
+    from ..net.timing import normalize_timeout_schedule
+
+    try:
+        return normalize_timeout_schedule(str(value))
+    except ConfigurationError as exc:
+        # The axis contract reports bad grid values as ValueError.
+        raise ValueError(str(exc)) from None
+
+
+def _apply_timeouts(kwargs: MutableMapping[str, Any], value: str) -> None:
+    if value != "linear":
+        from ..net.timing import timeout_schedule
+
+        kwargs["timeout_fn"] = timeout_schedule(value)
+
+
+AXES.register(Axis(
+    name="timeouts", default="linear", parse=str,
+    canonical=_canonical_timeouts,
+    label=lambda v: None if v == "linear" else f"to={v}",
+    apply=_apply_timeouts,
+    help="EA round-timeout schedule "
+         "(linear[:SLOPE]/constant:VALUE/exponential:BASE[:SCALE])",
+))
+
+
 def canonical_extras(
     extras: Mapping[str, Any],
 ) -> tuple[tuple[str, Any], ...]:

@@ -1,0 +1,107 @@
+"""Reusable per-worker execution context for the scenario fast path.
+
+A sweep dispatches thousands of :class:`~repro.orchestration.matrix.ScenarioSpec`
+cells into worker processes, and each cell used to rebuild *everything*
+from scratch: topology objects, adversary specs, proposal profiles, hook
+lists and counters.  Most of that is pure, spec-keyed data — identical
+across the cells of one grid — so rebuilding it per scenario is wasted
+allocation on the hottest orchestration path.
+
+:class:`KernelContext` is the per-worker home for that reusable state:
+
+* **topology cache** — ``(kind, n) -> Topology``; timing models are
+  stateless (all per-run state lives in the lazily materialized
+  channels), so one instance safely serves every run in the process;
+* **adversary cache** — ``name -> AdversarySpec``; specs are read-only
+  descriptions, shared freely;
+* a **shared instrumentation bus** created once and re-armed per run,
+  so sweeps do not churn probe/bus objects per scenario.
+
+Per-run state (simulator, network, processes, protocol stacks) is still
+built fresh for every scenario — determinism demands it — but the
+context trims the per-scenario overhead to exactly that.
+
+:func:`default_context` returns the process-local context that
+:func:`~repro.orchestration.matrix.run_scenario` (and therefore every
+sweep backend and pool worker) uses implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..instrumentation import InstrumentationBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..adversary.strategies import AdversarySpec
+    from ..net.topology import Topology
+
+__all__ = ["KernelContext", "default_context"]
+
+
+class KernelContext:
+    """Process-local reusable state for executing scenario specs."""
+
+    def __init__(self) -> None:
+        self._topologies: dict[tuple[str, int], "Topology | None"] = {}
+        self._adversaries: dict[str, "AdversarySpec | None"] = {}
+        #: Shared bus for runs executed through this context.  Cleared
+        #: (all sinks detached) before each run, so one scenario's
+        #: observers can never leak into the next.
+        self.bus = InstrumentationBus()
+        #: Scenarios executed through this context (introspection).
+        self.runs = 0
+
+    def topology(self, kind: str, n: int) -> "Topology | None":
+        """The (cached) topology instance for ``kind`` at size ``n``.
+
+        ``None`` stands for the runner's minimal single-bisource default,
+        which depends on the correct-process set and is built per run.
+        Cached instances are safe to share: timing models are stateless
+        maps from send time to delivery time.
+        """
+        key = (kind, n)
+        if key not in self._topologies:
+            from .axes import topology_from_name
+
+            self._topologies[key] = topology_from_name(kind, n)
+        return self._topologies[key]
+
+    def adversary(self, name: str) -> "AdversarySpec | None":
+        """The (cached) adversary spec for ``"kind"`` / ``"kind:arg"``."""
+        if name not in self._adversaries:
+            from .axes import adversary_from_name
+
+            self._adversaries[name] = adversary_from_name(name)
+        return self._adversaries[name]
+
+    def fresh_bus(self) -> InstrumentationBus:
+        """The shared bus, re-armed (every sink detached) for a new run."""
+        self.bus.clear()
+        self.runs += 1
+        return self.bus
+
+    def clear(self) -> None:
+        """Drop every cached object (tests; registry mutations)."""
+        self._topologies.clear()
+        self._adversaries.clear()
+        self.bus.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelContext(runs={self.runs}, "
+            f"topologies={len(self._topologies)}, "
+            f"adversaries={len(self._adversaries)})"
+        )
+
+
+#: The process-local context (one per worker; workers are processes).
+_DEFAULT: KernelContext | None = None
+
+
+def default_context() -> KernelContext:
+    """The process-local :class:`KernelContext`, created on first use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = KernelContext()
+    return _DEFAULT

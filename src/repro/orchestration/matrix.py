@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from itertools import product
-from typing import Any, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 from ..adversary import strategies
 from ..adversary.strategies import AdversarySpec
@@ -56,6 +56,9 @@ from .axes import (
 )
 from .config import RunConfig
 from .runner import ConsensusRunResult, run_consensus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import KernelContext
 
 __all__ = [
     "TOPOLOGY_KINDS",
@@ -450,7 +453,9 @@ class ScenarioMatrix:
         return len(self.cell_dicts()) * len(self.seeds)
 
 
-def build_config(spec: ScenarioSpec) -> RunConfig:
+def build_config(
+    spec: ScenarioSpec, context: "KernelContext | None" = None
+) -> RunConfig:
     """Reconstruct the full :class:`RunConfig` for one spec (worker side).
 
     Every axis participates: the built-in fields map directly (fault
@@ -458,8 +463,16 @@ def build_config(spec: ScenarioSpec) -> RunConfig:
     deals the value pool), and registered axes with an ``apply`` hook —
     extras-backed custom axes — get a final pass over the keyword
     arguments before :class:`RunConfig` validates them.
+
+    ``context`` (default: the process-local kernel context) supplies
+    cached topology and adversary objects so grid-shaped sweeps stop
+    rebuilding identical immutable structures for every cell.
     """
+    from .kernel import default_context
     from .sweeps import proposal_profile
+
+    if context is None:
+        context = default_context()
 
     for name, _ in spec.extras:
         if AXES.get(name) is None:
@@ -473,7 +486,7 @@ def build_config(spec: ScenarioSpec) -> RunConfig:
                 f"every process that executes scenarios"
             )
     faults = spec.t if spec.faults is None else spec.faults
-    adversary = adversary_from_name(spec.adversary)
+    adversary = context.adversary(spec.adversary)
     adversaries: dict[int, AdversarySpec] = {}
     if adversary is not None and faults > 0:
         adversaries = {
@@ -492,7 +505,7 @@ def build_config(spec: ScenarioSpec) -> RunConfig:
         t=spec.t,
         proposals=proposal_profile(spec.proposals)(correct, values),
         adversaries=adversaries,
-        topology=topology_from_name(spec.topology, spec.n),
+        topology=context.topology(spec.topology, spec.n),
         variant=spec.variant,
         k=spec.k,
         seed=spec.seed,
@@ -528,16 +541,33 @@ def summarize_run(spec: ScenarioSpec, result: ConsensusRunResult) -> ScenarioOut
     )
 
 
-def run_scenario(spec: ScenarioSpec, check_invariants: bool = False) -> ScenarioOutcome:
+def run_scenario(
+    spec: ScenarioSpec,
+    check_invariants: bool = False,
+    context: "KernelContext | None" = None,
+) -> ScenarioOutcome:
     """Execute one scenario end to end.
 
     With ``check_invariants`` false (the sweep default) safety violations
     are *recorded* on the outcome rather than raised, so one bad cell
     cannot abort a thousand-scenario sweep.  Configuration errors are
     likewise captured as ``error`` outcomes.
+
+    Execution goes through a :class:`~repro.orchestration.kernel.KernelContext`
+    (default: the process-local one), which reuses cached topologies,
+    adversary specs and the instrumentation bus across the scenarios of
+    a sweep.
     """
+    from .kernel import default_context
+
+    if context is None:
+        context = default_context()
     try:
-        result = run_consensus(build_config(spec), check_invariants=check_invariants)
+        result = run_consensus(
+            build_config(spec, context),
+            check_invariants=check_invariants,
+            context=context,
+        )
     except Exception as exc:
         if check_invariants:
             raise

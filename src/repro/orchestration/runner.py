@@ -22,7 +22,6 @@ from ..adversary.strategies import (
     two_faced_filter,
 )
 from ..analysis.invariants import InvariantReport, verify_consensus_run
-from ..analysis.metrics import MessageCounter
 from ..baselines.randomized import CommonCoin, RandomizedBinaryConsensus
 from ..broadcast.reliable import ReliableBroadcast
 from ..core.consensus import Consensus
@@ -36,6 +35,7 @@ from ..sim.loop import Simulator
 from ..sim.random import RngRegistry, derive_seed
 from ..sim.tasks import gather
 from .config import RunConfig
+from .kernel import KernelContext
 
 __all__ = ["ConsensusRunResult", "run_consensus", "run_randomized"]
 
@@ -175,15 +175,26 @@ def _adversary_proposal(spec: AdversarySpec, config: RunConfig) -> Any:
     return next(iter(config.proposals.values()))
 
 
-def run_consensus(config: RunConfig, check_invariants: bool = True) -> ConsensusRunResult:
+def run_consensus(
+    config: RunConfig,
+    check_invariants: bool = True,
+    context: "KernelContext | None" = None,
+) -> ConsensusRunResult:
     """Execute one full consensus run described by ``config``.
 
     Returns a result whether or not every process decided: if the time or
     event budget ran out, ``timed_out`` is set and partial decisions are
     reported (benchmark E8 uses exactly this to measure non-convergence).
     When ``check_invariants`` is true (default), safety violations raise.
+
+    ``context`` supplies the reusable per-worker kernel state (shared
+    instrumentation bus); sweeps pass one so per-scenario object churn
+    stays minimal.  The fast path attaches *no* instrumentation sinks —
+    message totals and per-tag counts come from the network's native
+    counters — so with ``config.trace`` unset the probes cost one
+    pointer check per message.
     """
-    sim = Simulator()
+    sim = Simulator(bus=context.fresh_bus() if context is not None else None)
     rng = RngRegistry(config.seed)
     topology = config.topology if config.topology is not None else default_topology(config)
     network = Network(
@@ -194,7 +205,6 @@ def run_consensus(config: RunConfig, check_invariants: bool = True) -> Consensus
         rng=rng,
         fifo=config.fifo,
     )
-    counter = MessageCounter().attach(network)
     tracer = None
     if config.trace:
         from ..analysis.traces import Tracer
@@ -285,8 +295,8 @@ def run_consensus(config: RunConfig, check_invariants: bool = True) -> Consensus
         decision_times=decision_times,
         rounds=rounds,
         timed_out=timed_out,
-        messages_sent=counter.total_sends,
-        sent_by_tag=dict(counter.sends_by_tag),
+        messages_sent=network.messages_sent,
+        sent_by_tag=dict(network.sent_by_tag),
         events_processed=sim.events_processed,
         finished_at=sim.now,
         invariants=report,

@@ -13,9 +13,15 @@ class EventHandle:
     Handles are ordered by ``(time, seq)`` where ``seq`` is a global
     scheduling sequence number; this makes event execution order fully
     deterministic (FIFO among events scheduled for the same instant).
+
+    The scheduler keeps same-instant handles in a FIFO ready queue and
+    future handles in a heap; ``_loop`` points back at the simulator
+    only while the handle sits in the *heap*, so that :meth:`cancel`
+    can feed the scheduler's lazy-compaction accounting without the
+    ready fast path paying for it.
     """
 
-    __slots__ = ("time", "seq", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "seq", "_callback", "_args", "_cancelled", "_loop")
 
     def __init__(
         self,
@@ -29,6 +35,7 @@ class EventHandle:
         self._callback = callback
         self._args = args
         self._cancelled = False
+        self._loop = None
 
     @property
     def cancelled(self) -> bool:
@@ -41,18 +48,26 @@ class EventHandle:
         Cancelling an already-executed or already-cancelled handle is a
         harmless no-op, matching the asyncio convention.
         """
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop references eagerly so cancelled timers do not pin protocol
         # objects in memory for the rest of the run.
         self._callback = _noop
         self._args = ()
+        loop = self._loop
+        if loop is not None:
+            self._loop = None
+            loop._heap_cancelled += 1
 
     def _run(self) -> None:
         """Execute the callback (simulator internal)."""
         self._callback(*self._args)
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = "cancelled" if self._cancelled else "pending"

@@ -1,27 +1,47 @@
 """The deterministic discrete-event simulator.
 
-:class:`Simulator` owns a virtual clock and a priority queue of scheduled
-callbacks.  Events are ordered by ``(time, sequence-number)``: two events
+:class:`Simulator` owns a virtual clock and a **two-tier** event queue.
+Events are totally ordered by ``(time, sequence-number)``: two events
 scheduled for the same virtual instant run in the order they were
 scheduled, so a run is a pure function of its configuration and seeds.
 
-The paper's system model (Section 2.1) assumes local processing time is
-zero relative to message delays; accordingly, protocol handlers run
-"instantaneously" at the virtual instant their triggering message arrives.
+The two tiers exploit the paper's system model (Section 2.1): local
+processing time is zero relative to message delays, so real runs are
+dominated by cascades of *same-instant* events — task steps, predicate
+rechecks, zero-delay callbacks.  Those go through a FIFO ready deque
+(:meth:`call_soon`, and any :meth:`call_at` for the current instant) at
+O(1) per event; only genuinely future events (timers, message
+deliveries) pay the heap's O(log n), and heap entries are
+``(time, seq, handle)`` tuples so even those comparisons run in C.  The
+two tiers are merged by ``(time, seq)`` at execution, so the observable
+order is *identical* to a single global priority queue — golden-trace
+fixtures (``tests/golden/``) pin this bit for bit.
+
+Cancelled events are removed lazily: cancellation just flags the handle
+(and, for heap entries, bumps a counter), tombstones are skipped when
+they surface, and the heap is compacted in one pass when more than half
+of it is dead — so protocol code can cancel thousands of round timers
+without ever paying O(n) per cancel.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Coroutine
 
 from ..errors import DeadlineExceeded, DeadlockError, SimulationError
+from ..instrumentation import SIM_STEP, InstrumentationBus
 from .clock import VirtualClock
-from .futures import Future
+from .futures import _PENDING, Future
 from .handles import EventHandle
 from .tasks import Task
 
 __all__ = ["Simulator"]
+
+#: Compact the heap only when it holds at least this many tombstones
+#: (and they outnumber the live entries) — small heaps never bother.
+_MIN_HEAP_COMPACTION = 64
 
 
 class Simulator:
@@ -32,12 +52,25 @@ class Simulator:
         sim = Simulator()
         task = sim.create_task(protocol.run())
         result = sim.run_until_complete(task, max_time=10_000)
+
+    ``bus`` shares an :class:`~repro.instrumentation.InstrumentationBus`
+    with the other kernel components of a run; the simulator publishes
+    the ``sim.step`` probe on it (payload: the handle about to run).
+    With no sink attached the probe costs one pointer check per event.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, bus: InstrumentationBus | None = None
+    ) -> None:
         self._clock = VirtualClock(start_time)
-        self._heap: list[EventHandle] = []
+        #: Future events: ``(time, seq, handle)`` tuples (C-compared).
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        #: Same-instant events, FIFO (the fast tier).
+        self._ready: deque[EventHandle] = deque()
         self._next_seq = 0
+        self._heap_cancelled = 0
+        self.bus = bus if bus is not None else InstrumentationBus()
+        self._step_probe = self.bus.probe(SIM_STEP)
         #: Total events executed so far (cancelled events excluded).
         self.events_processed = 0
 
@@ -47,19 +80,31 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current virtual time."""
-        return self._clock.now
+        return self._clock._now
 
     def call_at(
         self, time: float, callback: Callable[..., Any], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at virtual time ``time``."""
-        if time < self._clock.now:
+        now = self._clock._now
+        time = float(time)
+        if time < now:
             raise SimulationError(
-                f"cannot schedule event in the past: {time!r} < {self._clock.now!r}"
+                f"cannot schedule event in the past: {time!r} < {now!r}"
             )
-        handle = EventHandle(float(time), self._next_seq, callback, args)
-        self._next_seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        if time == now:
+            # Same-instant events take the FIFO fast tier: no heap, no
+            # log-n, and (time, seq) order is preserved by construction.
+            self._ready.append(handle)
+        else:
+            handle._loop = self
+            cancelled = self._heap_cancelled
+            if cancelled > _MIN_HEAP_COMPACTION and cancelled * 2 > len(self._heap):
+                self._compact_heap()
+            heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def call_later(
@@ -68,11 +113,28 @@ class Simulator:
         """Schedule ``callback(*args)`` after ``delay`` time units."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self._clock.now + delay, callback, *args)
+        return self.call_at(self._clock._now + delay, callback, *args)
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current instant (FIFO)."""
-        return self.call_at(self._clock.now, callback, *args)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = EventHandle(self._clock._now, seq, callback, args)
+        self._ready.append(handle)
+        return handle
+
+    def _compact_heap(self) -> None:
+        """Drop every tombstone from the heap in one O(n) pass.
+
+        In place (slice assignment), never rebinding ``self._heap``:
+        the ``run_until_complete`` hot loop holds a local alias, and a
+        rebound list would silently strand events scheduled after a
+        mid-run compaction.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2]._cancelled]
+        heapq.heapify(heap)
+        self._heap_cancelled = 0
 
     # ------------------------------------------------------------------
     # Coroutines
@@ -93,23 +155,65 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _pop_next(self) -> EventHandle | None:
+        """Remove and return the next live handle in (time, seq) order,
+        advancing the clock to it; ``None`` when both tiers are empty."""
+        ready = self._ready
+        heap = self._heap
+        # Skim tombstones so the tier merge below compares live events.
+        while ready and ready[0]._cancelled:
+            ready.popleft()
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            self._heap_cancelled -= 1
+        if ready:
+            # Ready events sit at the current instant; a heap entry can
+            # only precede them when it was scheduled for this same
+            # instant earlier (lower seq) — merge by (time, seq).
+            first = ready[0]
+            if heap and (
+                heap[0][0] < first.time
+                or (heap[0][0] == first.time and heap[0][1] < first.seq)
+            ):
+                handle = heapq.heappop(heap)[2]
+                handle._loop = None
+            else:
+                handle = ready.popleft()
+            return handle
+        if heap:
+            handle = heapq.heappop(heap)[2]
+            handle._loop = None
+            # Monotone by heap order; bypass advance_to's backward check.
+            self._clock._now = handle.time
+            return handle
+        return None
+
     def step(self) -> bool:
         """Run the next scheduled event; return False if none remain."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._clock.advance_to(handle.time)
-            self.events_processed += 1
-            handle._run()
-            return True
-        return False
+        handle = self._pop_next()
+        if handle is None:
+            return False
+        self.events_processed += 1
+        emit = self._step_probe.emit
+        if emit is not None:
+            emit(handle)
+        handle._run()
+        return True
 
     def peek_time(self) -> float | None:
         """Virtual time of the next pending event, or None if idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        ready = self._ready
+        while ready and ready[0]._cancelled:
+            ready.popleft()
+        if ready:
+            # Ready entries are always at the current instant, which no
+            # live heap entry can precede.
+            return ready[0].time
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            self._heap_cancelled -= 1
+        return heap[0][0] if heap else None
 
     def run(
         self,
@@ -123,8 +227,10 @@ class Simulator:
         events executed and raises :class:`DeadlineExceeded` when hit.
         """
         executed = 0
+        step = self.step
+        peek = self.peek_time
         while True:
-            next_time = self.peek_time()
+            next_time = peek()
             if next_time is None:
                 break
             if until is not None and next_time > until:
@@ -134,9 +240,9 @@ class Simulator:
                 raise DeadlineExceeded(
                     f"run() exceeded max_events={max_events} at t={self.now}"
                 )
-            self.step()
+            step()
             executed += 1
-        if until is not None and until > self._clock.now:
+        if until is not None and until > self._clock._now:
             self._clock.advance_to(until)
 
     def run_until_complete(
@@ -150,15 +256,41 @@ class Simulator:
         Raises :class:`DeadlockError` if the event queue drains first, and
         :class:`DeadlineExceeded` if ``max_time`` (virtual) or
         ``max_events`` would be exceeded.
+
+        This is the sweep engine's innermost loop, so the two-tier pop is
+        inlined here: budget checks run against the *peeked* next event,
+        which stays queued if a budget trips (exactly the pre-refactor
+        contract).
         """
         executed = 0
-        while not future.done():
-            next_time = self.peek_time()
-            if next_time is None:
+        ready = self._ready
+        heap = self._heap
+        clock = self._clock
+        probe = self._step_probe
+        heappop = heapq.heappop
+        while future._state is _PENDING:
+            # -- peek (skimming tombstones) --------------------------------
+            while ready and ready[0]._cancelled:
+                ready.popleft()
+            while heap and heap[0][2]._cancelled:
+                heappop(heap)
+                self._heap_cancelled -= 1
+            if ready:
+                first = ready[0]
+                from_heap = heap and (
+                    heap[0][0] < first.time
+                    or (heap[0][0] == first.time and heap[0][1] < first.seq)
+                )
+                next_time = heap[0][0] if from_heap else first.time
+            elif heap:
+                from_heap = True
+                next_time = heap[0][0]
+            else:
                 raise DeadlockError(
                     f"event queue drained at t={self.now} while waiting for "
                     f"{future!r}"
                 )
+            # -- budgets (checked before the event is dequeued) ------------
             if max_time is not None and next_time > max_time:
                 raise DeadlineExceeded(
                     f"virtual deadline {max_time} reached while waiting for "
@@ -169,14 +301,28 @@ class Simulator:
                     f"event budget {max_events} exhausted while waiting for "
                     f"{future!r}"
                 )
-            self.step()
+            # -- pop + run -------------------------------------------------
+            if from_heap:
+                handle = heappop(heap)[2]
+                handle._loop = None
+                if next_time != clock._now:
+                    clock._now = next_time  # monotone by heap order
+            else:
+                handle = ready.popleft()
+            self.events_processed += 1
             executed += 1
+            emit = probe.emit
+            if emit is not None:
+                emit(handle)
+            handle._run()
         return future.result()
 
     @property
     def pending_events(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        return sum(1 for handle in self._ready if not handle._cancelled) + sum(
+            1 for entry in self._heap if not entry[2]._cancelled
+        )
 
     def __repr__(self) -> str:
         return f"Simulator(now={self.now}, pending={self.pending_events})"

@@ -20,6 +20,10 @@ platform, in three layers:
 * :mod:`repro.store.resume` — :func:`plan_resume` diffs a matrix
   against the store; :func:`sweep_resume` dispatches only the missing
   cells on a chosen backend.
+* :mod:`repro.store.verify` — :func:`verify_store`, the integrity
+  scrub: re-execute a deterministic sample of cached scenarios on the
+  current kernel and compare records field by field (``repro store
+  verify DIR`` on the CLI).
 
 All persistence goes through :func:`repro.store.atomic.atomic_write_text`
 (temp file + rename), so interrupted sweeps never leave truncated cache
@@ -44,6 +48,7 @@ from .resume import (
     plan_resume,
     sweep_resume,
 )
+from .verify import VerifyMismatch, VerifyReport, verify_store
 
 __all__ = [
     "atomic_write_text",
@@ -63,4 +68,7 @@ __all__ = [
     "describe_counts",
     "plan_resume",
     "sweep_resume",
+    "VerifyMismatch",
+    "VerifyReport",
+    "verify_store",
 ]

@@ -262,6 +262,24 @@ class ResultCache:
             if outcome is not None:
                 yield outcome
 
+    def iter_entry_keys(self) -> Iterator[tuple[str, Path]]:
+        """Every on-disk entry as ``(key, path)``, in key order.
+
+        Listing only — nothing is read or decoded, so callers (e.g. the
+        integrity scrub) can sample keys cheaply on large stores.
+        """
+        for path in self._entry_paths():
+            yield path.stem, path
+
+    def read_entry(self, key: str) -> ScenarioOutcome | None:
+        """Decode one entry by key; ``None`` when missing or corrupt.
+
+        Unlike :meth:`iter_outcomes` this surfaces corrupt entries
+        (``None``) instead of hiding them — the integrity scrub
+        (:mod:`repro.store.verify`) needs to count them.
+        """
+        return self._decode(self.path_for(key))
+
     def __repr__(self) -> str:
         return (
             f"ResultCache(root={str(self.root)!r}, salt={self.salt!r}, "

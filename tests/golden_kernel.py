@@ -1,0 +1,187 @@
+"""Golden determinism fixtures for the fast-path simulation kernel.
+
+The kernel refactor (ready-queue scheduler, lazy channels,
+instrumentation bus) must not change a single observable bit of any
+seeded run: event order, message uids, decision values, spec digests and
+sweep JSONL output all have to survive byte-identically, or the
+content-addressed result store and the shard-merge layer stop hitting.
+
+This module pins that contract.  :func:`capture` executes a set of
+representative scenarios — plain consensus, an EA-heavy parameterized
+run, and the strong-bisource baseline — plus one small sweep, and boils
+each down to a *fingerprint*: decision values and times, message/event
+counters, and a SHA-256 over the full structured trace (every send and
+delivery with its uid).  The frozen fixtures in
+``tests/golden/golden_traces.json`` were captured on the pre-refactor
+*kernel* (global-heap scheduler, eager channels, hook-list dispatch)
+with one deliberate tracer extension applied first — ``uid`` added to
+trace records — so the trace digests cover message uids while still
+certifying the old kernel's schedule.
+``tests/integration/test_golden_traces.py`` re-runs the scenarios on
+the current kernel and asserts equality.
+
+Regenerate (only when *deliberately* changing observable behaviour)::
+
+    PYTHONPATH=src python tests/golden_kernel.py --write
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+from repro.adversary import strategies
+from repro.baselines.strong_bisource import StrongBisourceEA
+from repro.net.topology import fully_timely
+from repro.orchestration.config import RunConfig
+from repro.orchestration.matrix import ScenarioMatrix
+from repro.orchestration.parallel import sweep_serial
+from repro.orchestration.runner import run_consensus
+from repro.orchestration.sweeps import standard_proposals
+from repro.store.cache import scenario_key
+
+FIXTURE_PATH = pathlib.Path(__file__).parent / "golden" / "golden_traces.json"
+
+#: Bump together with a deliberate behaviour change + fixture recapture.
+FIXTURE_VERSION = 1
+
+
+def golden_configs() -> dict[str, RunConfig]:
+    """The three seeded runs whose full traces are pinned.
+
+    Every config sets ``trace=True`` so the fingerprint covers the
+    complete network schedule (send/deliver order and message uids), not
+    just the final decisions.
+    """
+    consensus = RunConfig(
+        n=4, t=1,
+        proposals=standard_proposals([1, 2, 3], ["a", "b"]),
+        adversaries={4: strategies.two_faced("evil")},
+        seed=7, trace=True,
+    )
+    # Muting the early coordinators forces several EA rounds (timeouts,
+    # witness sets, coordinator rotation) before the run converges.
+    eventual_agreement = RunConfig(
+        n=7, t=2,
+        proposals=standard_proposals([1, 2, 3, 4, 5], ["x", "y"]),
+        adversaries={6: strategies.mute_coordinator(),
+                     7: strategies.mute_coordinator()},
+        k=1, seed=11, trace=True,
+    )
+    bisource_baseline = RunConfig(
+        n=4, t=1,
+        proposals=standard_proposals([1, 2, 3], ["p", "q"]),
+        adversaries={4: strategies.crash()},
+        topology=fully_timely(4),
+        ea_factory=StrongBisourceEA,
+        seed=13, trace=True,
+    )
+    return {
+        "consensus": consensus,
+        "eventual_agreement": eventual_agreement,
+        "bisource_baseline": bisource_baseline,
+    }
+
+
+def golden_matrix() -> ScenarioMatrix:
+    """A small mixed sweep whose JSONL output and spec digests are pinned."""
+    return ScenarioMatrix(
+        sizes=[(4, 1), (7, 2)],
+        topologies=["single_bisource", "fully_timely"],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=range(2),
+        base_seed=42,
+    )
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def run_fingerprint(config: RunConfig) -> dict[str, Any]:
+    """Execute one golden run and reduce it to comparable facts."""
+    result = run_consensus(config)
+    trace_json = result.trace.to_json()
+    events = result.trace.events
+    return {
+        "decisions": {str(pid): repr(v) for pid, v in sorted(result.decisions.items())},
+        "decision_times": {
+            str(pid): t for pid, t in sorted(result.decision_times.items())
+        },
+        "rounds": {str(pid): r for pid, r in sorted(result.rounds.items())},
+        "timed_out": result.timed_out,
+        "messages_sent": result.messages_sent,
+        "sent_by_tag": dict(sorted(result.sent_by_tag.items())),
+        "events_processed": result.events_processed,
+        "finished_at": result.finished_at,
+        "trace_events": len(events),
+        "trace_sha256": _sha256(trace_json),
+        # A readable prefix so a digest mismatch is debuggable without
+        # re-deriving the whole trace.
+        "trace_head": [e.to_json_obj() for e in events[:12]],
+    }
+
+
+def sweep_fingerprint() -> dict[str, Any]:
+    """Serial sweep of the golden matrix: JSONL bytes and spec digests."""
+    matrix = golden_matrix()
+    specs = matrix.expand()
+    sweep = sweep_serial(matrix)
+    jsonl = "".join(
+        json.dumps(outcome.to_record(), sort_keys=True) + "\n"
+        for outcome in sweep.outcomes
+    )
+    return {
+        "scenarios": len(specs),
+        "spec_digests": [scenario_key(spec, salt="golden") for spec in specs],
+        "seeds": [spec.seed for spec in specs],
+        "jsonl_sha256": _sha256(jsonl),
+        "decided_runs": sweep.report.decided_runs,
+        "all_safe": sweep.report.all_safe,
+    }
+
+
+def capture() -> dict[str, Any]:
+    """Compute every golden fingerprint on the *current* kernel."""
+    return {
+        "version": FIXTURE_VERSION,
+        "runs": {
+            name: run_fingerprint(config)
+            for name, config in golden_configs().items()
+        },
+        "sweep": sweep_fingerprint(),
+    }
+
+
+def load_fixture() -> dict[str, Any]:
+    """The frozen pre-refactor fingerprints."""
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="overwrite the frozen fixture file")
+    args = parser.parse_args(argv)
+    snapshot = capture()
+    if args.write:
+        FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE_PATH.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {FIXTURE_PATH}")
+        return 0
+    frozen = load_fixture()
+    status = "MATCH" if snapshot == frozen else "DRIFT"
+    print(f"golden fixtures: {status}")
+    return 0 if snapshot == frozen else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

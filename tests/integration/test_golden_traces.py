@@ -1,0 +1,66 @@
+"""Golden-trace determinism: the refactored kernel must reproduce the
+pre-refactor kernel bit for bit.
+
+The fixture (``tests/golden/golden_traces.json``) was captured on the
+pre-refactor kernel (global-heap scheduler, eager channels, hook-list
+instrumentation).  These tests re-run the same seeded scenarios on the
+current kernel and require identical event order, message uids, decision
+values, counters and sweep JSONL bytes — which is exactly the contract
+that keeps the PR-2/PR-3 result caches and shards loading, hitting and
+merging unchanged.
+
+If one of these fails, the kernel's observable schedule drifted; that is
+a correctness bug unless the change is deliberate, in which case see
+``tests/golden_kernel.py`` for the (explicit, reviewed) recapture step.
+"""
+
+import pytest
+
+from tests.golden_kernel import (
+    FIXTURE_VERSION,
+    golden_configs,
+    load_fixture,
+    run_fingerprint,
+    sweep_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    fixture = load_fixture()
+    assert fixture["version"] == FIXTURE_VERSION
+    return fixture
+
+
+@pytest.mark.parametrize("name", sorted(golden_configs()))
+def test_run_fingerprint_matches_pre_refactor(frozen, name):
+    fresh = run_fingerprint(golden_configs()[name])
+    expected = frozen["runs"][name]
+    # Compare the cheap scalar facts first for readable failures...
+    for key in ("decisions", "decision_times", "rounds", "timed_out",
+                "messages_sent", "sent_by_tag", "events_processed",
+                "finished_at", "trace_events"):
+        assert fresh[key] == expected[key], f"{name}: {key} drifted"
+    # ...then the head of the trace (send/deliver order + uids)...
+    assert fresh["trace_head"] == expected["trace_head"], (
+        f"{name}: first trace events drifted"
+    )
+    # ...and finally the digest over every event in the run.
+    assert fresh["trace_sha256"] == expected["trace_sha256"], (
+        f"{name}: full trace digest drifted"
+    )
+
+
+def test_sweep_jsonl_and_spec_digests_match_pre_refactor(frozen):
+    fresh = sweep_fingerprint()
+    expected = frozen["sweep"]
+    assert fresh["spec_digests"] == expected["spec_digests"], (
+        "ScenarioSpec content-address digests drifted — cached stores "
+        "written before this change would stop hitting"
+    )
+    assert fresh["seeds"] == expected["seeds"], "structural seeds drifted"
+    assert fresh["jsonl_sha256"] == expected["jsonl_sha256"], (
+        "sweep JSONL bytes drifted — shards would stop merging cleanly"
+    )
+    assert fresh["decided_runs"] == expected["decided_runs"]
+    assert fresh["all_safe"] is expected["all_safe"]

@@ -1,0 +1,209 @@
+"""Tests for the named EA round-timeout schedules (``net.timing``)."""
+
+import pytest
+
+from repro.core.eventual_agreement import default_timeout
+from repro.errors import ConfigurationError
+from repro.net.timing import (
+    TIMEOUT_SCHEDULE_KINDS,
+    normalize_timeout_schedule,
+    timeout_schedule,
+)
+
+
+class TestNormalize:
+    def test_linear_default_canonical(self):
+        assert normalize_timeout_schedule("linear") == "linear"
+        assert normalize_timeout_schedule("linear:1") == "linear"
+        assert normalize_timeout_schedule("linear:2.5") == "linear:2.5"
+
+    def test_constant(self):
+        assert normalize_timeout_schedule("constant:5") == "constant:5"
+        assert normalize_timeout_schedule("constant:5.0") == "constant:5"
+
+    def test_exponential(self):
+        assert normalize_timeout_schedule("exponential:2") == "exponential:2"
+        assert normalize_timeout_schedule("exponential:2:1") == "exponential:2"
+        assert (
+            normalize_timeout_schedule("exponential:1.5:0.25")
+            == "exponential:1.5:0.25"
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "unknown", "linear:0", "linear:-1", "linear:1:2", "constant",
+        "constant:0", "constant:1:2", "exponential", "exponential:1",
+        "exponential:0.5", "exponential:2:0", "constant:abc",
+        # non-finite parameters would poison the event heap
+        "constant:nan", "linear:inf", "exponential:inf", "constant:-inf",
+        "exponential:2:nan",
+    ])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            normalize_timeout_schedule(bad)
+
+    def test_canonical_token_revalidates_to_itself(self):
+        # Parameters round through the %g codec *before* validation, so
+        # a base that rounds to 1 is rejected here rather than accepted
+        # and then refused at apply time.
+        with pytest.raises(ConfigurationError):
+            normalize_timeout_schedule("exponential:1.0000001")
+        canon = normalize_timeout_schedule("constant:1.2345678")
+        assert canon == "constant:1.23457"
+        assert normalize_timeout_schedule(canon) == canon
+        # The executed schedule is exactly the canonical (hashed) value.
+        assert timeout_schedule("constant:1.2345678")(3) == 1.23457
+
+    def test_kinds_exported(self):
+        assert set(TIMEOUT_SCHEDULE_KINDS) == {
+            "linear", "constant", "exponential"
+        }
+
+
+class TestSchedules:
+    def test_linear_matches_paper_default(self):
+        fn = timeout_schedule("linear")
+        assert [fn(r) for r in (1, 2, 5)] == [
+            default_timeout(r) for r in (1, 2, 5)
+        ]
+
+    def test_linear_slope(self):
+        fn = timeout_schedule("linear:2.5")
+        assert fn(4) == 10.0
+
+    def test_constant_never_grows(self):
+        fn = timeout_schedule("constant:8")
+        assert fn(1) == fn(100) == 8.0
+
+    def test_exponential_growth(self):
+        fn = timeout_schedule("exponential:2")
+        assert [fn(r) for r in (1, 2, 3)] == [1.0, 2.0, 4.0]
+        scaled = timeout_schedule("exponential:2:0.5")
+        assert scaled(3) == 2.0
+
+    def test_non_canonical_input_accepted(self):
+        assert timeout_schedule("exponential:2.0:1.0")(2) == 2.0
+
+
+class TestDeliveryFastPathGuard:
+    """Subclasses overriding ``delivery_time`` (the documented hook)
+    must not be bypassed by the duplicated fast-path
+    ``delivery_time_for`` bodies."""
+
+    def test_asynchronous_subclass_override_is_honoured(self):
+        import random
+
+        from repro.net.timing import Asynchronous
+
+        class Fixed(Asynchronous):
+            def delivery_time(self, send_time, rng):
+                return send_time + 42.0
+
+        model = Fixed()
+        assert model.delivery_time_for(None, 1.0, random.Random(0)) == 43.0
+
+    def test_eventually_timely_subclass_override_is_honoured(self):
+        import random
+
+        from repro.net.timing import EventuallyTimely
+
+        class Fixed(EventuallyTimely):
+            def delivery_time(self, send_time, rng):
+                return send_time + 0.125
+
+        model = Fixed(tau=0.0, delta=99.0)
+        assert model.delivery_time_for(None, 2.0, random.Random(0)) == 2.125
+
+    def test_base_classes_keep_the_fast_path(self):
+        from repro.net.timing import Asynchronous, Timely
+
+        # No override: the class-level fast path stays (no per-instance
+        # delegation shadow).
+        assert "delivery_time_for" not in vars(Asynchronous())
+        assert "delivery_time_for" not in vars(Timely(delta=1.0))
+
+
+class TestTimeoutsAxis:
+    def test_registered_with_default_linear(self):
+        from repro.orchestration.axes import AXES
+
+        axis = AXES.resolve("timeouts")
+        assert axis.default == "linear"
+        assert axis.fields == ()  # extras-backed
+
+    def test_canonicalises_and_rejects(self):
+        from repro.orchestration.axes import AXES
+
+        axis = AXES.resolve("timeouts")
+        assert axis.canonical("linear:1") == "linear"
+        with pytest.raises(ValueError):
+            axis.canonical("warp:9")
+
+    def test_default_value_keeps_legacy_codec(self):
+        from repro.orchestration.matrix import ScenarioSpec
+
+        spec = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="crash",
+            num_values=2, seed=1,
+        )
+        data = spec.to_dict()
+        assert "schema" not in data and "extras" not in data
+
+    def test_non_default_value_round_trips(self):
+        from repro.orchestration.matrix import ScenarioSpec
+
+        spec = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="crash",
+            num_values=2, seed=1, extras=(("timeouts", "exponential:2"),),
+        )
+        data = spec.to_dict()
+        assert data["schema"] == 2
+        assert data["extras"] == {"timeouts": "exponential:2"}
+        assert ScenarioSpec.from_dict(data) == spec
+        assert "to=exponential:2" in spec.cell_id
+
+    def test_apply_sets_timeout_fn(self):
+        from repro.orchestration.matrix import ScenarioSpec, build_config
+
+        base = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="crash",
+            num_values=2, seed=1,
+        )
+        assert build_config(base).timeout_fn is None
+        slow = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="crash",
+            num_values=2, seed=1, extras=(("timeouts", "constant:9"),),
+        )
+        config = build_config(slow)
+        assert config.timeout_fn is not None
+        assert config.timeout_fn(50) == 9.0
+
+    def test_gridding_runs_and_stays_safe(self):
+        from repro.orchestration.matrix import ScenarioMatrix
+        from repro.orchestration.parallel import sweep_serial
+
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)],
+            adversaries=["crash"],
+            seeds=range(2),
+            axes={"timeouts": ["linear", "exponential:2", "constant:6"]},
+        )
+        assert len(matrix) == 6
+        sweep = sweep_serial(matrix)
+        assert sweep.report.all_safe
+        assert sweep.report.decided_runs == 6
+        cell_ids = {o.spec.cell_id for o in sweep.outcomes}
+        assert any("to=constant:6" in c for c in cell_ids)
+
+    def test_distinct_schedules_get_distinct_cache_keys(self):
+        from repro.orchestration.matrix import ScenarioSpec
+        from repro.store.cache import scenario_key
+
+        base = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="crash",
+            num_values=2, seed=1,
+        )
+        exp = ScenarioSpec(
+            n=4, t=1, topology="single_bisource", adversary="crash",
+            num_values=2, seed=1, extras=(("timeouts", "exponential:2"),),
+        )
+        assert scenario_key(base, "s") != scenario_key(exp, "s")

@@ -217,6 +217,21 @@ class TestMergeCommand:
             main(["merge", str(a), str(b)])
         assert main(["merge", str(a), str(b), "--on-conflict", "first"]) == 0
 
+    def test_merge_group_by_breakdown(self, tmp_path, capsys):
+        a = self._shard(tmp_path, "a.jsonl", "crash")
+        b = self._shard(tmp_path, "b.jsonl", "two_faced:evil")
+        capsys.readouterr()
+        assert main(["merge", str(a), str(b), "--group-by", "adversary"]) == 0
+        out = capsys.readouterr().out
+        assert "adversary=crash" in out
+        assert "adversary=two_faced:evil" in out
+        assert "group" in out  # the breakdown table header
+
+    def test_merge_group_by_unknown_axis_rejected(self, tmp_path):
+        a = self._shard(tmp_path, "a.jsonl", "crash")
+        with pytest.raises(SystemExit, match="unknown axis"):
+            main(["merge", str(a), "--group-by", "wizardry"])
+
     def test_merge_missing_shard_exits(self, tmp_path):
         with pytest.raises(SystemExit, match="missing shard"):
             main(["merge", str(tmp_path / "nope.jsonl")])

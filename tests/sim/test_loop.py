@@ -75,6 +75,112 @@ class TestScheduling:
         assert sim.pending_events == 1
 
 
+class TestTwoTierScheduler:
+    """The ready-deque fast tier must be observably identical to one
+    global (time, seq) priority queue."""
+
+    def test_heap_event_with_lower_seq_runs_before_ready(self):
+        # a (seq 0) and b (seq 1) are heap-scheduled for t=5; while a
+        # runs, c (seq 2) lands on the ready deque at the same instant.
+        # (time, seq) order demands a, b, c — not a, c, b.
+        sim = Simulator()
+        order = []
+        sim.call_at(5.0, lambda: (order.append("a"), sim.call_soon(order.append, "c")))
+        sim.call_at(5.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_at_current_instant_is_fifo_with_call_soon(self):
+        sim = Simulator()
+        order = []
+        sim.call_soon(order.append, "a")
+        sim.call_at(0.0, order.append, "b")  # same instant -> fast tier
+        sim.call_soon(order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_ready_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_soon(seen.append, "x")
+        sim.call_soon(seen.append, "y")
+        handle.cancel()
+        sim.run()
+        assert seen == ["y"]
+
+    def test_ready_events_do_not_advance_clock(self):
+        sim = Simulator()
+        times = []
+        sim.call_at(3.0, lambda: (sim.call_soon(lambda: times.append(sim.now))))
+        sim.run()
+        assert times == [3.0]
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        handles = [sim.call_at(float(i + 1), lambda: None) for i in range(500)]
+        for i, handle in enumerate(handles):
+            if i % 5:  # cancel 80% — tombstones now dominate the heap
+                handle.cancel()
+        assert sim.pending_events == 100
+        assert sim._heap_cancelled == 400
+        # The next schedule triggers the one-pass compaction; the heap
+        # must stay consistent and the counter must not go negative.
+        sim.call_at(1000.0, lambda: None)
+        assert sim._heap_cancelled == 0
+        assert len(sim._heap) == 101
+        sim.run()
+        assert sim.events_processed == 101
+        assert sim._heap_cancelled == 0 and not sim._heap
+
+    def test_compaction_during_run_until_complete_keeps_events(self):
+        # Compaction must happen in place: run_until_complete holds a
+        # local alias of the heap, and a rebound list would strand every
+        # event scheduled after a mid-run compaction (DeadlockError).
+        sim = Simulator()
+        fut = Future()
+        handles = [sim.call_at(float(i + 2), lambda: None) for i in range(200)]
+
+        def cancel_and_reschedule():
+            for i, handle in enumerate(handles):
+                if i % 6:  # tombstones now dominate the heap
+                    handle.cancel()
+            # This call_at triggers compaction, then schedules the
+            # resolving event on the (same!) heap.
+            sim.call_at(1000.0, fut.set_result, "done")
+
+        sim.call_at(1.0, cancel_and_reschedule)
+        assert sim.run_until_complete(fut) == "done"
+        assert sim.now == 1000.0
+        assert sim._heap_cancelled == 0
+
+    def test_cancel_after_execution_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        handle = sim.call_at(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # harmless no-op
+        assert sim._heap_cancelled == 0
+
+    def test_interleaved_tiers_keep_global_order(self):
+        # A dense mixed schedule replayed against an oracle list sorted
+        # by (time, seq).
+        sim = Simulator()
+        order = []
+        expected = []
+        seq = 0
+        for time, label in [(2.0, "t2-a"), (1.0, "t1"), (2.0, "t2-b")]:
+            sim.call_at(time, order.append, label)
+            expected.append((time, seq, label))
+            seq += 1
+
+        def spawn_more():
+            sim.call_soon(order.append, "soon@2")
+            sim.call_at(2.0, order.append, "at@2")
+
+        sim.call_at(2.0, spawn_more)
+        sim.run()
+        assert order == ["t1", "t2-a", "t2-b", "soon@2", "at@2"]
+
+
 class TestRun:
     def test_run_until_bounds_virtual_time(self):
         sim = Simulator()

@@ -1,0 +1,139 @@
+"""Tests for the result-store integrity scrub (``repro store verify``)."""
+
+import json
+
+import pytest
+
+from repro.orchestration.matrix import ScenarioMatrix
+from repro.orchestration.parallel import sweep_serial
+from repro.store import ResultCache, verify_store
+
+
+def small_matrix(seeds=3):
+    return ScenarioMatrix(
+        sizes=[(4, 1)],
+        adversaries=["crash", "two_faced:evil"],
+        value_counts=[2],
+        seeds=range(seeds),
+        base_seed=7,
+    )
+
+
+@pytest.fixture
+def populated(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    sweep_serial(small_matrix(), cache=cache)
+    return cache
+
+
+class TestVerifyStore:
+    def test_clean_store_verifies(self, populated):
+        report = verify_store(populated)
+        assert report.ok
+        assert report.total == report.checked == report.matched == 6
+        assert report.stale == report.unreadable == 0
+        assert "6 entries" in report.describe()
+
+    def test_sample_is_deterministic_and_bounded(self, populated):
+        first = verify_store(populated, sample=2, seed=5)
+        second = verify_store(populated, sample=2, seed=5)
+        assert first.checked == second.checked == 2
+        assert first.ok and second.ok
+        # total still reports the whole store
+        assert first.total == 6
+
+    def test_tampered_entry_is_reported(self, populated):
+        # Flip a result field inside one stored record.
+        paths = [p for p in populated.root.rglob("*.json")]
+        target = paths[0]
+        payload = json.loads(target.read_text())
+        payload["record"]["messages_sent"] += 1000
+        target.write_text(json.dumps(payload, sort_keys=True))
+        report = verify_store(populated)
+        assert not report.ok
+        assert len(report.mismatches) == 1
+        assert "messages_sent" in report.mismatches[0].fields
+        assert "MISMATCH" in report.describe()
+
+    def test_corrupt_entry_counted_unreadable(self, populated):
+        next(iter(populated.root.rglob("*.json"))).write_text("{not json")
+        report = verify_store(populated)
+        assert report.unreadable == 1
+        assert report.checked == 5
+        assert report.ok  # corruption is a miss, not drift
+
+    def test_stale_salt_entries_skipped(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", salt="v-old")
+        sweep_serial(small_matrix(seeds=2), cache=old)
+        current = ResultCache(tmp_path / "cache", salt="v-new")
+        report = verify_store(current)
+        assert report.total == 4
+        assert report.stale == 4 and report.checked == 0
+        assert report.ok  # no drift observed...
+        assert report.vacuous  # ...but nothing was actually verified
+
+    def test_negative_sample_rejected(self, populated):
+        with pytest.raises(ValueError, match="sample must be >= 0"):
+            verify_store(populated, sample=-5)
+
+    def test_zero_sample_checks_nothing_but_lists_all(self, populated):
+        report = verify_store(populated, sample=0)
+        assert report.total == 6 and report.checked == 0
+        assert report.ok and report.vacuous
+
+    def test_on_entry_progress_callback(self, populated):
+        seen = []
+        verify_store(populated, on_entry=lambda key, ok: seen.append((key, ok)))
+        assert len(seen) == 6 and all(ok for _, ok in seen)
+
+
+class TestVerifyCLI:
+    def test_cli_ok_and_drift_paths(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        sweep_serial(small_matrix(seeds=1), cache=ResultCache(cache_dir))
+        assert main(["store", "verify", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "integrity    : OK" in out
+
+        target = next(iter(cache_dir.rglob("*.json")))
+        payload = json.loads(target.read_text())
+        payload["record"]["max_round"] += 7
+        target.write_text(json.dumps(payload, sort_keys=True))
+        assert main(["store", "verify", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT DETECTED" in out
+
+    def test_cli_vacuous_scrub_is_not_a_clean_bill(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        sweep_serial(small_matrix(seeds=1),
+                     cache=ResultCache(cache_dir, salt="v-old"))
+        # All entries are stale under the current salt: exit 2, not 0.
+        assert main(["store", "verify", str(cache_dir)]) == 2
+        out = capsys.readouterr().out
+        assert "UNVERIFIED" in out
+
+    def test_cli_negative_sample_rejected(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["store", "verify", str(tmp_path), "--sample", "-5"])
+
+    def test_cli_missing_directory_exits(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no cache directory"):
+            main(["store", "verify", str(tmp_path / "nope")])
+
+    def test_cli_progress_lines(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        sweep_serial(small_matrix(seeds=1), cache=ResultCache(cache_dir))
+        assert main(["store", "verify", str(cache_dir), "--sample", "1",
+                     "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "… ok" in out
