@@ -1,0 +1,150 @@
+"""Perf-trajectory history: one line per PR, regressions visible at a glance.
+
+Each PR regenerates ``BENCH_kernel.json`` (kernel events/sec
+microbenchmarks, see ``bench_kernel_events.py``) and ``BENCH_sweep.json``
+(end-to-end sweep throughput, see ``bench_sweep_throughput.py``) — but
+those files only ever hold *one* PR's numbers, so a slow regression
+across several PRs hides between baselines.  This script closes the
+loop: it digests both JSONs into one compact record (geometric-mean
+kernel throughput, speedup vs the frozen baseline, sweep
+scenarios/sec) and appends it to ``benchmarks/results/history.jsonl``,
+then renders the whole trajectory as a table
+(``benchmarks/results/history.txt``).
+
+Appending is idempotent per label: re-running with the same ``label``
+replaces that label's entry instead of duplicating it, so CI can
+regenerate freely.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_history.py
+        [--kernel PATH] [--sweep PATH] [--history PATH] [--label TEXT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_HISTORY = RESULTS_DIR / "history.jsonl"
+
+
+def geomean(values: list[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize(kernel: dict, sweep: dict, label: str | None) -> dict:
+    """One history record from the two per-PR bench JSONs."""
+    metrics = kernel.get("metrics", {})
+    events_geomean = geomean(
+        [m["events_per_sec"] for m in metrics.values()]
+    )
+    sweep_metrics = sweep.get("metrics", {})
+    return {
+        "label": label or kernel.get("label", "unlabeled"),
+        "timestamp": kernel.get("timestamp"),
+        "python": kernel.get("python"),
+        "quick": bool(kernel.get("quick", False)),
+        "kernel_events_per_sec_geomean": round(events_geomean, 1),
+        "kernel_speedup_geomean": kernel.get("speedup_geomean"),
+        "sweep_serial_sps": sweep_metrics.get("serial", {}).get(
+            "scenarios_per_sec"
+        ),
+        "sweep_parallel_sps": sweep_metrics.get("parallel", {}).get(
+            "scenarios_per_sec"
+        ),
+        "sweep_bit_identical": sweep.get("bit_identical"),
+    }
+
+
+def load_history(path: pathlib.Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def append_entry(history: list[dict], entry: dict) -> list[dict]:
+    """Replace the entry with the same label, else append."""
+    out = [e for e in history if e.get("label") != entry["label"]]
+    out.append(entry)
+    return out
+
+
+def render_table(history: list[dict]) -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.orchestration.sweeps import format_table
+
+    def fmt(value: object, spec: str = "") -> str:
+        if value is None:
+            return "-"
+        return format(value, spec) if spec else str(value)
+
+    rows = [
+        [
+            e.get("label"),
+            (e.get("timestamp") or "")[:10],
+            fmt(e.get("kernel_events_per_sec_geomean"), ",.0f"),
+            fmt(e.get("kernel_speedup_geomean")),
+            fmt(e.get("sweep_serial_sps")),
+            fmt(e.get("sweep_parallel_sps")),
+        ]
+        for e in history
+    ]
+    return format_table(
+        ["PR label", "date", "kernel ev/s (geomean)",
+         "vs baseline", "sweep serial/s", "sweep parallel/s"],
+        rows,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_kernel.json")
+    parser.add_argument("--sweep", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_sweep.json")
+    parser.add_argument("--history", type=pathlib.Path,
+                        default=DEFAULT_HISTORY)
+    parser.add_argument("--label", default=None,
+                        help="history label (default: the kernel "
+                             "JSON's own label)")
+    parser.add_argument("--table-out", type=pathlib.Path,
+                        default=RESULTS_DIR / "history.txt")
+    args = parser.parse_args(argv)
+
+    try:
+        kernel = json.loads(args.kernel.read_text(encoding="utf-8"))
+        sweep = json.loads(args.sweep.read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        print(f"missing bench JSON: {exc.filename}", file=sys.stderr)
+        return 1
+
+    entry = summarize(kernel, sweep, args.label)
+    history = append_entry(load_history(args.history), entry)
+    args.history.parent.mkdir(parents=True, exist_ok=True)
+    args.history.write_text(
+        "".join(json.dumps(e, sort_keys=True) + "\n" for e in history),
+        encoding="utf-8",
+    )
+    table = render_table(history)
+    text = f"\n=== Perf trajectory ({len(history)} PR point(s)) ===\n{table}\n"
+    args.table_out.write_text(text, encoding="utf-8")
+    print(text)
+    print(f"history      : {args.history} ({len(history)} entr(ies))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Textual progress rendering for long-running commands.
+
+``repro dispatch status`` and ``repro collect --follow`` both need the
+same thing: a compact, dependency-free progress line that reads well in
+a terminal, a CI log and a file.  This module is deliberately generic —
+it knows about counts and elapsed seconds, not about shards or units —
+so any layer can use it without importing orchestration machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_eta", "render_progress"]
+
+
+def render_progress(done: int, total: int, width: int = 30) -> str:
+    """A fixed-width bar: ``[######........] 12/40 (30%)``.
+
+    ``total <= 0`` (nothing to do, or size unknown) renders an indefinite
+    form instead of dividing by zero.
+    """
+    if total <= 0:
+        return f"[{'-' * width}] {done}/?"
+    done = max(0, min(done, total))
+    filled = (done * width) // total
+    percent = (100 * done) // total
+    return f"[{'#' * filled}{'.' * (width - filled)}] {done}/{total} ({percent}%)"
+
+
+def format_eta(done: int, total: int, elapsed: float) -> str:
+    """Naive linear ETA from progress so far: ``~12s left`` (empty when
+    no rate is observable yet or the work is finished)."""
+    if done <= 0 or elapsed <= 0 or total <= done:
+        return ""
+    remaining = (total - done) * (elapsed / done)
+    if remaining >= 90:
+        return f"~{remaining / 60:.1f}min left"
+    return f"~{remaining:.0f}s left"

@@ -21,6 +21,19 @@ Commands:
   into one deduplicated report, detecting conflicting duplicates;
   ``--group-by AXIS[,AXIS]`` regroups the merged outcomes along any
   registered axes;
+* ``dispatch`` — the distributed work queue
+  (:mod:`repro.orchestration.dispatch`): ``plan`` partitions a sweep
+  matrix into named shard units behind an atomic JSON manifest;
+  ``claim`` runs a worker loop that leases units, executes them on any
+  backend (sharing a ``--cache`` store if given) and writes shard
+  JSONLs; ``status`` renders the queue.  Leases expire and units are
+  retried, so dead workers never wedge the sweep;
+* ``collect`` — the incremental collector (:mod:`repro.store.collector`):
+  fold a directory of shard JSONLs into one report as they arrive,
+  checkpointing after every fold; ``--follow`` polls until the dispatch
+  manifest (or an explicit ``--expect-shards``/``--expect-records``
+  target) says the sweep is complete, and ``--out`` writes a merged
+  JSONL byte-identical to the same sweep run unsharded;
 * ``store verify`` — integrity scrub: re-execute a deterministic sample
   of cached scenarios on the current kernel and compare digests against
   the stored records (non-zero exit on drift);
@@ -69,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Minimal Synchrony for Byzantine Consensus — reproduction CLI",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="documentation: docs/index.md (architecture map), "
+               "docs/sweeps.md (sweeps, sharding, dispatch/collect),\n"
+               "docs/store.md (result store), docs/kernel.md "
+               "(simulation kernel)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -81,27 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a scenario-matrix sweep",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="registered scenario axes (usable with --axis NAME=V1,V2,...):\n"
-               + AXES.describe(),
+               + AXES.describe()
+               + "\n\nwalkthrough: docs/sweeps.md",
     )
-    _add_system_args(sweep_p)
-    sweep_p.add_argument("--seeds", type=int, default=10,
-                         help="seeds per grid cell")
-    sweep_p.add_argument("--grid", default=None, metavar="N:T,N:T,...",
-                         help="system sizes to sweep (default: --n/--t)")
-    sweep_p.add_argument("--topologies", default=None, metavar="KIND,...",
-                         help="topology grid (minimal/timely/async; "
-                              "default: --topology)")
-    sweep_p.add_argument("--adversaries", default=None, metavar="KIND[:ARG],...",
-                         help="adversary grid (default: --adversary)")
-    sweep_p.add_argument("--value-counts", default=None, metavar="M,...",
-                         help="value-diversity grid, clamped to the "
-                              "feasibility bound (default: len(--values))")
-    sweep_p.add_argument("--axis", action="append", default=None,
-                         metavar="NAME=V1,V2,...", dest="axis",
-                         help="grid over any registered scenario axis "
-                              "(repeatable; 'list' prints the vocabulary), "
-                              "e.g. --axis k=0,1,2 --axis faults=0,1 "
-                              "--axis placement=tail,head,spread")
+    _add_matrix_args(sweep_p)
     sweep_p.add_argument("--shard", default=None, metavar="I/N",
                          help="run only the deterministic i-th of N "
                               "round-robin slices of the expanded matrix "
@@ -144,6 +145,94 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print an extra breakdown of the merged "
                               "outcomes grouped by the named axes")
 
+    dispatch_p = sub.add_parser(
+        "dispatch", help="distributed sweep work queue (plan/claim/status)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="a dispatch directory holds manifest.json (the work queue)\n"
+               "and shards/ (one JSONL per executed unit); fold the shards\n"
+               "with `repro collect DIR`.  walkthrough: docs/sweeps.md",
+    )
+    dispatch_sub = dispatch_p.add_subparsers(
+        dest="dispatch_command", required=True
+    )
+    plan_p = dispatch_sub.add_parser(
+        "plan", help="partition a sweep matrix into claimable shard units"
+    )
+    _add_matrix_args(plan_p)
+    plan_p.add_argument("--dir", required=True, metavar="DIR",
+                        help="dispatch directory (manifest + shards)")
+    plan_p.add_argument("--units", type=int, default=4, metavar="N",
+                        help="shard units to partition the matrix into "
+                             "(clamped to the scenario count)")
+    plan_p.add_argument("--lease", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="claim lease; an expired lease makes the "
+                             "unit claimable again")
+    plan_p.add_argument("--max-attempts", type=int, default=3, metavar="K",
+                        help="total claim attempts per unit before it "
+                             "is abandoned as exhausted")
+    claim_p = dispatch_sub.add_parser(
+        "claim", help="worker loop: lease units, execute, write shards"
+    )
+    claim_p.add_argument("dir", metavar="DIR", help="dispatch directory")
+    claim_p.add_argument("--worker", default=None, metavar="NAME",
+                         help="worker identity recorded on leases "
+                              "(default: host-pid)")
+    claim_p.add_argument("--backend", default="serial",
+                         choices=["serial", "async", "parallel"],
+                         help="execution backend for each claimed unit")
+    claim_p.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for --backend parallel")
+    claim_p.add_argument("--cache", default=None, metavar="DIR",
+                         help="shared result store: cached scenarios are "
+                              "served without re-execution")
+    claim_p.add_argument("--max-units", type=int, default=None, metavar="N",
+                         help="stop after completing N units "
+                              "(default: drain the queue)")
+    status_p = dispatch_sub.add_parser(
+        "status", help="render the work queue (exit 0 once all units done)"
+    )
+    status_p.add_argument("dir", metavar="DIR", help="dispatch directory")
+
+    collect_p = sub.add_parser(
+        "collect",
+        help="incrementally fold shard JSONLs into one merged report",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="DIR may be a dispatch directory (manifest.json present:\n"
+               "shards/ is watched and the manifest defines completion)\n"
+               "or any directory of *.jsonl shards (then --follow needs\n"
+               "--expect-shards or --expect-records).  docs: docs/sweeps.md",
+    )
+    collect_p.add_argument("dir", metavar="DIR",
+                           help="dispatch directory or shard directory")
+    collect_p.add_argument("--out", default=None, metavar="PATH",
+                           help="write the merged JSONL here (matrix "
+                                "order: byte-identical to the unsharded "
+                                "sweep)")
+    collect_p.add_argument("--follow", action="store_true",
+                           help="poll until the sweep is complete instead "
+                                "of folding once and exiting")
+    collect_p.add_argument("--poll", type=float, default=0.5,
+                           metavar="SECONDS", help="poll interval")
+    collect_p.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="give up following after this long")
+    collect_p.add_argument("--expect-shards", type=int, default=None,
+                           metavar="N",
+                           help="completion target: N shard files folded")
+    collect_p.add_argument("--expect-records", type=int, default=None,
+                           metavar="N",
+                           help="completion target: N distinct scenarios")
+    collect_p.add_argument("--on-conflict", default="error",
+                           choices=["error", "first", "last"],
+                           help="how to resolve shards that disagree "
+                                "about the same scenario")
+    collect_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="checkpoint file (default: "
+                                ".collector.json in the shard directory)")
+    collect_p.add_argument("--quiet", action="store_true",
+                           help="suppress the per-fold progress lines")
+
     store_p = sub.add_parser("store", help="persistent result-store tools")
     store_sub = store_p.add_subparsers(dest="store_command", required=True)
     verify_p = store_sub.add_parser(
@@ -175,6 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
     feas_p.add_argument("--t", type=int, required=True)
     feas_p.add_argument("--m", type=int)
     return parser
+
+
+def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments defining a scenario matrix (shared by ``sweep`` and
+    ``dispatch plan``)."""
+    _add_system_args(parser)
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="seeds per grid cell")
+    parser.add_argument("--grid", default=None, metavar="N:T,N:T,...",
+                        help="system sizes to sweep (default: --n/--t)")
+    parser.add_argument("--topologies", default=None, metavar="KIND,...",
+                        help="topology grid (minimal/timely/async; "
+                             "default: --topology)")
+    parser.add_argument("--adversaries", default=None, metavar="KIND[:ARG],...",
+                        help="adversary grid (default: --adversary)")
+    parser.add_argument("--value-counts", default=None, metavar="M,...",
+                        help="value-diversity grid, clamped to the "
+                             "feasibility bound (default: len(--values))")
+    parser.add_argument("--axis", action="append", default=None,
+                        metavar="NAME=V1,V2,...", dest="axis",
+                        help="grid over any registered scenario axis "
+                             "(repeatable; 'list' prints the vocabulary), "
+                             "e.g. --axis k=0,1,2 --axis faults=0,1 "
+                             "--axis placement=tail,head,spread")
 
 
 def _add_system_args(parser: argparse.ArgumentParser) -> None:
@@ -481,6 +594,150 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0 if report.all_safe else 1
 
 
+def _default_worker_name() -> str:
+    import os
+    import socket
+
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from .orchestration.dispatch import (
+        DispatchError,
+        DispatchPlan,
+        plan_dispatch,
+        run_claims,
+    )
+
+    if args.dispatch_command == "plan":
+        try:
+            matrix = _build_matrix(args)
+            plan = plan_dispatch(
+                matrix, args.dir, units=args.units,
+                lease_seconds=args.lease, max_attempts=args.max_attempts,
+            )
+        except (ValueError, DispatchError) as exc:
+            raise SystemExit(str(exc))
+        sizes = sorted({unit.scenarios for unit in plan.units})
+        shape = (
+            str(sizes[0]) if len(sizes) == 1 else f"{sizes[0]}-{sizes[-1]}"
+        )
+        print(f"manifest     : {plan.manifest_path}")
+        print(f"units        : {len(plan.units)} x {shape} scenario(s) "
+              f"({plan.total_scenarios} total)")
+        print(f"lease        : {plan.lease_seconds:.0f}s, "
+              f"{plan.max_attempts} attempt(s) max")
+        print(f"claim with   : repro dispatch claim {args.dir}")
+        return 0
+
+    if args.dispatch_command == "claim":
+        worker = args.worker or _default_worker_name()
+        cache = None
+        if args.cache:
+            from .store import ResultCache
+
+            cache = ResultCache(args.cache)
+
+        def on_unit(unit: Any, result: Any) -> None:
+            print(f"{unit.name}  : {len(result.outcomes)} scenario(s) "
+                  f"-> {unit.shard}")
+
+        try:
+            executed = run_claims(
+                args.dir, worker=worker, backend=args.backend,
+                cache=cache, workers=args.workers,
+                max_units=args.max_units, on_unit=on_unit,
+            )
+            plan = DispatchPlan.load(args.dir)
+        except (ValueError, DispatchError) as exc:
+            raise SystemExit(str(exc))
+        print(f"claimed      : {len(executed)} unit(s) as {worker}")
+        print(f"queue        : {plan.describe()}")
+        return 0
+
+    # status (the subparser guarantees no other value)
+    import time
+
+    from .analysis.progress import render_progress
+    from .orchestration.sweeps import format_table as _table
+
+    try:
+        plan = DispatchPlan.load(args.dir)
+    except DispatchError as exc:
+        raise SystemExit(str(exc))
+    now = time.time()
+    rows = []
+    for unit in plan.units:
+        state = unit.status
+        if unit.abandoned(now, plan.max_attempts):
+            state = "exhausted"
+        elif unit.lease_expired(now):
+            state = "expired"
+        lease = "-"
+        if unit.status == "leased" and unit.lease_expires is not None:
+            lease = f"{max(0.0, unit.lease_expires - now):.0f}s"
+        rows.append([
+            unit.name, state, unit.owner or "-", unit.attempts,
+            unit.scenarios if unit.records is None else unit.records,
+            lease,
+        ])
+    print(_table(
+        ["unit", "state", "owner", "attempts", "scenarios", "lease"], rows
+    ))
+    done = sum(1 for unit in plan.units if unit.status == "done")
+    print(f"\nprogress     : {render_progress(done, len(plan.units))}")
+    print(f"status       : {plan.describe(now)}")
+    return 0 if plan.finished else 1
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .orchestration.dispatch import MANIFEST_NAME, SHARD_DIR
+    from .store import CollectorError, ShardConflictError, watch_shards
+
+    root = Path(args.dir)
+    manifest_root = None
+    shard_dir = root
+    if (root / MANIFEST_NAME).exists():
+        manifest_root = root
+        shard_dir = root / SHARD_DIR
+    if not shard_dir.is_dir():
+        raise SystemExit(f"no shard directory at {shard_dir}")
+
+    on_scan = None
+    if not args.quiet:
+        def on_scan(collector: Any, scan: Any) -> None:
+            for name in scan.folded:
+                print(f"folded       : {name}")
+            if scan.folded:
+                print(f"progress     : {collector.describe()}")
+
+    try:
+        merged = watch_shards(
+            shard_dir, out=args.out, follow=args.follow, poll=args.poll,
+            timeout=args.timeout, expect_shards=args.expect_shards,
+            expect_records=args.expect_records,
+            manifest_root=manifest_root, on_conflict=args.on_conflict,
+            checkpoint=args.checkpoint, on_scan=on_scan,
+        )
+    except TimeoutError as exc:
+        print(f"timeout      : {exc}")
+        return 3
+    except (CollectorError, ShardConflictError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    report = merged.report
+    print(f"shards       : {len(merged.sources)} file(s), "
+          f"{merged.total_records} record(s), "
+          f"{merged.duplicates} duplicate(s) dropped")
+    print(f"scenarios    : {report.runs}")
+    print(f"decided      : {report.decided_runs}/{report.runs} seeds")
+    print(f"safety       : {'OK' if report.all_safe else 'VIOLATED'}")
+    if args.out:
+        print(f"merged jsonl : {args.out}")
+    return 0 if report.all_safe else 1
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     # Only "verify" exists today; the subparser enforces that.
     from .store import ResultCache, verify_store
@@ -547,6 +804,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "merge": _cmd_merge,
+        "dispatch": _cmd_dispatch,
+        "collect": _cmd_collect,
         "store": _cmd_store,
         "bounds": _cmd_bounds,
         "feasibility": _cmd_feasibility,

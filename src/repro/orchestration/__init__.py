@@ -4,10 +4,23 @@ The sweepable vocabulary — which knobs a :class:`ScenarioMatrix` can
 grid over — lives in the :mod:`~repro.orchestration.axes` registry;
 register an :class:`~repro.orchestration.axes.Axis` to add a dimension
 without touching the matrix, the store or the CLI.
+
+Beyond one machine, :mod:`~repro.orchestration.dispatch` turns a matrix
+into a filesystem work queue: :func:`plan_dispatch` writes a manifest
+of leased shard units, :func:`run_claims` is the worker loop, and the
+incremental collector in :mod:`repro.store.collector` folds the
+resulting shards as they land (``docs/sweeps.md`` walks it through).
 """
 
 from .axes import AXES, SCHEMA_VERSION, Axis, AxisRegistry
 from .config import RunConfig
+from .dispatch import (
+    DispatchError,
+    DispatchPlan,
+    ShardUnit,
+    plan_dispatch,
+    run_claims,
+)
 from .kernel import KernelContext, default_context
 from .matrix import (
     ScenarioMatrix,
@@ -51,6 +64,11 @@ __all__ = [
     "KernelContext",
     "default_context",
     "RunConfig",
+    "DispatchError",
+    "DispatchPlan",
+    "ShardUnit",
+    "plan_dispatch",
+    "run_claims",
     "ScenarioMatrix",
     "ScenarioOutcome",
     "ScenarioSpec",

@@ -363,6 +363,50 @@ class ScenarioMatrix:
             for axis in AXES
         ]
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready description of the whole grid (dispatch manifests).
+
+        Every registered axis contributes its canonical value list
+        through its own codec, so any knob — built-in or custom —
+        survives the round-trip; :meth:`from_dict` rebuilds the matrix
+        through the ``axes`` mapping and expands to the exact same
+        specs (same seeds, same indices) on any machine with the same
+        axes registered.
+        """
+        return {
+            "axes": {
+                axis.name: [axis.encode(value) for value in values]
+                for axis, values in self._axis_values()
+            },
+            "seeds": [int(s) for s in self.seeds],
+            "base_seed": int(self.base_seed),
+            "value_pool": (
+                list(self.value_pool) if self.value_pool is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioMatrix":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown axis names fail loudly (``ValueError``): a manifest
+        gridding an axis this process never registered must not execute
+        under a silently different identity.
+        """
+        axes: dict[str, list[Any]] = {}
+        for name, values in dict(data.get("axes") or {}).items():
+            axis = AXES.resolve(name)
+            axes[axis.name] = [
+                axis.canonical(axis.decode(value)) for value in values
+            ]
+        pool = data.get("value_pool")
+        return cls(
+            seeds=[int(s) for s in data.get("seeds", (0,))],
+            base_seed=int(data.get("base_seed", 0)),
+            value_pool=list(pool) if pool is not None else None,
+            axes=axes,
+        )
+
     def cell_dicts(self) -> list[dict[str, Any]]:
         """The feasible grid cells as full axis-field mappings.
 

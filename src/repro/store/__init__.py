@@ -20,6 +20,13 @@ platform, in three layers:
 * :mod:`repro.store.resume` — :func:`plan_resume` diffs a matrix
   against the store; :func:`sweep_resume` dispatches only the missing
   cells on a chosen backend.
+* :mod:`repro.store.collector` — :class:`ShardCollector` /
+  :func:`watch_shards`, the incremental half of distributed dispatch:
+  watch a directory, fold each complete shard exactly once (truncated
+  in-flight files are revisited, never fatal), checkpoint atomically,
+  and finalize a merged JSONL byte-identical to the unsharded sweep
+  (``repro collect DIR`` on the CLI; the dispatcher itself lives in
+  :mod:`repro.orchestration.dispatch`).
 * :mod:`repro.store.verify` — :func:`verify_store`, the integrity
   scrub: re-execute a deterministic sample of cached scenarios on the
   current kernel and compare records field by field (``repro store
@@ -32,13 +39,24 @@ entries or shards behind.
 
 from .atomic import atomic_write_text
 from .cache import CacheStats, ResultCache, code_version, scenario_key
+from .collector import (
+    CollectorError,
+    ScanResult,
+    ShardCollector,
+    watch_shards,
+)
 from .shards import (
     MergeResult,
     ShardConflictError,
+    ShardFolder,
+    ShardTruncatedError,
     canonical_order,
     iter_shard_records,
+    matrix_order,
     merge_shards,
+    parse_shard_text,
     read_shard,
+    read_shard_tolerant,
     write_shard,
 )
 from .resume import (
@@ -56,12 +74,21 @@ __all__ = [
     "ResultCache",
     "code_version",
     "scenario_key",
+    "CollectorError",
+    "ScanResult",
+    "ShardCollector",
+    "watch_shards",
     "MergeResult",
     "ShardConflictError",
+    "ShardFolder",
+    "ShardTruncatedError",
     "canonical_order",
     "iter_shard_records",
+    "matrix_order",
     "merge_shards",
+    "parse_shard_text",
     "read_shard",
+    "read_shard_tolerant",
     "write_shard",
     "ResumePlan",
     "count_cached",

@@ -1,0 +1,358 @@
+"""Incremental shard collector: fold results as they arrive, no barrier.
+
+The dispatcher (:mod:`repro.orchestration.dispatch`) turns one scenario
+matrix into N shard JSONLs landing in a directory at unpredictable
+times, from workers that may straggle, die and be retried.  Waiting for
+all N before calling :func:`~repro.store.shards.merge_shards` would put
+a global barrier at the end of every distributed sweep; this module
+removes it:
+
+* :class:`ShardCollector` watches a directory, detects shard files that
+  are *complete* (fully parseable; a truncated final line means a
+  writer is mid-append, and the file is simply revisited on the next
+  scan — the collector never crashes on a shard being written
+  concurrently), and folds each one exactly once into a running
+  :class:`~repro.store.shards.ShardFolder` under the usual
+  content-addressed dedup / conflict rules.  Each shard file must
+  *appear* atomically with its final content (write-then-rename, as
+  :func:`~repro.store.shards.write_shard` and every dispatch worker
+  do): a writer that keeps appending to an already-parseable file
+  cannot be distinguished from a finished one, so the truncation check
+  is a crash-safety net, not support for open-ended appenders;
+* after every fold it **checkpoints** atomically (shard name, SHA-256
+  fingerprint, record count, in fold order), so a killed collector
+  restarts into the exact fold state — refolding only the checkpointed
+  files, verifying their fingerprints, and continuing where it stopped;
+* :meth:`ShardCollector.finalize` writes the merged JSONL ordered by
+  matrix index (:func:`~repro.store.shards.matrix_order`), which makes
+  the collected output of a dispatched matrix **byte-identical** to the
+  JSONL of the same sweep run unsharded on one machine.
+
+:func:`watch_shards` is the driving loop (``repro collect DIR --follow``
+on the CLI): scan, fold, checkpoint, sleep, repeat — until a completion
+condition holds.  Completion is either the dispatch manifest (all units
+done and all their shards folded), an expected shard count, or an
+expected scenario count; one poll-less pass (``follow=False``) folds
+whatever is complete right now.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from .atomic import atomic_write_text
+from .shards import MergeResult, ShardFolder, matrix_order, parse_shard_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..orchestration.dispatch import DispatchPlan
+
+__all__ = [
+    "CollectorError",
+    "ScanResult",
+    "ShardCollector",
+    "watch_shards",
+]
+
+#: Default checkpoint file (a dotfile, so the ``*.jsonl`` scan never
+#: mistakes it for a shard).
+CHECKPOINT_NAME = ".collector.json"
+
+#: Bump when the checkpoint layout changes (older checkpoints are
+#: refused loudly rather than half-restored).
+CHECKPOINT_FORMAT = 1
+
+
+class CollectorError(RuntimeError):
+    """The collector's on-disk state is inconsistent (a checkpointed
+    shard vanished or changed fingerprint, or the checkpoint itself is
+    unreadable)."""
+
+
+@dataclass
+class ScanResult:
+    """What one :meth:`ShardCollector.scan` pass found."""
+
+    #: Shard file names folded by *this* scan, in fold order.
+    folded: list[str] = field(default_factory=list)
+    #: Files present but still being written (truncated final line).
+    in_progress: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _FoldedShard:
+    """Checkpoint line for one folded shard file."""
+
+    name: str
+    sha256: str
+    records: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "sha256": self.sha256,
+                "records": self.records}
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ShardCollector:
+    """Fold a directory of shard JSONLs incrementally, with checkpoints.
+
+    Args:
+        shard_dir: Directory the shards land in (``*.jsonl``; dotfiles
+            and the checkpoint/output files are never treated as
+            shards).
+        checkpoint: Checkpoint path (default: ``shard_dir/.collector.json``).
+            An existing checkpoint is restored on construction — that is
+            the crash-recovery path.
+        on_conflict: Conflict policy for records that disagree, as in
+            :func:`~repro.store.shards.merge_shards`.
+        exclude: Extra paths to never treat as shards (e.g. the merged
+            output when it lives inside ``shard_dir``).
+    """
+
+    def __init__(
+        self,
+        shard_dir: str | os.PathLike[str],
+        checkpoint: str | os.PathLike[str] | None = None,
+        on_conflict: str = "error",
+        exclude: Iterable[str | os.PathLike[str]] = (),
+    ) -> None:
+        self.shard_dir = Path(shard_dir)
+        self.checkpoint_path = (
+            self.shard_dir / CHECKPOINT_NAME
+            if checkpoint is None else Path(checkpoint)
+        )
+        self.folder = ShardFolder(on_conflict=on_conflict)
+        self._folded: dict[str, _FoldedShard] = {}
+        self._exclude = {
+            Path(p).resolve() for p in (self.checkpoint_path, *exclude)
+        }
+        self._restore()
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def folded_names(self) -> list[str]:
+        """Shard files folded so far, in fold order."""
+        return list(self._folded)
+
+    @property
+    def records_folded(self) -> int:
+        """Distinct scenarios in the running fold."""
+        return len(self.folder)
+
+    def describe(self) -> str:
+        """One status line for progress displays."""
+        return (
+            f"{len(self._folded)} shard(s) folded, "
+            f"{self.records_folded} scenario(s), "
+            f"{self.folder.duplicates} duplicate(s)"
+        )
+
+    # -- crash recovery -------------------------------------------------
+
+    def _restore(self) -> None:
+        """Rebuild the fold from an existing checkpoint, verifying that
+        every checkpointed shard is still exactly the file we folded."""
+        try:
+            raw = self.checkpoint_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise CollectorError(
+                f"unreadable checkpoint {self.checkpoint_path}: {exc}"
+            ) from None
+        try:
+            data = json.loads(raw)
+            fmt = int(data.get("format", 0))
+            folded = list(data["folded"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CollectorError(
+                f"corrupt checkpoint {self.checkpoint_path}: {exc}"
+            ) from None
+        if fmt != CHECKPOINT_FORMAT:
+            raise CollectorError(
+                f"{self.checkpoint_path}: checkpoint format {fmt} not "
+                f"supported (this code reads format {CHECKPOINT_FORMAT})"
+            )
+        for entry in folded:
+            name = str(entry["name"])
+            path = self.shard_dir / name
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise CollectorError(
+                    f"checkpointed shard {path} is gone: {exc}"
+                ) from None
+            digest = _digest(text)
+            if digest != entry["sha256"]:
+                raise CollectorError(
+                    f"checkpointed shard {path} changed since it was "
+                    f"folded (fingerprint mismatch)"
+                )
+            outcomes, complete = parse_shard_text(text, str(path))
+            if not complete:
+                raise CollectorError(
+                    f"checkpointed shard {path} is truncated but was "
+                    f"folded as complete"
+                )
+            self.folder.add_outcomes(outcomes, str(path))
+            self._folded[name] = _FoldedShard(
+                name=name, sha256=digest, records=len(outcomes)
+            )
+
+    def _checkpoint(self) -> None:
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "folded": [f.to_dict() for f in self._folded.values()],
+        }
+        atomic_write_text(
+            self.checkpoint_path,
+            json.dumps(payload, sort_keys=True) + "\n",
+        )
+
+    # -- folding --------------------------------------------------------
+
+    def scan(self) -> ScanResult:
+        """One pass over the directory: fold every new complete shard.
+
+        Each fold is checkpointed before the next file is touched, so a
+        kill between any two folds loses nothing.  Files with a
+        truncated final line are reported as in-progress and revisited
+        on the next scan; genuinely corrupt files (bad JSON mid-file,
+        schema-invalid records) raise, as silent skips would make a
+        partial report look complete.
+        """
+        result = ScanResult()
+        for path in sorted(self.shard_dir.glob("*.jsonl")):
+            name = path.name
+            if name in self._folded or path.resolve() in self._exclude:
+                continue
+            try:
+                text = path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                continue  # vanished between glob and read
+            outcomes, complete = parse_shard_text(text, str(path))
+            if not complete:
+                result.in_progress.append(name)
+                continue
+            self.folder.add_outcomes(outcomes, str(path))
+            self._folded[name] = _FoldedShard(
+                name=name, sha256=_digest(text), records=len(outcomes)
+            )
+            self._checkpoint()
+            result.folded.append(name)
+        return result
+
+    # -- results --------------------------------------------------------
+
+    def result(self) -> MergeResult:
+        """Snapshot the fold, ordered by matrix index — the order the
+        unsharded sweep would have written."""
+        return self.folder.result(order=matrix_order)
+
+    def finalize(
+        self, out: str | os.PathLike[str] | None = None
+    ) -> MergeResult:
+        """Final merged result; with ``out``, also persist the JSONL
+        (atomic, matrix order — byte-identical to ``repro sweep --jsonl``
+        of the same matrix run unsharded)."""
+        merged = self.result()
+        if out is not None:
+            merged.write_jsonl(out)
+        return merged
+
+
+def _load_plan(root: Path) -> "DispatchPlan":
+    from ..orchestration.dispatch import DispatchPlan
+
+    return DispatchPlan.load(root)
+
+
+def watch_shards(
+    shard_dir: str | os.PathLike[str],
+    out: str | os.PathLike[str] | None = None,
+    follow: bool = False,
+    poll: float = 0.2,
+    timeout: float | None = None,
+    expect_shards: int | None = None,
+    expect_records: int | None = None,
+    manifest_root: str | os.PathLike[str] | None = None,
+    on_conflict: str = "error",
+    checkpoint: str | os.PathLike[str] | None = None,
+    on_scan: Callable[[ShardCollector, ScanResult], None] | None = None,
+) -> MergeResult:
+    """Collect a directory of shards into one merged result.
+
+    One :class:`ShardCollector` does the folding; this function drives
+    it.  With ``follow=False`` (default) it makes a single pass and
+    finalizes whatever is complete right now.  With ``follow=True`` it
+    polls every ``poll`` seconds until done, where *done* means (first
+    condition configured wins):
+
+    * ``manifest_root`` — the dispatch manifest there reports every
+      unit done *and* every unit's shard file has been folded;
+    * ``expect_shards`` — that many shard files folded;
+    * ``expect_records`` — that many distinct scenarios folded.
+
+    ``timeout`` bounds a follow in wall-clock seconds
+    (:class:`TimeoutError` carries the progress so far in its message).
+    ``on_scan`` fires after every pass — the CLI's progress line.
+    """
+    if follow and manifest_root is None and expect_shards is None \
+            and expect_records is None:
+        raise ValueError(
+            "follow=True needs a completion condition: a dispatch "
+            "manifest, expect_shards or expect_records"
+        )
+    exclude = [out] if out is not None else []
+    collector = ShardCollector(
+        shard_dir, checkpoint=checkpoint, on_conflict=on_conflict,
+        exclude=exclude,
+    )
+    deadline = None if timeout is None else time.monotonic() + timeout
+
+    def complete() -> bool:
+        if manifest_root is not None:
+            plan = _load_plan(Path(manifest_root))
+            abandoned = plan.abandoned_units()
+            if abandoned:
+                # Waiting would be forever: these units spent their
+                # retry budget and hold no live lease.
+                raise CollectorError(
+                    f"dispatch units will never complete (retry budget "
+                    f"exhausted): "
+                    f"{', '.join(unit.name for unit in abandoned)}; "
+                    f"collected so far: {collector.describe()}"
+                )
+            if not plan.finished:
+                return False
+            folded = set(collector.folded_names)
+            return all(
+                Path(unit.shard).name in folded for unit in plan.units
+            )
+        if expect_shards is not None:
+            return len(collector.folded_names) >= expect_shards
+        assert expect_records is not None
+        return collector.records_folded >= expect_records
+
+    while True:
+        scan = collector.scan()
+        if on_scan is not None:
+            on_scan(collector, scan)
+        if not follow or complete():
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"collector timed out after {timeout:.1f}s "
+                f"({collector.describe()})"
+            )
+        time.sleep(poll)
+    return collector.finalize(out)

@@ -15,6 +15,16 @@ produced by incompatible code or a corrupted run; that raises
 :class:`ShardConflictError` by default (``on_conflict="first"/"last"``
 picks a side instead).
 
+The merge core is :class:`ShardFolder`, an *incremental* fold:
+:func:`merge_shards` is its one-shot wrapper, and the live collector
+(:mod:`repro.store.collector`) feeds it shard by shard as files arrive.
+Shards written through :func:`write_shard` are atomic and therefore
+always complete, but a shard produced by a foreign appender may be seen
+mid-write: a truncated *final* line (no trailing newline) raises the
+distinct :class:`ShardTruncatedError`, and the tolerant entry points
+(:func:`read_shard_tolerant`, ``partial="tail"``) treat it as
+in-progress — fold the complete prefix, never crash.
+
 Merged outcomes are ordered canonically — by cell id, then seed index,
 then seed — so the merge of a partitioned sweep is deterministic no
 matter how the work was split.
@@ -45,10 +55,15 @@ from .cache import scenario_key
 __all__ = [
     "MergeResult",
     "ShardConflictError",
+    "ShardFolder",
+    "ShardTruncatedError",
     "canonical_order",
     "iter_shard_records",
+    "matrix_order",
     "merge_shards",
+    "parse_shard_text",
     "read_shard",
+    "read_shard_tolerant",
     "write_shard",
 ]
 
@@ -61,21 +76,61 @@ class ShardConflictError(ValueError):
     """Two shards disagree about the result of the same scenario."""
 
 
+class ShardTruncatedError(ValueError):
+    """A shard's final line is cut short — the file is still being
+    written (or a writer died mid-append).  Distinct from generic
+    malformation so live readers can treat it as *in-progress* rather
+    than corruption."""
+
+
+def _decode_line(
+    line: str, lineno: int, label: str, tail: bool
+) -> dict[str, Any]:
+    """Parse one JSONL line.  ``tail`` marks a final line missing its
+    terminating newline — the signature of an append in flight — where a
+    parse failure means "truncated", not "corrupt"."""
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        if tail:
+            raise ShardTruncatedError(
+                f"{label}:{lineno}: truncated final record "
+                f"(shard still being written?)"
+            ) from None
+        raise ValueError(
+            f"{label}:{lineno}: malformed shard record: {exc}"
+        ) from None
+
+
+def _iter_text_lines(
+    text: str, label: str
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    newline_terminated = text == "" or text.endswith("\n")
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        tail = lineno == len(lines) and not newline_terminated
+        yield lineno, _decode_line(stripped, lineno, label, tail)
+
+
 def _iter_shard_lines(
     path: str | os.PathLike[str],
 ) -> Iterator[tuple[int, dict[str, Any]]]:
+    # Streams line by line — merging huge shards never holds a whole
+    # file's text in memory (only the collector, which also needs a
+    # fingerprint of exactly what it parsed, reads whole files and goes
+    # through :func:`parse_shard_text` instead).
     shard = Path(path)
     with shard.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
+        for lineno, raw in enumerate(fh, 1):
+            stripped = raw.strip()
+            if not stripped:
                 continue
-            try:
-                yield lineno, json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{shard}:{lineno}: malformed shard record: {exc}"
-                ) from None
+            # Only the last line of a file can lack its newline.
+            tail = not raw.endswith("\n")
+            yield lineno, _decode_line(stripped, lineno, str(shard), tail)
 
 
 def iter_shard_records(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
@@ -90,24 +145,67 @@ def iter_shard_records(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]
         yield record
 
 
+def _record_outcome(
+    record: dict[str, Any], lineno: int, label: str
+) -> ScenarioOutcome:
+    """Reconstruct one record, failing loudly with file and line on
+    schema-invalid (but well-formed JSON) records."""
+    try:
+        return outcome_from_record(record)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ValueError(
+            f"{label}:{lineno}: invalid shard record "
+            f"({type(exc).__name__}: {exc})"
+        ) from None
+
+
+def _iter_text_outcomes(text: str, label: str) -> Iterator[ScenarioOutcome]:
+    for lineno, record in _iter_text_lines(text, label):
+        yield _record_outcome(record, lineno, label)
+
+
 def _iter_shard_outcomes(
     path: str | os.PathLike[str],
 ) -> Iterator[ScenarioOutcome]:
-    """Reconstruct each record, failing loudly with file and line on
-    schema-invalid (but well-formed JSON) records."""
+    label = str(Path(path))
     for lineno, record in _iter_shard_lines(path):
-        try:
-            yield outcome_from_record(record)
-        except (KeyError, TypeError, ValueError, AttributeError) as exc:
-            raise ValueError(
-                f"{Path(path)}:{lineno}: invalid shard record "
-                f"({type(exc).__name__}: {exc})"
-            ) from None
+        yield _record_outcome(record, lineno, label)
 
 
 def read_shard(path: str | os.PathLike[str]) -> list[ScenarioOutcome]:
     """Load every outcome in one JSONL shard, in file order."""
     return list(_iter_shard_outcomes(path))
+
+
+def parse_shard_text(
+    text: str, label: str = "<shard>"
+) -> tuple[list[ScenarioOutcome], bool]:
+    """Parse shard JSONL already in memory, tolerating a cut tail.
+
+    Returns ``(outcomes, complete)``: a truncated final line — a foreign
+    writer appending concurrently, or killed mid-append — yields the
+    complete-record prefix with ``complete=False`` instead of raising.
+    Any *other* malformation (corruption in the middle of the file)
+    still raises, as :func:`read_shard` would.  The collector parses
+    from text so one filesystem read yields both the fingerprint digest
+    and the records — no window for the file to change in between.
+    """
+    outcomes: list[ScenarioOutcome] = []
+    try:
+        for outcome in _iter_text_outcomes(text, label):
+            outcomes.append(outcome)
+    except ShardTruncatedError:
+        return outcomes, False
+    return outcomes, True
+
+
+def read_shard_tolerant(
+    path: str | os.PathLike[str],
+) -> tuple[list[ScenarioOutcome], bool]:
+    """Load a shard that may still be in flight (see
+    :func:`parse_shard_text`)."""
+    shard = Path(path)
+    return parse_shard_text(shard.read_text(encoding="utf-8"), str(shard))
 
 
 def write_shard(
@@ -125,6 +223,19 @@ def canonical_order(outcome: ScenarioOutcome) -> tuple[Any, ...]:
     """Sort key giving merged outcomes a split-independent order."""
     spec = outcome.spec
     return (spec.cell_id, spec.seed_index, spec.seed, spec.index)
+
+
+def matrix_order(outcome: ScenarioOutcome) -> tuple[Any, ...]:
+    """Sort key reproducing one matrix's *expansion* order.
+
+    Shard slices preserve their specs' original matrix indices, so
+    sorting a fold of one dispatched matrix by ``spec.index`` puts the
+    outcomes back in exactly the order the unsharded sweep would emit —
+    which is what lets ``repro collect`` finalize a JSONL byte-identical
+    to ``repro sweep``.  The canonical key breaks ties for folds that
+    mix records from differently shaped matrices.
+    """
+    return (outcome.spec.index,) + canonical_order(outcome)
 
 
 def _identity(outcome: ScenarioOutcome) -> dict[str, Any]:
@@ -159,9 +270,133 @@ class MergeResult:
         return write_shard(self.outcomes, path)
 
 
+class ShardFolder:
+    """Incremental shard-merge state: the core under :func:`merge_shards`.
+
+    Feed it outcomes (or whole shard files) in any order, at any time;
+    :meth:`result` snapshots the deduplicated fold as a
+    :class:`MergeResult`.  The incremental collector
+    (:mod:`repro.store.collector`) keeps one of these alive across a
+    directory watch, folding shard files as they land, so a thousand-
+    shard sweep never needs a global re-merge.
+
+    Args:
+        on_conflict: What to do when two sources carry *different*
+            results for the same scenario: ``"error"`` (default) raises
+            :class:`ShardConflictError`; ``"first"`` / ``"last"`` keep
+            the earliest / latest record in fold order.
+    """
+
+    def __init__(self, on_conflict: str = "error") -> None:
+        if on_conflict not in ("error", "first", "last"):
+            raise ValueError(
+                f"on_conflict must be 'error', 'first' or 'last', "
+                f"got {on_conflict!r}"
+            )
+        self.on_conflict = on_conflict
+        self._chosen: dict[str, ScenarioOutcome] = {}
+        self._payloads: dict[str, dict[str, Any]] = {}
+        self._origins: dict[str, str] = {}
+        self.total_records = 0
+        self.duplicates = 0
+        self.sources: list[str] = []
+
+    def __len__(self) -> int:
+        """Distinct scenarios folded so far."""
+        return len(self._chosen)
+
+    def add(self, outcome: ScenarioOutcome, source: str = "<memory>") -> bool:
+        """Fold one outcome; returns True when it was new (not a dup)."""
+        self.total_records += 1
+        key = scenario_key(outcome.spec, _MERGE_SALT)
+        payload = _identity(outcome)
+        if key not in self._chosen:
+            self._chosen[key] = outcome
+            self._payloads[key] = payload
+            self._origins[key] = source
+            return True
+        if self._payloads[key] == payload:
+            self.duplicates += 1
+            return False
+        if self.on_conflict == "error":
+            raise ShardConflictError(
+                f"shards disagree about scenario "
+                f"{outcome.spec.cell_id} (seed {outcome.spec.seed}): "
+                f"{self._origins[key]} vs {source}"
+            )
+        self.duplicates += 1
+        if self.on_conflict == "last":
+            self._chosen[key] = outcome
+            self._payloads[key] = payload
+            self._origins[key] = source
+        return False
+
+    def add_outcomes(
+        self, outcomes: Iterable[ScenarioOutcome], source: str
+    ) -> int:
+        """Fold a batch that was already parsed (the collector's path);
+        returns how many were new."""
+        self.sources.append(source)
+        added = 0
+        for outcome in outcomes:
+            if self.add(outcome, source):
+                added += 1
+        return added
+
+    def add_shard(
+        self, path: str | os.PathLike[str], partial: str = "error"
+    ) -> tuple[int, bool]:
+        """Fold every record of one shard file.
+
+        Returns ``(records, complete)``.  ``partial`` controls truncated
+        final lines (a shard being appended concurrently): ``"error"``
+        (default) propagates :class:`ShardTruncatedError`; ``"tail"``
+        folds the complete-record prefix and reports ``complete=False``.
+        """
+        if partial not in ("error", "tail"):
+            raise ValueError(
+                f"partial must be 'error' or 'tail', got {partial!r}"
+            )
+        source = str(path)
+        self.sources.append(source)
+        records = 0
+        complete = True
+        outcomes = _iter_shard_outcomes(path)
+        while True:
+            try:
+                outcome = next(outcomes)
+            except StopIteration:
+                break
+            except ShardTruncatedError:
+                if partial == "error":
+                    raise
+                complete = False
+                break
+            self.add(outcome, source)
+            records += 1
+        return records, complete
+
+    def result(self, order: Any = None) -> MergeResult:
+        """Snapshot the fold (``order`` defaults to
+        :func:`canonical_order`; the collector passes
+        :func:`matrix_order`)."""
+        outcomes = sorted(
+            self._chosen.values(),
+            key=canonical_order if order is None else order,
+        )
+        return MergeResult(
+            outcomes=outcomes,
+            report=aggregate_outcomes(outcomes),
+            total_records=self.total_records,
+            duplicates=self.duplicates,
+            sources=tuple(self.sources),
+        )
+
+
 def merge_shards(
     paths: Iterable[str | os.PathLike[str]],
     on_conflict: str = "error",
+    partial: str = "error",
 ) -> MergeResult:
     """Merge JSONL shards into one deduplicated report.
 
@@ -172,47 +407,12 @@ def merge_shards(
             for the same scenario: ``"error"`` (default) raises
             :class:`ShardConflictError`; ``"first"`` / ``"last"`` keep
             the earliest / latest record in merge order.
+        partial: ``"tail"`` treats a shard whose final line is truncated
+            (still being written) as in-progress — its complete prefix
+            merges, nothing raises; ``"error"`` (default) raises
+            :class:`ShardTruncatedError`.
     """
-    if on_conflict not in ("error", "first", "last"):
-        raise ValueError(
-            f"on_conflict must be 'error', 'first' or 'last', "
-            f"got {on_conflict!r}"
-        )
-    ordered_paths = [str(p) for p in paths]
-    chosen: dict[str, ScenarioOutcome] = {}
-    payloads: dict[str, dict[str, Any]] = {}
-    origins: dict[str, str] = {}
-    total = 0
-    duplicates = 0
-    for path in ordered_paths:
-        for outcome in _iter_shard_outcomes(path):
-            total += 1
-            key = scenario_key(outcome.spec, _MERGE_SALT)
-            payload = _identity(outcome)
-            if key not in chosen:
-                chosen[key] = outcome
-                payloads[key] = payload
-                origins[key] = path
-                continue
-            if payloads[key] == payload:
-                duplicates += 1
-                continue
-            if on_conflict == "error":
-                raise ShardConflictError(
-                    f"shards disagree about scenario "
-                    f"{outcome.spec.cell_id} (seed {outcome.spec.seed}): "
-                    f"{origins[key]} vs {path}"
-                )
-            duplicates += 1
-            if on_conflict == "last":
-                chosen[key] = outcome
-                payloads[key] = payload
-                origins[key] = path
-    outcomes = sorted(chosen.values(), key=canonical_order)
-    return MergeResult(
-        outcomes=outcomes,
-        report=aggregate_outcomes(outcomes),
-        total_records=total,
-        duplicates=duplicates,
-        sources=tuple(ordered_paths),
-    )
+    folder = ShardFolder(on_conflict=on_conflict)
+    for path in paths:
+        folder.add_shard(path, partial=partial)
+    return folder.result()

@@ -116,6 +116,42 @@ class TestMatrixExpansion:
         assert spec.num_values == 2 and spec.values == ("a", "b")
 
 
+class TestMatrixCodec:
+    """to_dict/from_dict: the dispatch manifest's matrix round-trip."""
+
+    def test_json_round_trip_preserves_expansion(self):
+        import json as json_mod
+
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1), (7, 2)],
+            topologies=["single_bisource", "fully_timely"],
+            adversaries=["crash", "two_faced:evil"],
+            value_counts=[1, 2],
+            value_pool=["a", "b"],
+            seeds=range(3),
+            base_seed=99,
+            k=1,
+            placement="head",
+            axes={"faults": [None, 1], "timeouts": ["linear", "constant:7"]},
+        )
+        rebuilt = ScenarioMatrix.from_dict(
+            json_mod.loads(json_mod.dumps(matrix.to_dict()))
+        )
+        assert rebuilt.expand() == matrix.expand()
+
+    def test_default_matrix_round_trips(self):
+        matrix = ScenarioMatrix(seeds=range(2))
+        assert ScenarioMatrix.from_dict(matrix.to_dict()).expand() \
+            == matrix.expand()
+
+    def test_unknown_axis_fails_loudly(self):
+        matrix = ScenarioMatrix(seeds=range(1))
+        data = matrix.to_dict()
+        data["axes"]["warp_factor"] = [9]
+        with pytest.raises(ValueError, match="unknown axis"):
+            ScenarioMatrix.from_dict(data)
+
+
 class TestSeedDerivation:
     def test_deterministic_across_expansions(self):
         matrix = ScenarioMatrix(sizes=[(4, 1), (7, 2)], seeds=range(4))

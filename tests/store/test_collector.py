@@ -1,0 +1,262 @@
+"""The incremental shard collector: folding, truncation, checkpoints."""
+
+import threading
+
+import pytest
+
+from repro.orchestration.dispatch import plan_dispatch, run_claims
+from repro.orchestration.matrix import ScenarioMatrix
+from repro.orchestration.parallel import sweep_serial
+from repro.store import (
+    CollectorError,
+    ShardCollector,
+    ShardTruncatedError,
+    merge_shards,
+    read_shard_tolerant,
+    watch_shards,
+    write_shard,
+)
+
+
+@pytest.fixture
+def matrix():
+    return ScenarioMatrix(
+        sizes=[(4, 1), (7, 2)],
+        adversaries=["crash", "two_faced:evil"],
+        seeds=range(2),
+        base_seed=5,
+    )
+
+
+def _write_slices(matrix, shard_dir, count):
+    """Persist the matrix as ``count`` round-robin shard files."""
+    specs = matrix.expand()
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i in range(count):
+        outcomes = sweep_serial(specs[i::count]).outcomes
+        paths.append(
+            write_shard(outcomes, shard_dir / f"slice-{i}.jsonl")
+        )
+    return paths
+
+
+class TestTruncationTolerance:
+    """The bugfix contract: a shard being appended concurrently is
+    in-progress, never a crash."""
+
+    def test_read_shard_tolerant_returns_prefix(self, tmp_path, matrix):
+        [path] = _write_slices(matrix, tmp_path, 1)
+        full, complete = read_shard_tolerant(path)
+        assert complete and len(full) == len(matrix.expand())
+        text = path.read_text()
+        cut = text[: text.rindex('{"adversary') + 20]  # mid-final-record
+        path.write_text(cut)
+        prefix, complete = read_shard_tolerant(path)
+        assert not complete
+        assert prefix == full[:-1]
+
+    def test_merge_shards_partial_tail(self, tmp_path, matrix):
+        [path] = _write_slices(matrix, tmp_path, 1)
+        text = path.read_text()
+        path.write_text(text[:-10])  # clip the final record
+        with pytest.raises(ShardTruncatedError):
+            merge_shards([path])
+        merged = merge_shards([path], partial="tail")
+        assert len(merged.outcomes) == len(matrix.expand()) - 1
+
+    def test_midfile_corruption_still_raises(self, tmp_path, matrix):
+        [path] = _write_slices(matrix, tmp_path, 1)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[0] = "{broken json\n"
+        path.write_text("".join(lines))
+        with pytest.raises(ValueError, match="malformed"):
+            read_shard_tolerant(path)
+
+    def test_collector_revisits_in_progress_shards(self, tmp_path, matrix):
+        [path] = _write_slices(matrix, tmp_path / "shards", 1)
+        text = path.read_text()
+        path.write_text(text[:-10])
+        collector = ShardCollector(tmp_path / "shards")
+        scan = collector.scan()
+        assert scan.folded == [] and scan.in_progress == [path.name]
+        path.write_text(text)  # the writer finished
+        scan = collector.scan()
+        assert scan.folded == [path.name]
+        assert collector.records_folded == len(matrix.expand())
+
+
+class TestCollector:
+    def test_folds_each_shard_exactly_once(self, tmp_path, matrix):
+        _write_slices(matrix, tmp_path / "shards", 3)
+        collector = ShardCollector(tmp_path / "shards")
+        first = collector.scan()
+        assert len(first.folded) == 3
+        again = collector.scan()
+        assert again.folded == [] and again.in_progress == []
+        assert collector.records_folded == len(matrix.expand())
+        assert collector.folder.duplicates == 0
+
+    def test_finalize_matches_unsharded_sweep_bytes(self, tmp_path, matrix):
+        _write_slices(matrix, tmp_path / "shards", 4)
+        collector = ShardCollector(tmp_path / "shards")
+        collector.scan()
+        collector.finalize(tmp_path / "merged.jsonl")
+        ref = sweep_serial(matrix)
+        ref.write_jsonl(tmp_path / "ref.jsonl")
+        assert (tmp_path / "merged.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()
+
+    def test_checkpoint_survives_restart(self, tmp_path, matrix):
+        paths = _write_slices(matrix, tmp_path / "shards", 4)
+        collector = ShardCollector(tmp_path / "shards")
+        # Fold only half, then "crash" (drop the instance).
+        for path in paths[2:]:
+            hidden = path.with_suffix(".hold")
+            path.rename(hidden)
+        collector.scan()
+        assert len(collector.folded_names) == 2
+        del collector
+        for path in paths[2:]:
+            path.with_suffix(".hold").rename(path)
+        resumed = ShardCollector(tmp_path / "shards")
+        assert len(resumed.folded_names) == 2  # restored, not rescanned
+        scan = resumed.scan()
+        assert len(scan.folded) == 2  # only the new ones fold
+        assert resumed.folder.duplicates == 0  # nothing folded twice
+        assert resumed.records_folded == len(matrix.expand())
+
+    def test_checkpoint_detects_changed_shard(self, tmp_path, matrix):
+        [path] = _write_slices(matrix, tmp_path / "shards", 1)
+        ShardCollector(tmp_path / "shards").scan()
+        path.write_text(path.read_text() + "\n")
+        with pytest.raises(CollectorError, match="changed"):
+            ShardCollector(tmp_path / "shards")
+
+    def test_checkpoint_detects_missing_shard(self, tmp_path, matrix):
+        [path] = _write_slices(matrix, tmp_path / "shards", 1)
+        ShardCollector(tmp_path / "shards").scan()
+        path.unlink()
+        with pytest.raises(CollectorError, match="gone"):
+            ShardCollector(tmp_path / "shards")
+
+    def test_output_inside_shard_dir_is_not_a_shard(self, tmp_path, matrix):
+        _write_slices(matrix, tmp_path / "shards", 2)
+        out = tmp_path / "shards" / "merged.jsonl"
+        merged = watch_shards(tmp_path / "shards", out=out)
+        assert len(merged.outcomes) == len(matrix.expand())
+        collector = ShardCollector(
+            tmp_path / "shards", exclude=[out]
+        )
+        scan = collector.scan()
+        assert "merged.jsonl" not in scan.folded
+
+
+class TestWatchShards:
+    def test_single_pass_folds_whats_there(self, tmp_path, matrix):
+        _write_slices(matrix, tmp_path / "shards", 2)
+        merged = watch_shards(tmp_path / "shards")
+        assert len(merged.outcomes) == len(matrix.expand())
+
+    def test_follow_needs_a_completion_condition(self, tmp_path):
+        (tmp_path / "shards").mkdir()
+        with pytest.raises(ValueError, match="completion condition"):
+            watch_shards(tmp_path / "shards", follow=True)
+
+    def test_follow_until_expected_shards(self, tmp_path, matrix):
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+
+        def producer() -> None:
+            _write_slices(matrix, shard_dir, 3)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            merged = watch_shards(
+                shard_dir, follow=True, poll=0.01, timeout=30,
+                expect_shards=3,
+            )
+        finally:
+            thread.join()
+        assert len(merged.outcomes) == len(matrix.expand())
+
+    def test_abandoned_units_fail_loudly_instead_of_waiting(
+        self, tmp_path, matrix
+    ):
+        """A unit whose retry budget is spent (and whose lease is gone)
+        can never complete; --follow must surface that, not poll
+        forever."""
+        from repro.store import write_shard
+
+        plan = plan_dispatch(
+            matrix, tmp_path / "d", units=2, lease_seconds=0.001,
+            max_attempts=1,
+        )
+        doomed = plan.claim("w1")  # never completed; lease expires at once
+        healthy = plan.claim("w1")
+        outcomes = sweep_serial(plan.specs_for(healthy)).outcomes
+        write_shard(outcomes, plan.shard_path(healthy))
+        plan.complete(healthy.name, "w1", records=len(outcomes))
+        with pytest.raises(CollectorError, match=doomed.name):
+            watch_shards(
+                plan.shard_dir, follow=True, poll=0.01, timeout=30,
+                manifest_root=plan.root,
+            )
+
+    def test_follow_timeout_reports_progress(self, tmp_path, matrix):
+        _write_slices(matrix, tmp_path / "shards", 2)
+        with pytest.raises(TimeoutError, match="2 shard"):
+            watch_shards(
+                tmp_path / "shards", follow=True, poll=0.01,
+                timeout=0.05, expect_shards=5,
+            )
+
+
+@pytest.mark.slow
+class TestDispatchCollectEndToEnd:
+    def test_two_workers_and_a_live_collector(self, tmp_path, matrix):
+        """The acceptance scenario: 4 units, two independent claimants,
+        the collector following concurrently; the merged JSONL is
+        byte-identical to the unsharded sweep and the checkpoint
+        survives a collector restart mid-stream."""
+        plan = plan_dispatch(matrix, tmp_path / "d", units=4)
+
+        workers = [
+            threading.Thread(
+                target=run_claims, args=(tmp_path / "d", name)
+            )
+            for name in ("alpha", "beta")
+        ]
+        collected: dict[str, object] = {}
+
+        def collect() -> None:
+            collected["merged"] = watch_shards(
+                plan.shard_dir, out=tmp_path / "merged.jsonl",
+                follow=True, poll=0.01, timeout=60,
+                manifest_root=plan.root,
+            )
+
+        collector_thread = threading.Thread(target=collect)
+        collector_thread.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        collector_thread.join()
+
+        ref = sweep_serial(matrix)
+        ref.write_jsonl(tmp_path / "ref.jsonl")
+        assert (tmp_path / "merged.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()
+
+        # A restarted collector restores the finished fold from its
+        # checkpoint and agrees byte for byte.
+        restarted = ShardCollector(plan.shard_dir)
+        assert len(restarted.folded_names) == 4
+        restarted.finalize(tmp_path / "again.jsonl")
+        assert (tmp_path / "again.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()

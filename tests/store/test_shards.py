@@ -146,3 +146,48 @@ class TestMergeShards:
         merged = merge_shards([shard])
         out = merged.write_jsonl(tmp_path / "merged.jsonl")
         assert read_shard(out) == merged.outcomes
+
+
+class TestShardFolder:
+    """The incremental fold under merge_shards and the collector."""
+
+    def test_incremental_add_matches_one_shot_merge(self, tmp_path, matrix):
+        from repro.store import ShardFolder
+
+        sweep = sweep_serial(matrix)
+        half = len(sweep.outcomes) // 2
+        a = write_shard(sweep.outcomes[:half], tmp_path / "a.jsonl")
+        b = write_shard(sweep.outcomes[half:], tmp_path / "b.jsonl")
+        folder = ShardFolder()
+        folder.add_shard(a)
+        folder.add_shard(b)
+        assert folder.result().outcomes == merge_shards([a, b]).outcomes
+
+    def test_add_reports_novelty_and_duplicates(self, matrix):
+        from repro.store import ShardFolder
+
+        sweep = sweep_serial(matrix)
+        folder = ShardFolder()
+        assert folder.add(sweep.outcomes[0], "x") is True
+        assert folder.add(sweep.outcomes[0], "y") is False
+        assert folder.duplicates == 1 and len(folder) == 1
+
+    def test_conflicting_sources_raise(self, tmp_path, matrix):
+        import dataclasses
+
+        from repro.store import ShardFolder
+
+        sweep = sweep_serial(matrix)
+        folder = ShardFolder()
+        outcome = sweep.outcomes[0]
+        folder.add(outcome, "first.jsonl")
+        twisted = dataclasses.replace(outcome, messages_sent=10_000)
+        with pytest.raises(ShardConflictError, match="first.jsonl"):
+            folder.add(twisted, "second.jsonl")
+
+    def test_matrix_order_restores_expansion_order(self, tmp_path, matrix):
+        from repro.store.shards import matrix_order
+
+        sweep = sweep_serial(matrix)
+        scrambled = list(reversed(sweep.outcomes))
+        assert sorted(scrambled, key=matrix_order) == sweep.outcomes

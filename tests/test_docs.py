@@ -1,0 +1,28 @@
+"""The docs site: relative links resolve, key pages cross-link."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_docs_links import dead_links, iter_doc_files  # noqa: E402
+
+
+def test_docs_exist():
+    names = {p.name for p in iter_doc_files(ROOT)}
+    assert {"README.md", "index.md", "sweeps.md", "store.md",
+            "kernel.md"} <= names
+
+
+def test_no_dead_relative_links():
+    assert dead_links(ROOT) == []
+
+
+def test_broken_link_detected(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "a.md").write_text(
+        "[good](a.md) and [bad](missing.md) and [web](https://x.example)"
+    )
+    assert dead_links(tmp_path) == ["docs/a.md: missing.md"]

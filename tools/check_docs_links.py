@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the Markdown docs.
+
+Scans ``docs/*.md`` and ``README.md`` for inline Markdown links and
+images, resolves every *relative* target against the linking file's
+directory, and exits non-zero listing any target that does not exist.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#...``) are ignored; a relative link's ``#fragment`` is stripped
+before the existence check.
+
+CI runs this as the docs gate; locally::
+
+    python tools/check_docs_links.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) — target captured lazily so
+#: titles ("...") and nested parens in URLs stay out of scope.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that are not filesystem targets.
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    docs = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    return ([readme] if readme.exists() else []) + docs
+
+
+def dead_links(root: Path) -> list[str]:
+    """Every broken relative link as ``file: target`` strings."""
+    problems: list[str] = []
+    for doc in iter_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(root)}: {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    files = iter_doc_files(root)
+    problems = dead_links(root)
+    if problems:
+        print(f"dead links in {len(files)} scanned file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs links OK ({len(files)} file(s) scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
