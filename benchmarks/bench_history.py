@@ -15,10 +15,20 @@ Appending is idempotent per label: re-running with the same ``label``
 replaces that label's entry instead of duplicating it, so CI can
 regenerate freely.
 
+The script is also the **trend gate**: after recording the new point
+it compares its sweep serial scenarios/sec against the previous
+history point measured under the same ``quick`` mode and exits 2 when
+throughput dropped by more than ``--max-sweep-drop`` (default 15%).
+The PR4→PR5 sweep regression shipped precisely because recording was
+not gating; see ``docs/profiling.md`` for the post-mortem.
+``--no-gate`` restores record-only behaviour for deliberately slower
+points.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_history.py
         [--kernel PATH] [--sweep PATH] [--history PATH] [--label TEXT]
+        [--max-sweep-drop FRACTION] [--no-gate]
 """
 
 from __future__ import annotations
@@ -82,6 +92,46 @@ def append_entry(history: list[dict], entry: dict) -> list[dict]:
     return out
 
 
+def check_sweep_trend(
+    history: list[dict], entry: dict, max_drop: float
+) -> str | None:
+    """The gate: compare ``entry`` against the previous comparable point.
+
+    Comparable means the most recent *other* label recorded under the
+    same ``quick`` mode — CI's quick numbers are never judged against
+    full local runs.  Returns a failure message when the new point's
+    sweep serial scenarios/sec dropped by more than ``max_drop``
+    (a fraction), else ``None``.  Missing numbers on either side skip
+    the gate: the first point of a mode has nothing to regress from.
+    """
+    current = entry.get("sweep_serial_sps")
+    if not current:
+        return None
+    previous = next(
+        (
+            e
+            for e in reversed(history)
+            if e.get("label") != entry["label"]
+            and e.get("quick") == entry.get("quick")
+            and e.get("sweep_serial_sps")
+        ),
+        None,
+    )
+    if previous is None:
+        return None
+    baseline = previous["sweep_serial_sps"]
+    drop = (baseline - current) / baseline
+    if drop <= max_drop:
+        return None
+    return (
+        f"sweep throughput regression: serial {current:.2f} scenarios/s "
+        f"is {drop:.1%} below '{previous['label']}' ({baseline:.2f}); "
+        f"gate allows {max_drop:.0%}. Run `python -m repro profile` to "
+        f"localise it (docs/profiling.md), or pass --no-gate for a "
+        f"deliberate slowdown."
+    )
+
+
 def render_table(history: list[dict]) -> str:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.orchestration.sweeps import format_table
@@ -122,6 +172,13 @@ def main(argv=None) -> int:
                              "JSON's own label)")
     parser.add_argument("--table-out", type=pathlib.Path,
                         default=RESULTS_DIR / "history.txt")
+    parser.add_argument("--max-sweep-drop", type=float, default=0.15,
+                        help="fail when sweep serial scenarios/s drops "
+                             "by more than this fraction vs the "
+                             "previous same-mode point (default 0.15)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record the point without enforcing the "
+                             "sweep-throughput trend gate")
     args = parser.parse_args(argv)
 
     try:
@@ -132,7 +189,8 @@ def main(argv=None) -> int:
         return 1
 
     entry = summarize(kernel, sweep, args.label)
-    history = append_entry(load_history(args.history), entry)
+    prior = load_history(args.history)
+    history = append_entry(prior, entry)
     args.history.parent.mkdir(parents=True, exist_ok=True)
     args.history.write_text(
         "".join(json.dumps(e, sort_keys=True) + "\n" for e in history),
@@ -143,6 +201,13 @@ def main(argv=None) -> int:
     args.table_out.write_text(text, encoding="utf-8")
     print(text)
     print(f"history      : {args.history} ({len(history)} entr(ies))")
+
+    if not args.no_gate:
+        failure = check_sweep_trend(prior, entry, args.max_sweep_drop)
+        if failure is not None:
+            print(f"TREND GATE FAILED: {failure}", file=sys.stderr)
+            return 2
+        print(f"trend gate   : OK (max sweep drop {args.max_sweep_drop:.0%})")
     return 0
 
 

@@ -34,6 +34,14 @@ Commands:
   manifest (or an explicit ``--expect-shards``/``--expect-records``
   target) says the sweep is complete, and ``--out`` writes a merged
   JSONL byte-identical to the same sweep run unsharded;
+* ``profile`` — run a sweep under the virtual-time profiler
+  (:mod:`repro.profiling`) and print where the wall time went: one table
+  of per-scenario harness phases (expand, cache keying, build_config,
+  simulate, report construction, cache puts, JSONL encode) and one
+  breaking ``simulate`` down per simulator event label (protocol tag for
+  deliveries, callback for timers/tasks), plus a machine-readable
+  ``BENCH_profile.json``.  ``sweep --profile`` attaches the same
+  profiler to an ordinary sweep;
 * ``store verify`` — integrity scrub: re-execute a deterministic sample
   of cached scenarios on the current kernel and compare digests against
   the stored records (non-zero exit on drift);
@@ -129,6 +137,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--resume", action="store_true",
                          help="print the store diff (cached vs missing) "
                               "before running; requires --cache")
+    sweep_p.add_argument("--profile", action="store_true",
+                         help="time the sweep's harness phases and the "
+                              "simulator's per-event labels; print the "
+                              "breakdown after the sweep (docs/profiling.md)")
+    sweep_p.add_argument("--profile-json", default=None, metavar="PATH",
+                         help="also write the machine-readable profile "
+                              "here (implies --profile)")
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="profile a sweep: per-phase / per-tag wall-time breakdown",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="runs the matrix like `repro sweep`, with the virtual-time\n"
+               "profiler armed, prints the breakdown tables and writes a\n"
+               "machine-readable profile JSON.  how to read one:\n"
+               "docs/profiling.md",
+    )
+    _add_matrix_args(profile_p)
+    profile_p.add_argument("--backend", default="serial",
+                           choices=["serial", "async", "parallel"],
+                           help="execution backend (serial gives the full "
+                                "per-event sim breakdown; parallel only "
+                                "times the parent-side phases plus worker "
+                                "chunk wall time)")
+    profile_p.add_argument("--workers", type=int, default=None,
+                           help="pool size for --backend parallel")
+    profile_p.add_argument("--cache", default=None, metavar="DIR",
+                           help="run through a result store (profiles the "
+                                "cache_key/cache_put phases too)")
+    profile_p.add_argument("--jsonl", default=None, metavar="PATH",
+                           help="persist the sweep JSONL (profiles the "
+                                "jsonl_encode phase)")
+    profile_p.add_argument("--out", default="BENCH_profile.json",
+                           metavar="PATH",
+                           help="machine-readable profile output "
+                                "(default: %(default)s)")
 
     merge_p = sub.add_parser(
         "merge", help="merge JSONL sweep shards into one report"
@@ -511,16 +555,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from .store import count_cached, describe_counts
 
         print(f"resume       : {describe_counts(*count_cached(work, cache))}")
+    profiler = None
+    if args.profile or args.profile_json:
+        from .profiling import SweepProfiler
+
+        profiler = SweepProfiler()
     backend = args.backend
     if backend == "auto":
         backend = "parallel" if args.workers > 1 else "serial"
     if backend == "serial":
-        sweep = sweep_serial(work, on_result=progress, cache=cache)
+        sweep = sweep_serial(
+            work, on_result=progress, cache=cache, profiler=profiler
+        )
     elif backend == "async":
-        sweep = sweep_async(work, on_result=progress, cache=cache)
+        sweep = sweep_async(
+            work, on_result=progress, cache=cache, profiler=profiler
+        )
     else:
         sweep = sweep_parallel(
-            work, workers=args.workers, on_result=progress, cache=cache
+            work, workers=args.workers, on_result=progress, cache=cache,
+            profiler=profiler,
         )
     report = sweep.report
     rounds, latency, messages = report.rounds, report.latency, report.messages
@@ -549,9 +603,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"cache        : {sweep.cache_hits} hit(s), "
               f"{sweep.executed} executed -> {args.cache}")
     if args.jsonl:
-        path = sweep.write_jsonl(args.jsonl)
+        path = sweep.write_jsonl(args.jsonl, profiler=profiler)
         print(f"jsonl        : {path}")
+    if profiler is not None:
+        print()
+        print(profiler.render())
+        print(f"\ncoverage     : phases explain "
+              f"{100.0 * profiler.coverage():.1f}% of measured wall time")
+        if args.profile_json:
+            _write_profile_json(profiler, args.profile_json)
+            print(f"profile json : {args.profile_json}")
     return 0 if report.decided_runs == report.runs and report.all_safe else 1
+
+
+def _write_profile_json(profiler: Any, path: str) -> None:
+    """Persist one profiler snapshot (atomically, like every artifact)."""
+    from .store.atomic import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps(profiler.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profiling import SweepProfiler
+
+    try:
+        matrix = _build_matrix(args)
+        total = len(matrix)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if total == 0:
+        raise SystemExit("the scenario matrix is empty")
+    cache = None
+    if args.cache:
+        from .store import ResultCache
+
+        cache = ResultCache(args.cache)
+    profiler = SweepProfiler()
+    if args.backend == "serial":
+        sweep = sweep_serial(matrix, cache=cache, profiler=profiler)
+    elif args.backend == "async":
+        sweep = sweep_async(matrix, cache=cache, profiler=profiler)
+    else:
+        sweep = sweep_parallel(
+            matrix, workers=args.workers, cache=cache, profiler=profiler
+        )
+    if args.jsonl:
+        sweep.write_jsonl(args.jsonl, profiler=profiler)
+    print(f"scenarios    : {len(sweep.outcomes)} in {sweep.elapsed:.2f}s "
+          f"({sweep.scenarios_per_second:.1f}/s, {sweep.workers} worker(s), "
+          f"{sweep.cache_hits} cache hit(s))")
+    print()
+    print(profiler.render())
+    print(f"\ncoverage     : phases explain "
+          f"{100.0 * profiler.coverage():.1f}% of measured wall time")
+    _write_profile_json(profiler, args.out)
+    print(f"profile json : {args.out}")
+    return 0
 
 
 def _print_group_breakdown(outcomes: Any, group_by: str | None) -> None:
@@ -803,6 +912,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "profile": _cmd_profile,
         "merge": _cmd_merge,
         "dispatch": _cmd_dispatch,
         "collect": _cmd_collect,

@@ -35,6 +35,7 @@ from ..instrumentation import InstrumentationBus
 if TYPE_CHECKING:  # pragma: no cover
     from ..adversary.strategies import AdversarySpec
     from ..net.topology import Topology
+    from ..profiling import SweepProfiler
 
 __all__ = ["KernelContext", "default_context"]
 
@@ -51,6 +52,12 @@ class KernelContext:
         self.bus = InstrumentationBus()
         #: Scenarios executed through this context (introspection).
         self.runs = 0
+        #: Active :class:`~repro.profiling.SweepProfiler`, or ``None``.
+        #: Set by the sweep backends for the duration of one profiled
+        #: sweep; :meth:`fresh_bus` re-arms its ``sim.step`` sink after
+        #: each per-run ``bus.clear()``.  The unprofiled fast path pays
+        #: one ``is None`` test per run.
+        self.profiler: "SweepProfiler | None" = None
 
     def topology(self, kind: str, n: int) -> "Topology | None":
         """The (cached) topology instance for ``kind`` at size ``n``.
@@ -79,6 +86,8 @@ class KernelContext:
         """The shared bus, re-armed (every sink detached) for a new run."""
         self.bus.clear()
         self.runs += 1
+        if self.profiler is not None:
+            self.profiler.arm(self.bus)
         return self.bus
 
     def clear(self) -> None:

@@ -38,11 +38,13 @@ their historical seeds, serialized records and cache digests exactly
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from itertools import product
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 from ..adversary import strategies
 from ..adversary.strategies import AdversarySpec
+from ..profiling import PHASE_BUILD_CONFIG, PHASE_REPORT, PHASE_SIMULATE
 from ..sim.random import derive_seed
 from . import axes as axes_mod
 from .axes import (
@@ -117,7 +119,7 @@ class ScenarioSpec:
             self.placement, self.proposals, self.extras,
         )
 
-    @property
+    @cached_property
     def cell_id(self) -> str:
         """Human-readable cell label, stable across runs.
 
@@ -125,6 +127,11 @@ class ScenarioSpec:
         (placement, proposal profile, custom extras) contribute a
         fragment only at non-default values, so pre-registry cells keep
         their pre-registry ids.
+
+        Cached per instance (``cached_property`` writes straight into
+        ``__dict__``, bypassing the frozen ``__setattr__``): the label
+        is pure spec data, and :meth:`to_dict` embeds it in every cache
+        key, JSONL record and report row.
         """
         faults = self.t if self.faults is None else self.faults
         parts = [
@@ -606,19 +613,39 @@ def run_scenario(
 
     if context is None:
         context = default_context()
+    profiler = context.profiler
+    if profiler is None:
+        try:
+            result = run_consensus(
+                build_config(spec, context),
+                check_invariants=check_invariants,
+                context=context,
+            )
+        except Exception as exc:
+            if check_invariants:
+                raise
+            return _error_outcome(spec, exc)
+        return summarize_run(spec, result)
     try:
-        result = run_consensus(
-            build_config(spec, context),
-            check_invariants=check_invariants,
-            context=context,
-        )
+        with profiler.phase(PHASE_BUILD_CONFIG):
+            config = build_config(spec, context)
+        with profiler.phase(PHASE_SIMULATE):
+            result = run_consensus(
+                config, check_invariants=check_invariants, context=context
+            )
     except Exception as exc:
         if check_invariants:
             raise
-        return ScenarioOutcome(
-            spec=spec, decided=False, decisions={}, decided_value=None,
-            rounds={}, max_round=0, messages_sent=0, events_processed=0,
-            finished_at=0.0, timed_out=False, invariants_ok=False,
-            violations=(), error=f"{type(exc).__name__}: {exc}",
-        )
-    return summarize_run(spec, result)
+        return _error_outcome(spec, exc)
+    with profiler.phase(PHASE_REPORT):
+        return summarize_run(spec, result)
+
+
+def _error_outcome(spec: ScenarioSpec, exc: Exception) -> ScenarioOutcome:
+    """The sweep-tolerant outcome for a scenario that failed to run."""
+    return ScenarioOutcome(
+        spec=spec, decided=False, decisions={}, decided_value=None,
+        rounds={}, max_round=0, messages_sent=0, events_processed=0,
+        finished_at=0.0, timed_out=False, invariants_ok=False,
+        violations=(), error=f"{type(exc).__name__}: {exc}",
+    )

@@ -58,9 +58,18 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..analysis.aggregation import MatrixReport, aggregate_outcomes
+from ..profiling import (
+    PHASE_CACHE_KEY,
+    PHASE_CACHE_PUT,
+    PHASE_EXPAND,
+    PHASE_JSONL,
+    PHASE_REPORT,
+    PHASE_SIMULATE,
+)
 from .matrix import ScenarioMatrix, ScenarioOutcome, ScenarioSpec, run_scenario
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..profiling import SweepProfiler
     from ..store.cache import ResultCache
 
 __all__ = [
@@ -87,6 +96,58 @@ _PROBE_CHUNK = 4
 #: Upper bound on an adaptive chunk (keeps one IPC payload bounded even
 #: for microsecond-scale cells).
 _MAX_CHUNK = 256
+
+
+class _NullPhase:
+    """No-op timing scope for the unprofiled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+def _phase(profiler: "SweepProfiler | None", name: str) -> Any:
+    """``profiler.phase(name)``, or a shared no-op scope when unprofiled."""
+    return _NULL_PHASE if profiler is None else profiler.phase(name)
+
+
+class _ProfiledSweep:
+    """Scope that activates a profiler on the process-local kernel context.
+
+    While active, :func:`~repro.orchestration.matrix.run_scenario` times
+    its build/simulate/report stages and
+    :meth:`~repro.orchestration.kernel.KernelContext.fresh_bus` arms the
+    ``sim.step`` sink per run.  A ``None`` profiler makes the scope a
+    no-op, so every backend can wrap its body unconditionally.
+    """
+
+    __slots__ = ("_profiler", "_context")
+
+    def __init__(self, profiler: "SweepProfiler | None") -> None:
+        self._profiler = profiler
+        self._context = None
+
+    def __enter__(self) -> "SweepProfiler | None":
+        if self._profiler is not None:
+            from .kernel import default_context
+
+            self._context = default_context()
+            self._profiler.start()
+            self._context.profiler = self._profiler
+        return self._profiler
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._profiler is not None:
+            self._context.profiler = None
+            self._context = None
+            self._profiler.stop()
 
 
 @dataclass
@@ -123,18 +184,25 @@ class SweepResult:
         workers: int = 1,
         elapsed: float = 0.0,
         cache_hits: int = 0,
+        profiler: "SweepProfiler | None" = None,
     ) -> "SweepResult":
         """Aggregate a finished outcome list into a result."""
-        ordered = sorted(outcomes, key=lambda o: o.spec.index)
+        with _phase(profiler, PHASE_REPORT):
+            ordered = sorted(outcomes, key=lambda o: o.spec.index)
+            report = aggregate_outcomes(ordered)
         return cls(
             outcomes=list(ordered),
-            report=aggregate_outcomes(ordered),
+            report=report,
             workers=workers,
             elapsed=elapsed,
             cache_hits=cache_hits,
         )
 
-    def write_jsonl(self, path: str | os.PathLike[str]) -> Path:
+    def write_jsonl(
+        self,
+        path: str | os.PathLike[str],
+        profiler: "SweepProfiler | None" = None,
+    ) -> Path:
         """Persist one JSON record per scenario; returns the path.
 
         Parent directories are created, and the write is atomic (temp
@@ -143,14 +211,22 @@ class SweepResult:
         """
         from ..store.shards import write_shard
 
-        return write_shard(self.outcomes, path)
+        if profiler is None:
+            return write_shard(self.outcomes, path)
+        # measuring() keeps the wall window open: this usually runs
+        # *after* the sweep's own window closed, and the encode time must
+        # land inside, not on top of, the measured total.
+        with profiler.measuring(), profiler.phase(PHASE_JSONL):
+            return write_shard(self.outcomes, path)
 
 
 def _as_specs(
     scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    profiler: "SweepProfiler | None" = None,
 ) -> list[ScenarioSpec]:
     if isinstance(scenarios, ScenarioMatrix):
-        return scenarios.expand()
+        with _phase(profiler, PHASE_EXPAND):
+            return scenarios.expand()
     # Strictly increasing indices (a matrix expansion, or a shard_slice
     # of one) are kept: result ordering (which sorts on spec.index)
     # already reproduces the input order, and preserving the original
@@ -239,6 +315,7 @@ def _split_cached(
     specs: list[ScenarioSpec],
     cache: "ResultCache | None",
     check_invariants: bool,
+    profiler: "SweepProfiler | None" = None,
 ) -> tuple[list[ScenarioOutcome], list[ScenarioSpec]]:
     """Partition specs into (cached outcomes, specs still to run).
 
@@ -251,11 +328,16 @@ def _split_cached(
         return [], specs
     from ..store.resume import plan_resume
 
-    plan = plan_resume(specs, cache)
+    with _phase(profiler, PHASE_CACHE_KEY):
+        plan = plan_resume(specs, cache)
     return plan.cached, plan.missing
 
 
-def _store(cache: "ResultCache | None", outcome: ScenarioOutcome) -> None:
+def _store(
+    cache: "ResultCache | None",
+    outcome: ScenarioOutcome,
+    profiler: "SweepProfiler | None" = None,
+) -> None:
     """Write one fresh outcome back to the store.
 
     Error outcomes are *not* cached: the error may be environmental
@@ -264,7 +346,8 @@ def _store(cache: "ResultCache | None", outcome: ScenarioOutcome) -> None:
     deterministic in the spec's budgets, which are part of the key.
     """
     if cache is not None and outcome.error is None:
-        cache.put(outcome)
+        with _phase(profiler, PHASE_CACHE_PUT):
+            cache.put(outcome)
 
 
 def _emit(outcomes: Iterable[ScenarioOutcome], on_result: OnResult | None) -> None:
@@ -281,13 +364,14 @@ def _finish_serial(
     cache: "ResultCache | None",
     workers: int,
     started: float,
+    profiler: "SweepProfiler | None" = None,
 ) -> SweepResult:
     """Shared tail for the serial paths: run ``missing``, merge, aggregate."""
     outcomes = list(cached)
     _emit(cached, on_result)
     for spec in missing:
         outcome = run_scenario(spec, check_invariants=check_invariants)
-        _store(cache, outcome)
+        _store(cache, outcome, profiler)
         outcomes.append(outcome)
         _emit((outcome,), on_result)
     return SweepResult.from_outcomes(
@@ -295,6 +379,7 @@ def _finish_serial(
         workers=workers,
         elapsed=_timer() - started,
         cache_hits=len(cached),
+        profiler=profiler,
     )
 
 
@@ -303,21 +388,28 @@ def sweep_serial(
     on_result: OnResult | None = None,
     check_invariants: bool = False,
     cache: "ResultCache | None" = None,
+    profiler: "SweepProfiler | None" = None,
 ) -> SweepResult:
     """Run every scenario in this process, in matrix order.
 
     With a ``cache``, scenarios already in the store are served from it
     (``on_result`` still sees them, first, in matrix order) and fresh
     outcomes are written back.
+
+    ``profiler`` (a :class:`~repro.profiling.SweepProfiler`) is active
+    for the duration of this sweep: harness phases are timed here, and
+    the per-run ``sim.step`` sink attributes simulator wall time per
+    event label.
     """
     started = _timer()
-    cached, missing = _split_cached(
-        _as_specs(scenarios), cache, check_invariants
-    )
-    return _finish_serial(
-        cached, missing, on_result, check_invariants, cache,
-        workers=1, started=started,
-    )
+    with _ProfiledSweep(profiler):
+        cached, missing = _split_cached(
+            _as_specs(scenarios, profiler), cache, check_invariants, profiler
+        )
+        return _finish_serial(
+            cached, missing, on_result, check_invariants, cache,
+            workers=1, started=started, profiler=profiler,
+        )
 
 
 def sweep_async(
@@ -326,6 +418,7 @@ def sweep_async(
     on_result: OnResult | None = None,
     check_invariants: bool = False,
     cache: "ResultCache | None" = None,
+    profiler: "SweepProfiler | None" = None,
 ) -> SweepResult:
     """Run a scenario matrix on a cooperative in-process asyncio backend.
 
@@ -345,34 +438,38 @@ def sweep_async(
     from collections import deque
 
     started = _timer()
-    cached, missing = _split_cached(
-        _as_specs(scenarios), cache, check_invariants
-    )
-    if concurrency is None:
-        concurrency = min(8, max(1, len(missing)))
-    outcomes: list[ScenarioOutcome] = list(cached)
-    _emit(cached, on_result)
-    queue: deque[ScenarioSpec] = deque(missing)
+    with _ProfiledSweep(profiler):
+        cached, missing = _split_cached(
+            _as_specs(scenarios, profiler), cache, check_invariants, profiler
+        )
+        if concurrency is None:
+            concurrency = min(8, max(1, len(missing)))
+        outcomes: list[ScenarioOutcome] = list(cached)
+        _emit(cached, on_result)
+        queue: deque[ScenarioSpec] = deque(missing)
 
-    async def worker() -> None:
-        while queue:
-            spec = queue.popleft()
-            outcome = run_scenario(spec, check_invariants=check_invariants)
-            _store(cache, outcome)
-            outcomes.append(outcome)
-            _emit((outcome,), on_result)
-            await asyncio.sleep(0)
+        async def worker() -> None:
+            while queue:
+                spec = queue.popleft()
+                outcome = run_scenario(spec, check_invariants=check_invariants)
+                _store(cache, outcome, profiler)
+                outcomes.append(outcome)
+                _emit((outcome,), on_result)
+                await asyncio.sleep(0)
 
-    async def drive() -> None:
-        await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+        async def drive() -> None:
+            await asyncio.gather(
+                *(worker() for _ in range(max(1, concurrency)))
+            )
 
-    asyncio.run(drive())
-    return SweepResult.from_outcomes(
-        outcomes,
-        workers=1,
-        elapsed=_timer() - started,
-        cache_hits=len(cached),
-    )
+        asyncio.run(drive())
+        return SweepResult.from_outcomes(
+            outcomes,
+            workers=1,
+            elapsed=_timer() - started,
+            cache_hits=len(cached),
+            profiler=profiler,
+        )
 
 
 def sweep_parallel(
@@ -382,6 +479,7 @@ def sweep_parallel(
     on_result: OnResult | None = None,
     check_invariants: bool = False,
     cache: "ResultCache | None" = None,
+    profiler: "SweepProfiler | None" = None,
 ) -> SweepResult:
     """Run a scenario matrix on a process pool.
 
@@ -405,56 +503,80 @@ def sweep_parallel(
             re-executed, fresh outcomes are written back (in the parent,
             so workers never touch the store).  ``check_invariants``
             sweeps bypass cache *reads* so violations always raise.
+        profiler: Optional :class:`~repro.profiling.SweepProfiler`.
+            Parent-side phases (expand, cache keying, cache puts,
+            aggregation) are timed directly; each worker chunk's
+            reported wall time is credited to the ``simulate`` phase.
+            Workers run in separate processes, so the per-event
+            ``sim.step`` breakdown only populates when the sweep
+            degrades to the in-process serial path — and summed worker
+            time can exceed measured wall time (that is parallelism, not
+            an accounting bug).
     """
-    specs = _as_specs(scenarios)
     if workers is None:
         workers = default_workers()
     started = _timer()
-    cached, missing = _split_cached(specs, cache, check_invariants)
-    if workers <= 1 or len(missing) <= 1:
-        return _finish_serial(
-            cached, missing, on_result, check_invariants, cache,
-            workers=max(1, workers), started=started,
+    with _ProfiledSweep(profiler):
+        specs = _as_specs(scenarios, profiler)
+        cached, missing = _split_cached(
+            specs, cache, check_invariants, profiler
         )
-    adaptive = chunksize is None
-    # Seconds-per-scenario EMA; None until the first chunk reports back.
-    cost_ema: float | None = None
+        if workers <= 1 or len(missing) <= 1:
+            return _finish_serial(
+                cached, missing, on_result, check_invariants, cache,
+                workers=max(1, workers), started=started, profiler=profiler,
+            )
+        adaptive = chunksize is None
+        # Seconds-per-scenario EMA; None until the first chunk reports back.
+        cost_ema: float | None = None
 
-    def _next_size() -> int:
-        if not adaptive:
-            return max(1, int(chunksize))
-        if cost_ema is None or cost_ema <= 0:
-            return _PROBE_CHUNK
-        return max(1, min(_MAX_CHUNK, int(TARGET_CHUNK_SECONDS / cost_ema)))
+        def _next_size() -> int:
+            if not adaptive:
+                return max(1, int(chunksize))
+            if cost_ema is None or cost_ema <= 0:
+                return _PROBE_CHUNK
+            return max(
+                1, min(_MAX_CHUNK, int(TARGET_CHUNK_SECONDS / cost_ema))
+            )
 
-    outcomes: list[ScenarioOutcome] = list(cached)
-    _emit(cached, on_result)
-    position = 0
-    with ProcessPoolExecutor(max_workers=min(workers, len(missing))) as pool:
-        pending: set[Any] = set()
-        while pending or position < len(missing):
-            # Keep up to two chunks in flight per worker so a finishing
-            # worker never idles while the parent drains results.
-            while position < len(missing) and len(pending) < workers * 2:
-                chunk = missing[position : position + _next_size()]
-                position += len(chunk)
-                pending.add(pool.submit(_run_chunk, chunk, check_invariants))
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                chunk_outcomes, spent = future.result()
-                if adaptive and chunk_outcomes and spent > 0:
-                    per_spec = spent / len(chunk_outcomes)
-                    cost_ema = (
-                        per_spec if cost_ema is None
-                        else 0.5 * cost_ema + 0.5 * per_spec
+        outcomes: list[ScenarioOutcome] = list(cached)
+        _emit(cached, on_result)
+        position = 0
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(missing))
+        ) as pool:
+            pending: set[Any] = set()
+            while pending or position < len(missing):
+                # Keep up to two chunks in flight per worker so a
+                # finishing worker never idles while the parent drains
+                # results.
+                while position < len(missing) and len(pending) < workers * 2:
+                    chunk = missing[position : position + _next_size()]
+                    position += len(chunk)
+                    pending.add(
+                        pool.submit(_run_chunk, chunk, check_invariants)
                     )
-                for outcome in chunk_outcomes:
-                    _store(cache, outcome)
-                outcomes.extend(chunk_outcomes)
-                _emit(chunk_outcomes, on_result)
-    return SweepResult.from_outcomes(
-        outcomes,
-        workers=workers,
-        elapsed=_timer() - started,
-        cache_hits=len(cached),
-    )
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk_outcomes, spent = future.result()
+                    if adaptive and chunk_outcomes and spent > 0:
+                        per_spec = spent / len(chunk_outcomes)
+                        cost_ema = (
+                            per_spec if cost_ema is None
+                            else 0.5 * cost_ema + 0.5 * per_spec
+                        )
+                    if profiler is not None:
+                        profiler.add(
+                            PHASE_SIMULATE, spent, len(chunk_outcomes)
+                        )
+                    for outcome in chunk_outcomes:
+                        _store(cache, outcome, profiler)
+                    outcomes.extend(chunk_outcomes)
+                    _emit(chunk_outcomes, on_result)
+        return SweepResult.from_outcomes(
+            outcomes,
+            workers=workers,
+            elapsed=_timer() - started,
+            cache_hits=len(cached),
+            profiler=profiler,
+        )

@@ -14,8 +14,9 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
+from typing import Iterable
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_lines", "atomic_write_text"]
 
 
 def atomic_write_text(
@@ -29,6 +30,25 @@ def atomic_write_text(
     cannot lose the payload; the temp file is unlinked on any failure so
     interrupted writes leave no litter behind.
     """
+    return atomic_write_lines(path, (text,), encoding=encoding)
+
+
+def atomic_write_lines(
+    path: str | os.PathLike[str],
+    lines: Iterable[str],
+    encoding: str = "utf-8",
+) -> Path:
+    """Stream ``lines`` to ``path`` atomically; returns the target path.
+
+    Same contract as :func:`atomic_write_text` — temp file in the target
+    directory, fsync, ``os.replace``, directory fsync, no litter on
+    failure — but the payload is an iterable of string chunks drained
+    through the (buffered) file object via ``writelines``.  Large JSONL
+    shards therefore stream encode-and-write without ever concatenating
+    the whole file in memory, and a crash mid-iteration still leaves the
+    previous complete file in place.  ``lines`` are written verbatim:
+    callers supply their own newlines.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
@@ -37,7 +57,7 @@ def atomic_write_text(
     tmp = Path(tmp_name)
     try:
         with os.fdopen(fd, "w", encoding=encoding) as fh:
-            fh.write(text)
+            fh.writelines(lines)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, target)

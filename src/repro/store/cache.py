@@ -47,11 +47,50 @@ from ..orchestration.matrix import (
 )
 from .atomic import atomic_write_text
 
-__all__ = ["CacheStats", "ResultCache", "code_version", "scenario_key"]
+__all__ = [
+    "DIGEST_STATS",
+    "CacheStats",
+    "DigestStats",
+    "ResultCache",
+    "code_version",
+    "scenario_key",
+]
 
 #: Bump when the on-disk entry layout changes (entries with another
 #: format are treated as misses).
 FORMAT_VERSION = 1
+
+
+@dataclass
+class DigestStats:
+    """Process-wide :func:`scenario_key` counters (regression guard).
+
+    A resumed sweep digests each spec on the resume *plan* (cache get)
+    and again on the write-back (cache put); before memoization that
+    meant re-running ``spec.to_dict()`` + canonical JSON + SHA-256 both
+    times — measurable harness overhead at sweep scale.  The counters
+    let tests assert the memo works: after any sweep,
+    ``computed`` grows by at most one per (spec, salt) while ``memoized``
+    absorbs the rest.
+    """
+
+    #: Full to_dict + json + sha256 pipelines actually executed.
+    computed: int = 0
+    #: Lookups served from a spec's memo table.
+    memoized: int = 0
+
+    def reset(self) -> None:
+        self.computed = 0
+        self.memoized = 0
+
+
+#: Module-level counter instance (tests read and reset it).
+DIGEST_STATS = DigestStats()
+
+#: Name of the per-spec memo attribute.  Written with
+#: ``object.__setattr__`` (ScenarioSpec is frozen but not slotted) and
+#: invisible to the dataclass's ``__eq__``/``__hash__``/``fields``.
+_MEMO_ATTR = "_scenario_keys"
 
 
 def code_version() -> str:
@@ -70,13 +109,37 @@ def scenario_key(spec: ScenarioSpec, salt: str = "") -> str:
     derived ``cell_id``, canonicalised (sorted keys, no whitespace) and
     hashed with SHA-256; ``salt`` folds in any extra invalidation
     context (the cache uses the code version).
+
+    Memoized per spec *instance* and salt: specs are immutable, so the
+    digest is computed once and parked on the spec (a plain attribute —
+    it never affects equality, hashing or serialization, and it rides
+    along through pickling so pool workers inherit it for free).  The
+    resume path digests every spec twice (plan + write-back); the memo
+    makes the second one a dict lookup.  :data:`DIGEST_STATS` counts
+    both outcomes.
     """
+    salt = str(salt)
+    memo: dict[str, str] | None = getattr(spec, _MEMO_ATTR, None)
+    if memo is not None:
+        key = memo.get(salt)
+        if key is not None:
+            DIGEST_STATS.memoized += 1
+            return key
     data = spec.to_dict()
     data.pop("index", None)
     data.pop("cell_id", None)
-    data["salt"] = str(salt)
+    data["salt"] = salt
     material = json.dumps(data, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+    key = hashlib.sha256(material.encode("utf-8")).hexdigest()
+    DIGEST_STATS.computed += 1
+    if memo is None:
+        try:
+            object.__setattr__(spec, _MEMO_ATTR, {salt: key})
+        except AttributeError:  # pragma: no cover - slotted spec subclass
+            pass
+    else:
+        memo[salt] = key
+    return key
 
 
 @dataclass

@@ -49,7 +49,7 @@ from typing import Any, Iterable, Iterator
 
 from ..analysis.aggregation import MatrixReport, aggregate_outcomes
 from ..orchestration.matrix import ScenarioOutcome, outcome_from_record
-from .atomic import atomic_write_text
+from .atomic import atomic_write_lines
 from .cache import scenario_key
 
 __all__ = [
@@ -211,12 +211,22 @@ def read_shard_tolerant(
 def write_shard(
     outcomes: Iterable[ScenarioOutcome], path: str | os.PathLike[str]
 ) -> Path:
-    """Write outcomes as one JSONL shard (atomically); returns the path."""
-    text = "".join(
-        json.dumps(outcome.to_record(), sort_keys=True) + "\n"
-        for outcome in outcomes
+    """Write outcomes as one JSONL shard (atomically); returns the path.
+
+    Records are encoded lazily and streamed through the buffered
+    temp-file writer (:func:`repro.store.atomic.atomic_write_lines`):
+    one buffered ``writelines`` drain instead of concatenating the whole
+    shard into a single string first, with the atomic temp+rename
+    contract — and therefore :class:`ShardTruncatedError`-free reads —
+    unchanged.
+    """
+    return atomic_write_lines(
+        path,
+        (
+            json.dumps(outcome.to_record(), sort_keys=True) + "\n"
+            for outcome in outcomes
+        ),
     )
-    return atomic_write_text(path, text)
 
 
 def canonical_order(outcome: ScenarioOutcome) -> tuple[Any, ...]:

@@ -1,0 +1,88 @@
+"""Streamed atomic writes: same bytes, same crash-safety, no litter.
+
+:func:`repro.store.atomic.atomic_write_lines` is the buffered-writer
+path under :func:`repro.store.shards.write_shard`; it must produce
+byte-identical files to the single-string writer, keep the temp-file +
+``os.replace`` contract (a failing payload generator leaves the old
+file untouched and no temp behind), and leave shard-truncation
+tolerance exactly as it was.
+"""
+
+import pytest
+
+from repro.store.atomic import atomic_write_lines, atomic_write_text
+from repro.store.shards import (
+    read_shard,
+    read_shard_tolerant,
+    write_shard,
+)
+from tests.store.test_compat import LEGACY_RECORD
+from repro.orchestration.matrix import outcome_from_record
+
+
+class TestAtomicWriteLines:
+    def test_bytes_identical_to_single_string_write(self, tmp_path):
+        lines = ['{"a": 1}\n', '{"b": 2}\n', '{"c": 3}\n']
+        via_lines = atomic_write_lines(tmp_path / "lines.jsonl", lines)
+        via_text = atomic_write_text(tmp_path / "text.jsonl", "".join(lines))
+        assert via_lines.read_bytes() == via_text.read_bytes()
+
+    def test_generator_payload_is_streamed(self, tmp_path):
+        target = atomic_write_lines(
+            tmp_path / "gen.jsonl", (f"{i}\n" for i in range(5))
+        )
+        assert target.read_text() == "0\n1\n2\n3\n4\n"
+
+    def test_failing_generator_keeps_previous_file_and_no_litter(
+        self, tmp_path
+    ):
+        target = tmp_path / "shard.jsonl"
+        atomic_write_lines(target, ["old\n"])
+
+        def exploding():
+            yield "new-1\n"
+            raise RuntimeError("encoder died mid-shard")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_lines(target, exploding())
+        # Old complete file survives; the temp file was unlinked.
+        assert target.read_text() == "old\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["shard.jsonl"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = atomic_write_lines(tmp_path / "a" / "b" / "x.txt", ["y\n"])
+        assert target.read_text() == "y\n"
+
+
+class TestBufferedShardWrites:
+    def outcomes(self, count: int = 3):
+        return [
+            outcome_from_record({**LEGACY_RECORD, "index": i, "seed": i})
+            for i in range(count)
+        ]
+
+    def test_write_shard_round_trips(self, tmp_path):
+        outcomes = self.outcomes()
+        path = write_shard(outcomes, tmp_path / "shard.jsonl")
+        loaded = read_shard(path)
+        assert [o.spec.seed for o in loaded] == [0, 1, 2]
+        assert loaded == outcomes
+
+    def test_write_shard_bytes_match_unbuffered_encoding(self, tmp_path):
+        import json
+
+        outcomes = self.outcomes()
+        path = write_shard(outcomes, tmp_path / "shard.jsonl")
+        expected = "".join(
+            json.dumps(o.to_record(), sort_keys=True) + "\n" for o in outcomes
+        )
+        assert path.read_text(encoding="utf-8") == expected
+
+    def test_truncation_tolerance_is_unchanged(self, tmp_path):
+        outcomes = self.outcomes()
+        path = write_shard(outcomes, tmp_path / "shard.jsonl")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[:-20], encoding="utf-8")  # cut the tail
+        loaded, complete = read_shard_tolerant(path)
+        assert not complete
+        assert [o.spec.seed for o in loaded] == [0, 1]

@@ -1,0 +1,108 @@
+"""Scenario-digest memoization: one hash per (spec, salt), same digests.
+
+The resume path digests every spec twice (once planning the cache diff,
+once writing the fresh outcome back); before memoization each digest
+re-ran ``to_dict`` + canonical JSON + SHA-256.  These tests pin the two
+halves of the fix: the digest *values* are byte-identical to the
+unmemoized pipeline (the PR-2 compat digest included), and the
+:data:`~repro.store.cache.DIGEST_STATS` counters prove a sweep computes
+each spec's digest exactly once.
+"""
+
+import pickle
+
+import pytest
+
+from repro.orchestration.matrix import ScenarioMatrix, ScenarioSpec
+from repro.orchestration.parallel import sweep_serial
+from repro.store.cache import DIGEST_STATS, ResultCache, scenario_key
+
+from tests.store.test_compat import LEGACY_KEY_NO_SALT, legacy_matrix
+
+
+@pytest.fixture(autouse=True)
+def _reset_digest_stats():
+    DIGEST_STATS.reset()
+    yield
+    DIGEST_STATS.reset()
+
+
+def fresh_spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        n=4, t=1, topology="single_bisource", adversary="crash",
+        num_values=2, seed=123,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestMemoCorrectness:
+    def test_memoized_digest_equals_recomputed_digest(self):
+        spec = fresh_spec()
+        first = scenario_key(spec, salt="s")
+        second = scenario_key(spec, salt="s")
+        assert first == second
+        # Same fields, fresh instance: the memo must not change values.
+        assert scenario_key(fresh_spec(), salt="s") == first
+        assert DIGEST_STATS.computed == 2
+        assert DIGEST_STATS.memoized == 1
+
+    def test_distinct_salts_get_distinct_memo_entries(self):
+        spec = fresh_spec()
+        a, b = scenario_key(spec, salt="a"), scenario_key(spec, salt="b")
+        assert a != b
+        assert scenario_key(spec, salt="a") == a
+        assert scenario_key(spec, salt="b") == b
+        assert DIGEST_STATS.computed == 2
+        assert DIGEST_STATS.memoized == 2
+
+    def test_legacy_compat_digest_is_unchanged(self):
+        [spec] = legacy_matrix().expand()
+        assert scenario_key(spec) == LEGACY_KEY_NO_SALT
+        assert scenario_key(spec) == LEGACY_KEY_NO_SALT  # memo hit too
+        assert DIGEST_STATS.computed == 1
+
+    def test_memo_does_not_affect_equality_hash_or_pickle(self):
+        spec = fresh_spec()
+        twin = fresh_spec()
+        scenario_key(spec)
+        assert spec == twin and hash(spec) == hash(twin)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        # The memo rides through pickling: workers inherit it for free.
+        before = DIGEST_STATS.memoized
+        assert scenario_key(clone) == scenario_key(spec)
+        assert DIGEST_STATS.memoized == before + 2
+
+    def test_nondefault_salt_is_stringified(self):
+        spec = fresh_spec()
+        assert scenario_key(spec, salt=1) == scenario_key(spec, salt="1")
+
+
+class TestOneHashPerSpecPerSweep:
+    def test_cached_sweep_computes_each_digest_once(self, tmp_path):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)], adversaries=["crash", "two_faced:evil"],
+            value_counts=[2], seeds=range(3), base_seed=5,
+        )
+        cache = ResultCache(tmp_path / "store", salt="memo-test")
+        specs = matrix.expand()
+        DIGEST_STATS.reset()
+        sweep_serial(specs, cache=cache)
+        # Resume plan digests every spec; the write-back after each run
+        # must hit the memo instead of hashing again.
+        assert DIGEST_STATS.computed == len(specs)
+        assert DIGEST_STATS.memoized >= len(specs)
+
+    def test_resumed_sweep_recomputes_nothing_for_old_specs(self, tmp_path):
+        matrix = ScenarioMatrix(
+            sizes=[(4, 1)], adversaries=["crash"], seeds=range(2),
+            base_seed=5,
+        )
+        cache = ResultCache(tmp_path / "store", salt="memo-test")
+        specs = matrix.expand()
+        sweep_serial(specs, cache=cache)
+        DIGEST_STATS.reset()
+        sweep_serial(specs, cache=cache)  # same spec objects: all hits
+        assert DIGEST_STATS.computed == 0
+        assert DIGEST_STATS.memoized == len(specs)

@@ -1,0 +1,127 @@
+"""The perf-trajectory trend gate in ``benchmarks/bench_history.py``.
+
+Recording history was not enough — the PR4→PR5 sweep regression sailed
+through CI because nothing *failed* when throughput dropped.  These
+tests pin the gate: a >15% sweep serial scenarios/sec drop against the
+previous same-``quick``-mode point fails (exit 2), smaller moves and
+incomparable points pass, and ``--no-gate`` records without judging.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_history", ROOT / "benchmarks" / "bench_history.py"
+)
+bench_history = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_history)
+
+check_sweep_trend = bench_history.check_sweep_trend
+
+
+def point(label, sps, quick=False):
+    return {"label": label, "quick": quick, "sweep_serial_sps": sps}
+
+
+class TestCheckSweepTrend:
+    def test_drop_beyond_threshold_fails(self):
+        failure = check_sweep_trend(
+            [point("pr4", 55.28)], point("pr5", 42.61), 0.15
+        )
+        assert failure is not None
+        assert "22.9%" in failure
+
+    def test_drop_within_threshold_passes(self):
+        assert check_sweep_trend(
+            [point("pr4", 55.0)], point("pr5", 47.0), 0.15
+        ) is None
+
+    def test_improvement_passes(self):
+        assert check_sweep_trend(
+            [point("pr4", 42.0)], point("pr5", 64.0), 0.15
+        ) is None
+
+    def test_compares_against_most_recent_comparable_point(self):
+        history = [point("pr3", 100.0), point("pr4", 50.0)]
+        # 45 is a 10% drop vs pr4 — the 55% drop vs pr3 is not the gate.
+        assert check_sweep_trend(history, point("pr5", 45.0), 0.15) is None
+
+    def test_quick_points_only_compare_against_quick_points(self):
+        history = [point("pr4", 100.0), point("ci-1", 30.0, quick=True)]
+        assert check_sweep_trend(
+            history, point("ci-2", 28.0, quick=True), 0.15
+        ) is None
+        failure = check_sweep_trend(
+            history, point("ci-2", 20.0, quick=True), 0.15
+        )
+        assert failure is not None and "ci-1" in failure
+
+    def test_first_point_of_a_mode_has_no_baseline(self):
+        assert check_sweep_trend([], point("pr4", 55.0), 0.15) is None
+        assert check_sweep_trend(
+            [point("pr4", 55.0)], point("ci-1", 1.0, quick=True), 0.15
+        ) is None
+
+    def test_rerecording_a_label_skips_its_own_old_entry(self):
+        history = [point("pr5", 64.0)]
+        assert check_sweep_trend(history, point("pr5", 10.0), 0.15) is None
+
+    def test_missing_sweep_numbers_skip_the_gate(self):
+        history = [point("pr4", None), point("pr5", 55.0)]
+        assert check_sweep_trend(history, point("pr6", None), 0.15) is None
+        assert check_sweep_trend(
+            [point("pr4", None)], point("pr6", 1.0), 0.15
+        ) is None
+
+
+class TestMainGate:
+    def write_jsons(self, tmp_path, serial_sps, label="new"):
+        kernel = tmp_path / "BENCH_kernel.json"
+        sweep = tmp_path / "BENCH_sweep.json"
+        kernel.write_text(json.dumps({
+            "label": label, "timestamp": "2026-08-08T00:00:00+0000",
+            "python": "3.x", "quick": False, "speedup_geomean": 1.0,
+            "metrics": {"cascade": {"events_per_sec": 1000.0}},
+        }))
+        sweep.write_text(json.dumps({
+            "bit_identical": True,
+            "metrics": {"serial": {"scenarios_per_sec": serial_sps}},
+        }))
+        return kernel, sweep
+
+    def run_main(self, tmp_path, serial_sps, *extra):
+        kernel, sweep = self.write_jsons(tmp_path, serial_sps)
+        history = tmp_path / "history.jsonl"
+        history.write_text(json.dumps({
+            "label": "prev", "quick": False, "sweep_serial_sps": 50.0,
+        }) + "\n")
+        code = bench_history.main([
+            "--kernel", str(kernel), "--sweep", str(sweep),
+            "--history", str(history),
+            "--table-out", str(tmp_path / "history.txt"), *extra,
+        ])
+        return code, history
+
+    def test_regressed_point_exits_2_but_is_still_recorded(self, tmp_path):
+        code, history = self.run_main(tmp_path, 30.0)
+        assert code == 2
+        labels = [
+            json.loads(line)["label"]
+            for line in history.read_text().splitlines()
+        ]
+        assert labels == ["prev", "new"]
+
+    def test_healthy_point_exits_0(self, tmp_path):
+        code, _ = self.run_main(tmp_path, 49.0)
+        assert code == 0
+
+    def test_no_gate_records_the_regression_quietly(self, tmp_path):
+        code, _ = self.run_main(tmp_path, 30.0, "--no-gate")
+        assert code == 0
+
+    def test_threshold_is_tunable(self, tmp_path):
+        code, _ = self.run_main(tmp_path, 30.0, "--max-sweep-drop", "0.5")
+        assert code == 0
