@@ -9,17 +9,43 @@ so any layer can use it without importing orchestration machinery.
 
 from __future__ import annotations
 
-__all__ = ["format_eta", "render_progress"]
+import shutil
+
+__all__ = ["format_eta", "render_progress", "terminal_bar_width"]
+
+#: The classic bar width, used when the terminal is wide enough (or its
+#: width is unknowable).
+_DEFAULT_WIDTH = 30
 
 
-def render_progress(done: int, total: int, width: int = 30) -> str:
+def terminal_bar_width(reserve: int = 30) -> int:
+    """A bar width that fits the current terminal, ``reserve`` columns
+    left for the counts/percent suffix.
+
+    Environments without a real terminal (CI logs, pipes, exotic
+    platforms where ``get_terminal_size`` itself fails) fall back to the
+    default width rather than raising — a progress line must never be
+    the thing that crashes a sweep.
+    """
+    try:
+        columns = shutil.get_terminal_size().columns
+    except (ValueError, OSError):  # pragma: no cover - platform quirks
+        return _DEFAULT_WIDTH
+    return max(1, min(_DEFAULT_WIDTH, columns - reserve))
+
+
+def render_progress(done: int, total: int, width: int = _DEFAULT_WIDTH) -> str:
     """A fixed-width bar: ``[######........] 12/40 (30%)``.
 
-    ``total <= 0`` (nothing to do, or size unknown) renders an indefinite
-    form instead of dividing by zero.
+    Degrades instead of raising on every odd input: ``total <= 0``
+    (nothing to do, or size unknown) renders an indefinite form,
+    negative ``done`` clamps to 0, ``done > total`` clamps to full, and
+    ``width < 1`` (a too-narrow terminal fed through
+    :func:`terminal_bar_width` arithmetic) clamps to a single cell.
     """
+    width = max(1, width)
     if total <= 0:
-        return f"[{'-' * width}] {done}/?"
+        return f"[{'-' * width}] {max(0, done)}/?"
     done = max(0, min(done, total))
     filled = (done * width) // total
     percent = (100 * done) // total

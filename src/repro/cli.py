@@ -45,6 +45,16 @@ Commands:
 * ``store verify`` — integrity scrub: re-execute a deterministic sample
   of cached scenarios on the current kernel and compare digests against
   the stored records (non-zero exit on drift);
+* ``events`` — read the fleet's structured event ledger
+  (:mod:`repro.obs.events`): ``tail`` prints the last N events, ``query``
+  streams with filters (``--since`` / ``--type`` / ``--worker`` /
+  ``--run``), both human-readable or ``--json``;
+* ``top`` — live fleet view over a dispatch directory
+  (:mod:`repro.obs.fleet`): per-worker progress, throughput, ETA, and a
+  STALE flag for leases whose heartbeat went quiet;
+* ``trace`` — export a Chrome/Perfetto Trace Event Format timeline
+  (:mod:`repro.obs.chrometrace`): of one consensus run (default), of a
+  ledger slice (``--ledger``) or of a profile (``--from-profile``);
 * ``bounds`` — print the Section 5.4 round-bound table for (n, t);
 * ``feasibility`` — print the m-valued feasibility envelope.
 
@@ -144,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--profile-json", default=None, metavar="PATH",
                          help="also write the machine-readable profile "
                               "here (implies --profile)")
+    sweep_p.add_argument("--events", default=None, metavar="PATH",
+                         help="append structured telemetry events (sweep "
+                              "started/finished, per-scenario cache "
+                              "hit/miss) to this JSONL ledger "
+                              "(docs/observability.md)")
 
     profile_p = sub.add_parser(
         "profile",
@@ -233,10 +248,22 @@ def build_parser() -> argparse.ArgumentParser:
     claim_p.add_argument("--max-units", type=int, default=None, metavar="N",
                          help="stop after completing N units "
                               "(default: drain the queue)")
+    claim_p.add_argument("--heartbeat", type=float, default=None,
+                         metavar="SECONDS",
+                         help="progress-heartbeat interval; each beat "
+                              "renews the lease (default: lease/4; "
+                              "0 disables)")
+    claim_p.add_argument("--no-events", action="store_true",
+                         help="do not append unit lifecycle events to "
+                              "DIR/events.jsonl")
     status_p = dispatch_sub.add_parser(
         "status", help="render the work queue (exit 0 once all units done)"
     )
     status_p.add_argument("dir", metavar="DIR", help="dispatch directory")
+    status_p.add_argument("--reclaim", action="store_true",
+                         help="release every expired lease back to "
+                              "pending (stale-state reconciliation) "
+                              "before rendering")
 
     collect_p = sub.add_parser(
         "collect",
@@ -276,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 ".collector.json in the shard directory)")
     collect_p.add_argument("--quiet", action="store_true",
                            help="suppress the per-fold progress lines")
+    collect_p.add_argument("--events", action="store_true",
+                           help="append a shard_folded event per fold to "
+                                "the directory's events.jsonl ledger")
 
     store_p = sub.add_parser("store", help="persistent result-store tools")
     store_sub = store_p.add_subparsers(dest="store_command", required=True)
@@ -298,6 +328,73 @@ def build_parser() -> argparse.ArgumentParser:
                           help="sample-selection seed")
     verify_p.add_argument("--progress", action="store_true",
                           help="print one line per re-executed entry")
+
+    events_p = sub.add_parser(
+        "events", help="read the structured fleet event ledger",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="SOURCE is a ledger JSONL file, or a dispatch directory\n"
+               "(its events.jsonl is read).  schema: docs/observability.md",
+    )
+    events_sub = events_p.add_subparsers(dest="events_command", required=True)
+    for sub_name, sub_help in (
+        ("tail", "print the last N matching events"),
+        ("query", "stream every matching event, oldest first"),
+    ):
+        ev_p = events_sub.add_parser(sub_name, help=sub_help)
+        ev_p.add_argument("source", metavar="SOURCE",
+                          help="ledger file or dispatch directory")
+        if sub_name == "tail":
+            ev_p.add_argument("-n", type=int, default=10, metavar="N",
+                              help="events to print (default: %(default)s)")
+        ev_p.add_argument("--since", type=float, default=None,
+                          metavar="SECONDS",
+                          help="only events from the last SECONDS seconds")
+        ev_p.add_argument("--type", action="append", default=None,
+                          dest="types", metavar="TYPE",
+                          help="only this event type (repeatable)")
+        ev_p.add_argument("--worker", default=None, metavar="NAME",
+                          help="only events from this worker")
+        ev_p.add_argument("--run", default=None, metavar="RUN_ID",
+                          help="only events from this dispatch run")
+        ev_p.add_argument("--json", action="store_true",
+                          help="print raw JSON records instead of the "
+                               "human-readable form")
+
+    top_p = sub.add_parser(
+        "top", help="live fleet view over a dispatch directory"
+    )
+    top_p.add_argument("dir", metavar="DIR", help="dispatch directory")
+    top_p.add_argument("--once", action="store_true",
+                       help="render one frame and exit (CI-friendly)")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh interval (default: %(default)s)")
+    top_p.add_argument("--stale", type=float, default=None,
+                       metavar="SECONDS",
+                       help="flag workers whose heartbeat is older than "
+                            "this as STALE (default: lease/2)")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="export a Chrome/Perfetto trace (run, ledger or profile)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="default: execute one consensus run (same knobs as `repro\n"
+               "run`) with tracing on and export its timeline.  --ledger\n"
+               "exports a fleet event-ledger slice instead; --from-profile\n"
+               "exports a BENCH_profile.json phase breakdown.  load the\n"
+               "output at https://ui.perfetto.dev — docs/observability.md",
+    )
+    _add_system_args(trace_p)
+    trace_p.add_argument("--ledger", default=None, metavar="SOURCE",
+                         help="export this event ledger (file or dispatch "
+                              "directory) instead of running")
+    trace_p.add_argument("--from-profile", default=None, metavar="PATH",
+                         help="export this BENCH_profile.json instead of "
+                              "running")
+    trace_p.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="trace output path (default: %(default)s)")
+    trace_p.add_argument("--label", default=None, metavar="NAME",
+                         help="top-level process label in the trace")
 
     bounds_p = sub.add_parser("bounds", help="Section 5.4 round-bound table")
     bounds_p.add_argument("--n", type=int, required=True)
@@ -560,22 +657,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from .profiling import SweepProfiler
 
         profiler = SweepProfiler()
+    telemetry = None
+    if args.events:
+        import os as _os
+        import time as _time
+
+        from .obs import EventLedger, MetricsRegistry, SweepTelemetry
+
+        telemetry = SweepTelemetry(
+            ledger=EventLedger(
+                args.events,
+                run_id=f"sweep-{int(_time.time())}-{_os.getpid():x}",
+            ),
+            metrics=MetricsRegistry(),
+        )
+        telemetry.sweep_started(total=total)
     backend = args.backend
     if backend == "auto":
         backend = "parallel" if args.workers > 1 else "serial"
     if backend == "serial":
         sweep = sweep_serial(
-            work, on_result=progress, cache=cache, profiler=profiler
+            work, on_result=progress, cache=cache, profiler=profiler,
+            observer=telemetry,
         )
     elif backend == "async":
         sweep = sweep_async(
-            work, on_result=progress, cache=cache, profiler=profiler
+            work, on_result=progress, cache=cache, profiler=profiler,
+            observer=telemetry,
         )
     else:
         sweep = sweep_parallel(
             work, workers=args.workers, on_result=progress, cache=cache,
-            profiler=profiler,
+            profiler=profiler, observer=telemetry,
         )
+    if telemetry is not None:
+        telemetry.sweep_finished(sweep)
+        telemetry.ledger.close()
     report = sweep.report
     rounds, latency, messages = report.rounds, report.latency, report.messages
     print(format_table(
@@ -605,6 +722,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.jsonl:
         path = sweep.write_jsonl(args.jsonl, profiler=profiler)
         print(f"jsonl        : {path}")
+    if telemetry is not None:
+        print(f"events       : {args.events} "
+              f"({telemetry.scenarios + 2} event(s) appended)")
     if profiler is not None:
         print()
         print(profiler.render())
@@ -752,20 +872,44 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                   f"-> {unit.shard}")
 
         try:
+            plan = DispatchPlan.load(args.dir)
+        except DispatchError as exc:
+            raise SystemExit(str(exc))
+        telemetry = None
+        if not args.no_events:
+            from pathlib import Path
+
+            from .obs import (
+                LEDGER_NAME, EventLedger, MetricsRegistry, SweepTelemetry,
+            )
+
+            telemetry = SweepTelemetry(
+                ledger=EventLedger(
+                    Path(args.dir) / LEDGER_NAME,
+                    run_id=plan.run_id, worker=worker,
+                ),
+                metrics=MetricsRegistry(),
+            )
+        try:
             executed = run_claims(
-                args.dir, worker=worker, backend=args.backend,
+                plan, worker=worker, backend=args.backend,
                 cache=cache, workers=args.workers,
                 max_units=args.max_units, on_unit=on_unit,
+                heartbeat_interval=args.heartbeat, telemetry=telemetry,
             )
             plan = DispatchPlan.load(args.dir)
         except (ValueError, DispatchError) as exc:
             raise SystemExit(str(exc))
+        finally:
+            if telemetry is not None:
+                telemetry.ledger.close()
         print(f"claimed      : {len(executed)} unit(s) as {worker}")
         print(f"queue        : {plan.describe()}")
         return 0
 
     # status (the subparser guarantees no other value)
     import time
+    from pathlib import Path
 
     from .analysis.progress import render_progress
     from .orchestration.sweeps import format_table as _table
@@ -775,6 +919,29 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     except DispatchError as exc:
         raise SystemExit(str(exc))
     now = time.time()
+    if args.reclaim:
+        reclaimed = plan.reclaim_stale(now)
+        for unit in reclaimed:
+            print(f"reclaimed    : {unit.name} (lease expired, "
+                  f"attempt {unit.attempts}/{plan.max_attempts})")
+        if reclaimed:
+            # Reconciliation is fleet history too: record it in the
+            # directory's ledger when one exists.
+            ledger_path = Path(args.dir) / "events.jsonl"
+            if ledger_path.exists():
+                from .obs import EVENT_UNIT_RECLAIMED, EventLedger
+
+                with EventLedger(
+                    ledger_path, run_id=plan.run_id, worker="status",
+                ) as ledger:
+                    for unit in reclaimed:
+                        ledger.emit(
+                            EVENT_UNIT_RECLAIMED, unit=unit.name,
+                            attempt=unit.attempts,
+                        )
+        else:
+            print("reclaimed    : nothing (no expired leases)")
+        plan = DispatchPlan.load(args.dir)
     rows = []
     for unit in plan.units:
         state = unit.status
@@ -785,17 +952,35 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         lease = "-"
         if unit.status == "leased" and unit.lease_expires is not None:
             lease = f"{max(0.0, unit.lease_expires - now):.0f}s"
+        pulse = "-"
+        age = unit.heartbeat_age(now)
+        if age is not None:
+            pulse = f"{age:.0f}s"
+            if unit.lease_expired(now) and unit.heartbeat_at is None:
+                pulse = "never"  # expired with no pulse: presumed dead
+        progress = (
+            f"{unit.progress_done}/{unit.progress_total}"
+            if unit.progress_done is not None
+            and unit.progress_total is not None else "-"
+        )
         rows.append([
             unit.name, state, unit.owner or "-", unit.attempts,
             unit.scenarios if unit.records is None else unit.records,
-            lease,
+            lease, pulse, progress,
         ])
     print(_table(
-        ["unit", "state", "owner", "attempts", "scenarios", "lease"], rows
+        ["unit", "state", "owner", "attempts", "scenarios", "lease",
+         "pulse", "progress"],
+        rows,
     ))
     done = sum(1 for unit in plan.units if unit.status == "done")
     print(f"\nprogress     : {render_progress(done, len(plan.units))}")
     print(f"status       : {plan.describe(now)}")
+    stale = plan.stale_units(now)
+    if stale:
+        print(f"stale        : {len(stale)} expired lease(s) with a dead "
+              f"claimant -- run `repro dispatch status {args.dir} "
+              f"--reclaim` to release")
     return 0 if plan.finished else 1
 
 
@@ -814,6 +999,20 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     if not shard_dir.is_dir():
         raise SystemExit(f"no shard directory at {shard_dir}")
 
+    ledger = None
+    if args.events:
+        from .obs import EventLedger
+
+        run_id = ""
+        if manifest_root is not None:
+            from .orchestration.dispatch import DispatchPlan
+
+            run_id = DispatchPlan.load(manifest_root).run_id
+        ledger = EventLedger(
+            (manifest_root or root) / "events.jsonl",
+            run_id=run_id, worker="collector",
+        )
+
     on_scan = None
     if not args.quiet:
         def on_scan(collector: Any, scan: Any) -> None:
@@ -828,13 +1027,16 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             timeout=args.timeout, expect_shards=args.expect_shards,
             expect_records=args.expect_records,
             manifest_root=manifest_root, on_conflict=args.on_conflict,
-            checkpoint=args.checkpoint, on_scan=on_scan,
+            checkpoint=args.checkpoint, on_scan=on_scan, ledger=ledger,
         )
     except TimeoutError as exc:
         print(f"timeout      : {exc}")
         return 3
     except (CollectorError, ShardConflictError, ValueError) as exc:
         raise SystemExit(str(exc))
+    finally:
+        if ledger is not None:
+            ledger.close()
     report = merged.report
     print(f"shards       : {len(merged.sources)} file(s), "
           f"{merged.total_records} record(s), "
@@ -872,6 +1074,134 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print("integrity    : UNVERIFIED (no entry could be re-executed)")
         return 2
     print("integrity    : OK")
+    return 0
+
+
+def _ledger_path(source: str) -> Any:
+    """Resolve an ``events``/``trace --ledger`` SOURCE: a ledger file as
+    given, or a directory's ``events.jsonl``."""
+    from pathlib import Path
+
+    from .obs import LEDGER_NAME
+
+    path = Path(source)
+    if path.is_dir():
+        path = path / LEDGER_NAME
+    if not path.exists():
+        raise SystemExit(f"no event ledger at {path}")
+    return path
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import format_event, read_events, tail_events
+
+    path = _ledger_path(args.source)
+    filters: dict[str, Any] = {
+        "types": args.types,
+        "worker": args.worker,
+        "run": args.run,
+    }
+    if args.since is not None:
+        filters["since"] = time.time() - args.since
+    try:
+        if args.events_command == "tail":
+            records: Any = tail_events(path, n=args.n, **filters)
+        else:
+            records = read_events(path, **filters)
+        count = 0
+        for record in records:
+            count += 1
+            if args.json:
+                print(json.dumps(record, sort_keys=True))
+            else:
+                print(format_event(record))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if count == 0 and not args.json:
+        print("(no matching events)")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import render_top
+    from .orchestration.dispatch import DispatchError, DispatchPlan
+
+    def frame() -> Any:
+        plan = DispatchPlan.load(args.dir)
+        print(render_top(plan, stale_after=args.stale))
+        return plan
+
+    try:
+        if args.once:
+            return 0 if frame().finished else 1
+        while True:
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                print("\033[2J\033[H", end="")
+            plan = frame()
+            if plan.finished:
+                return 0
+            sys.stdout.flush()
+            time.sleep(max(0.1, args.interval))
+    except DispatchError as exc:
+        raise SystemExit(str(exc))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import chrometrace
+
+    if args.ledger is not None and args.from_profile is not None:
+        raise SystemExit("--ledger and --from-profile are exclusive")
+    if args.ledger is not None:
+        from .obs import read_events
+
+        path = _ledger_path(args.ledger)
+        try:
+            trace = chrometrace.trace_from_ledger(
+                read_events(path), label=args.label or "fleet"
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        source = str(path)
+    elif args.from_profile is not None:
+        from pathlib import Path
+
+        try:
+            profile = json.loads(
+                Path(args.from_profile).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"unreadable profile {args.from_profile}: {exc}")
+        trace = chrometrace.trace_from_profile(
+            profile, label=args.label or "sweep profile"
+        )
+        source = args.from_profile
+    else:
+        import dataclasses
+
+        config = dataclasses.replace(
+            _build_config(args, args.seed), trace=True
+        )
+        result = run_consensus(config)
+        trace = chrometrace.trace_from_tracer(
+            result.trace,
+            label=args.label
+            or f"run n={args.n} t={args.t} seed={args.seed}",
+        )
+        source = (
+            f"one run (decided={result.all_decided}, "
+            f"rounds={result.rounds}, messages={result.messages_sent})"
+        )
+    path = chrometrace.write_trace(args.out, trace)
+    events = len(trace["traceEvents"])
+    print(f"source       : {source}")
+    print(f"trace        : {path} ({events} event(s))")
+    print("view at      : https://ui.perfetto.dev (or chrome://tracing)")
     return 0
 
 
@@ -917,6 +1247,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dispatch": _cmd_dispatch,
         "collect": _cmd_collect,
         "store": _cmd_store,
+        "events": _cmd_events,
+        "top": _cmd_top,
+        "trace": _cmd_trace,
         "bounds": _cmd_bounds,
         "feasibility": _cmd_feasibility,
     }

@@ -145,6 +145,11 @@ class InstrumentationBus:
         probe = self._probes.get(name)
         return probe.detach(sink) if probe is not None else False
 
+    def attach_many(self, sinks: "dict[str, Sink]") -> None:
+        """Attach one sink per probe name (observers arming several at once)."""
+        for name, sink in sinks.items():
+            self.probe(name).attach(sink)
+
     def clear(self) -> None:
         """Detach every sink from every probe (probes survive)."""
         for probe in self._probes.values():

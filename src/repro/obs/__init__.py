@@ -1,0 +1,70 @@
+"""Fleet and run telemetry: metrics, event ledger, fleet view, traces.
+
+The observability layer over the simulation platform, built on the same
+contract as the instrumentation bus it rides: **nothing costs anything
+until somebody asks**.  An unobserved run constructs no registry and no
+ledger, every kernel probe keeps ``emit is None``, and the sweep
+backends' ``observer`` stays ``None`` — telemetry is opt-in per sweep,
+never ambient.
+
+* :mod:`repro.obs.metrics` — labelled counters / gauges / histograms,
+  armed on the kernel bus per run like the profiler's step sink;
+* :mod:`repro.obs.events` — the append-only JSONL event ledger every
+  fleet worker shares (``repro events tail`` / ``query``);
+* :mod:`repro.obs.telemetry` — the one observer object orchestration
+  code calls through (duck-typed; orchestration never imports this
+  package);
+* :mod:`repro.obs.fleet` — the live ``repro top`` view derived from
+  lease heartbeats;
+* :mod:`repro.obs.chrometrace` — Trace Event Format export for
+  Perfetto / ``chrome://tracing`` (``repro trace``).
+
+The walkthrough lives in ``docs/observability.md``.
+"""
+
+from .events import (
+    EVENT_CACHE_HIT,
+    EVENT_CACHE_MISS,
+    EVENT_SHARD_FOLDED,
+    EVENT_SWEEP_FINISHED,
+    EVENT_SWEEP_STARTED,
+    EVENT_UNIT_CLAIMED,
+    EVENT_UNIT_COMPLETED,
+    EVENT_UNIT_RECLAIMED,
+    EVENT_UNIT_RELEASED,
+    EVENT_UNIT_RENEWED,
+    EventLedger,
+    LEDGER_NAME,
+    format_event,
+    read_events,
+    tail_events,
+)
+from .fleet import FleetRow, fleet_rows, render_top
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import SweepTelemetry
+
+__all__ = [
+    "EVENT_CACHE_HIT",
+    "EVENT_CACHE_MISS",
+    "EVENT_SHARD_FOLDED",
+    "EVENT_SWEEP_FINISHED",
+    "EVENT_SWEEP_STARTED",
+    "EVENT_UNIT_CLAIMED",
+    "EVENT_UNIT_COMPLETED",
+    "EVENT_UNIT_RECLAIMED",
+    "EVENT_UNIT_RELEASED",
+    "EVENT_UNIT_RENEWED",
+    "Counter",
+    "EventLedger",
+    "FleetRow",
+    "Gauge",
+    "Histogram",
+    "LEDGER_NAME",
+    "MetricsRegistry",
+    "SweepTelemetry",
+    "fleet_rows",
+    "format_event",
+    "read_events",
+    "render_top",
+    "tail_events",
+]

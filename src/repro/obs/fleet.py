@@ -1,0 +1,156 @@
+"""Live fleet view over a dispatch manifest: who is doing what, how fast.
+
+``repro dispatch status`` tallies *units*; ``repro top`` (this module)
+tallies *workers*.  Every heartbeat a claimant writes into its lease
+record (:meth:`DispatchPlan.heartbeat
+<repro.orchestration.dispatch.DispatchPlan.heartbeat>`) carries the
+claim time, the last-pulse time and a ``done/total`` progress pair —
+enough to derive, with nothing but the manifest:
+
+* per-worker **throughput** (scenarios/s since the claim),
+* a per-unit **ETA** (:func:`repro.analysis.progress.format_eta`),
+* a **straggler** flag for leases whose pulse went quiet: no heartbeat
+  for longer than ``stale_after`` (default: half the plan's lease) means
+  the worker is presumed wedged, and a fully *expired* lease means the
+  unit is reclaimable (``dispatch status --reclaim`` does exactly that).
+
+:func:`fleet_rows` is the data face (one :class:`FleetRow` per unit
+worth showing); :func:`render_top` is the textual face the CLI loops on.
+Everything here is read-only — the view never takes the manifest lock,
+so running ``repro top`` next to a live fleet costs the fleet nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..analysis.progress import format_eta, render_progress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..orchestration.dispatch import DispatchPlan, ShardUnit
+
+__all__ = ["FleetRow", "fleet_rows", "render_top"]
+
+
+@dataclass(frozen=True)
+class FleetRow:
+    """One unit's worth of fleet state, derived from its lease record."""
+
+    unit: str
+    worker: str
+    #: ``leased`` / ``expired`` / ``done`` / ``pending`` / ``exhausted``.
+    state: str
+    done: int
+    total: int
+    #: Scenarios/s since the claim (0.0 when underivable).
+    throughput: float
+    #: Human ETA (``""`` when no rate is observable).
+    eta: str
+    #: Seconds since the last proof of life (``None`` when not leased).
+    heartbeat_age: float | None
+    #: Pulse went quiet for longer than the stale threshold.
+    straggler: bool
+
+
+def _row(
+    unit: "ShardUnit", now: float, stale_after: float
+) -> FleetRow:
+    state = unit.status
+    if unit.lease_expired(now):
+        state = "expired"
+    done = unit.progress_done or 0
+    total = unit.progress_total or unit.scenarios
+    if unit.status == "done":
+        done = unit.records if unit.records is not None else unit.scenarios
+        total = unit.scenarios
+    throughput = 0.0
+    eta = ""
+    age = unit.heartbeat_age(now)
+    if unit.status == "leased" and unit.claimed_at is not None:
+        elapsed = max(0.0, now - unit.claimed_at)
+        if done > 0 and elapsed > 0:
+            throughput = done / elapsed
+            eta = format_eta(done, total, elapsed)
+    return FleetRow(
+        unit=unit.name,
+        worker=unit.owner or "-",
+        state=state,
+        done=done,
+        total=total,
+        throughput=throughput,
+        eta=eta,
+        heartbeat_age=age,
+        straggler=(
+            unit.status == "leased"
+            and age is not None
+            and age > stale_after
+        ),
+    )
+
+
+def fleet_rows(
+    plan: "DispatchPlan",
+    now: float | None = None,
+    stale_after: float | None = None,
+) -> list[FleetRow]:
+    """One row per unit that has a story to tell (leased or done units;
+    pending units are summarised by the header, not listed).
+
+    ``stale_after`` is the quiet-pulse threshold in seconds; ``None``
+    uses half the plan's lease — late enough that a healthy heartbeat
+    cadence (a quarter lease) never trips it, early enough to flag a
+    wedged worker before its lease actually expires.
+    """
+    now = time.time() if now is None else now
+    if stale_after is None:
+        stale_after = plan.lease_seconds / 2.0
+    return [
+        _row(unit, now, stale_after)
+        for unit in plan.units
+        if unit.status in ("leased", "done")
+    ]
+
+
+def render_top(
+    plan: "DispatchPlan",
+    now: float | None = None,
+    stale_after: float | None = None,
+    width: int = 30,
+) -> str:
+    """The ``repro top`` screen: a header plus one line per active unit.
+
+    Pure function of the manifest — callers loop ``load / render /
+    sleep`` for the live view, or call once for ``--once``.
+    """
+    now = time.time() if now is None else now
+    rows = fleet_rows(plan, now=now, stale_after=stale_after)
+    done_scenarios = sum(
+        unit.scenarios for unit in plan.units if unit.status == "done"
+    )
+    lines = [
+        f"run {plan.run_id or '(unstamped)'}  {plan.describe(now)}",
+        render_progress(done_scenarios, plan.total_scenarios, width=width),
+    ]
+    active = [row for row in rows if row.state != "done"]
+    if not active:
+        lines.append("no active workers")
+        return "\n".join(lines)
+    lines.append(
+        f"{'UNIT':<18} {'WORKER':<16} {'STATE':<8} "
+        f"{'PROGRESS':<12} {'RATE':>8} {'PULSE':>7}  ETA"
+    )
+    for row in active:
+        pulse = (
+            "-" if row.heartbeat_age is None
+            else f"{row.heartbeat_age:.0f}s"
+        )
+        rate = f"{row.throughput:.1f}/s" if row.throughput > 0 else "-"
+        flags = " STALE" if row.straggler else ""
+        lines.append(
+            f"{row.unit:<18} {row.worker:<16} {row.state:<8} "
+            f"{row.done}/{row.total:<10} {rate:>8} {pulse:>7}  "
+            f"{row.eta}{flags}".rstrip()
+        )
+    return "\n".join(lines)

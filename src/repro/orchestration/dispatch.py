@@ -20,7 +20,16 @@ manual job.  This module closes that gap with a *work-queue dispatcher*:
 * claims carry a **lease**: a worker that dies mid-unit stops renewing
   nothing — its lease simply expires and the unit becomes claimable
   again, up to ``max_attempts`` total tries (the straggler/retry
-  semantics that make the queue safe without any coordinator process).
+  semantics that make the queue safe without any coordinator process);
+* live claimants **heartbeat** (:meth:`DispatchPlan.heartbeat`):
+  periodic progress writes into the lease record that double as lease
+  *renewal*, so a long-running unit is never reclaimed while its worker
+  is demonstrably alive — only silence lets a lease run out.  ``repro
+  top`` renders the heartbeats as a live fleet view, and
+  ``dispatch status --reclaim`` (:meth:`DispatchPlan.reclaim_stale`)
+  reconciles units whose lease expired with no heartbeat back to
+  ``pending`` in one step, so status reflects reality instead of
+  accumulating stale leases.
 
 Mutual exclusion is a sidecar lock file taken with ``O_CREAT | O_EXCL``
 (atomic on POSIX and NFS alike) around every read-modify-write of the
@@ -157,6 +166,13 @@ class ShardUnit:
     attempts: int = 0
     records: int | None = None
     completed_at: float | None = None
+    #: When the current lease was taken (wall clock).
+    claimed_at: float | None = None
+    #: Last heartbeat write (wall clock); ``None`` = never heartbeat.
+    heartbeat_at: float | None = None
+    #: Progress reported by the last heartbeat.
+    progress_done: int | None = None
+    progress_total: int | None = None
 
     def lease_expired(self, now: float) -> bool:
         """True when a leased unit's worker ran out its lease."""
@@ -165,6 +181,16 @@ class ShardUnit:
             and self.lease_expires is not None
             and now >= self.lease_expires
         )
+
+    def heartbeat_age(self, now: float) -> float | None:
+        """Seconds since the claimant last proved it was alive — the
+        heartbeat if one ever arrived, else the claim itself.  ``None``
+        for units not currently leased."""
+        if self.status != "leased":
+            return None
+        last = self.heartbeat_at if self.heartbeat_at is not None \
+            else self.claimed_at
+        return None if last is None else max(0.0, now - last)
 
     def claimable(self, now: float, max_attempts: int) -> bool:
         """May a worker (re)claim this unit right now?"""
@@ -187,6 +213,10 @@ class ShardUnit:
             "status": self.status, "owner": self.owner,
             "lease_expires": self.lease_expires, "attempts": self.attempts,
             "records": self.records, "completed_at": self.completed_at,
+            "claimed_at": self.claimed_at,
+            "heartbeat_at": self.heartbeat_at,
+            "progress_done": self.progress_done,
+            "progress_total": self.progress_total,
         }
 
     @classmethod
@@ -211,6 +241,24 @@ class ShardUnit:
                 None if data.get("completed_at") is None
                 else float(data["completed_at"])
             ),
+            # Heartbeat fields arrived after PR 5: absent in older
+            # manifests, which load as "never heartbeat" (the truth).
+            claimed_at=(
+                None if data.get("claimed_at") is None
+                else float(data["claimed_at"])
+            ),
+            heartbeat_at=(
+                None if data.get("heartbeat_at") is None
+                else float(data["heartbeat_at"])
+            ),
+            progress_done=(
+                None if data.get("progress_done") is None
+                else int(data["progress_done"])
+            ),
+            progress_total=(
+                None if data.get("progress_total") is None
+                else int(data["progress_total"])
+            ),
         )
 
 
@@ -232,6 +280,9 @@ class DispatchPlan:
     max_attempts: int = 3
     total_scenarios: int = 0
     created_at: float = 0.0
+    #: Stable identity stamped on every ledger event of this fleet run
+    #: (empty for manifests written before telemetry existed).
+    run_id: str = ""
     _specs: list[ScenarioSpec] | None = field(
         default=None, repr=False, compare=False
     )
@@ -261,6 +312,7 @@ class DispatchPlan:
             "lease_seconds": self.lease_seconds,
             "max_attempts": self.max_attempts,
             "total_scenarios": self.total_scenarios,
+            "run_id": self.run_id,
             "matrix": self.matrix.to_dict(),
             "units": [unit.to_dict() for unit in self.units],
         }
@@ -295,6 +347,7 @@ class DispatchPlan:
             max_attempts=int(data["max_attempts"]),
             total_scenarios=int(data.get("total_scenarios", 0)),
             created_at=float(data.get("created_at", 0.0)),
+            run_id=str(data.get("run_id", "")),
         )
 
     def _reload_units(self) -> None:
@@ -340,8 +393,82 @@ class DispatchPlan:
             unit.owner = worker
             unit.lease_expires = now + self.lease_seconds
             unit.attempts += 1
+            unit.claimed_at = now
+            # A fresh lease never inherits the previous claimant's pulse.
+            unit.heartbeat_at = None
+            unit.progress_done = None
+            unit.progress_total = None
             self._save()
             return replace(unit)
+
+    def heartbeat(
+        self,
+        unit_name: str,
+        worker: str,
+        done: int | None = None,
+        total: int | None = None,
+        now: float | None = None,
+        renew: bool = True,
+    ) -> bool:
+        """Record live progress on a leased unit; renews the lease.
+
+        Returns ``False`` (changing nothing) unless the unit is still
+        leased *to this worker* — after an expired lease was reclaimed
+        by someone else, the straggler's late heartbeat must not steal
+        the unit back.  An expired-but-unreclaimed lease *is* renewed:
+        the worker just proved it is alive, which is exactly the state
+        renewal exists for.
+        """
+        now = time.time() if now is None else now
+        with self._lock():
+            self._reload_units()
+            unit = self._unit(unit_name)
+            if unit.status != "leased" or unit.owner != worker:
+                return False
+            unit.heartbeat_at = now
+            if done is not None:
+                unit.progress_done = int(done)
+            if total is not None:
+                unit.progress_total = int(total)
+            if renew:
+                unit.lease_expires = now + self.lease_seconds
+            self._save()
+            return True
+
+    def stale_units(self, now: float | None = None) -> list[ShardUnit]:
+        """Leased units whose lease ran out with no renewing heartbeat —
+        the claimant is presumed dead and the manifest is lying about
+        the lease (``dispatch status`` flags these)."""
+        now = time.time() if now is None else now
+        return [unit for unit in self.units if unit.lease_expired(now)]
+
+    def reclaim_stale(self, now: float | None = None) -> list[ShardUnit]:
+        """Release every expired lease back to ``pending`` in one step.
+
+        The autopod reconciliation idiom: status must reflect reality,
+        so a dead claimant's lease is removed rather than displayed
+        forever.  The spent attempt stays counted (the claim consumed
+        it); reclaimed units are immediately claimable again.  Returns
+        snapshots of the units reclaimed.
+        """
+        now = time.time() if now is None else now
+        with self._lock():
+            self._reload_units()
+            reclaimed = []
+            for unit in self.units:
+                if not unit.lease_expired(now):
+                    continue
+                unit.status = "pending"
+                unit.owner = None
+                unit.lease_expires = None
+                unit.claimed_at = None
+                unit.heartbeat_at = None
+                unit.progress_done = None
+                unit.progress_total = None
+                reclaimed.append(replace(unit))
+            if reclaimed:
+                self._save()
+            return reclaimed
 
     def complete(
         self,
@@ -381,6 +508,10 @@ class DispatchPlan:
             unit.status = "pending"
             unit.owner = None
             unit.lease_expires = None
+            unit.claimed_at = None
+            unit.heartbeat_at = None
+            unit.progress_done = None
+            unit.progress_total = None
             self._save()
             return True
 
@@ -449,6 +580,7 @@ def plan_dispatch(
     lease_seconds: float = 300.0,
     max_attempts: int = 3,
     now: float | None = None,
+    run_id: str | None = None,
 ) -> DispatchPlan:
     """Partition ``matrix`` into ``units`` shard units under ``root``.
 
@@ -483,6 +615,11 @@ def plan_dispatch(
             name=name, index=index, count=count, scenarios=scenarios,
             shard=f"{SHARD_DIR}/{name}.jsonl",
         ))
+    created_at = time.time() if now is None else now
+    if run_id is None:
+        # Distinct per plan, readable in a ledger: creation time plus the
+        # planner's pid (two plans in the same second are different pids).
+        run_id = f"run-{int(created_at)}-{os.getpid():x}"
     plan = DispatchPlan(
         root=root_path,
         matrix=matrix,
@@ -490,7 +627,8 @@ def plan_dispatch(
         lease_seconds=float(lease_seconds),
         max_attempts=int(max_attempts),
         total_scenarios=total,
-        created_at=time.time() if now is None else now,
+        created_at=created_at,
+        run_id=run_id,
     )
     plan.shard_dir.mkdir(parents=True, exist_ok=True)
     plan._save()
@@ -505,6 +643,8 @@ def run_claims(
     workers: int | None = None,
     max_units: int | None = None,
     on_unit: Callable[[ShardUnit, "SweepResult"], None] | None = None,
+    heartbeat_interval: float | None = None,
+    telemetry: Any | None = None,
 ) -> list[ShardUnit]:
     """Claim-execute-complete until the queue has nothing for us.
 
@@ -515,6 +655,21 @@ def run_claims(
     execution raises is released (its attempt still counted) before the
     error propagates, so a crashing worker never wedges the queue for
     longer than its lease.
+
+    While a unit executes, the worker **heartbeats** every
+    ``heartbeat_interval`` seconds (default: a quarter of the plan's
+    lease; ``0`` disables): each finished scenario checks the clock and,
+    when due, writes progress into the lease record via
+    :meth:`DispatchPlan.heartbeat` — which also *renews* the lease, so a
+    unit slower than its lease survives as long as its worker keeps
+    finishing scenarios.  The heartbeat rides the backends' ordinary
+    ``on_result`` callback, so all three backends report identically.
+
+    ``telemetry`` is an optional observer
+    (:class:`~repro.obs.telemetry.SweepTelemetry`): unit lifecycle and
+    per-scenario cache events land in its ledger/metrics, and it is
+    passed to the backends as their ``observer``.  ``None`` — the
+    default — keeps the loop exactly as cheap as before.
 
     Returns the units this worker completed, in execution order.
     """
@@ -534,7 +689,9 @@ def run_claims(
             f"unknown backend {backend!r} "
             f"(known: {', '.join(sorted(backends))})"
         ) from None
-    kwargs: dict[str, Any] = {"cache": cache}
+    if heartbeat_interval is None:
+        heartbeat_interval = plan.lease_seconds / 4.0
+    kwargs: dict[str, Any] = {"cache": cache, "observer": telemetry}
     if backend == "parallel" and workers is not None:
         kwargs["workers"] = workers
     executed: list[ShardUnit] = []
@@ -542,16 +699,64 @@ def run_claims(
         unit = plan.claim(worker)
         if unit is None:
             break
+        if telemetry is not None:
+            telemetry.unit_claimed(unit)
+        kwargs["on_result"] = _heartbeat_on_result(
+            plan, unit, worker, heartbeat_interval, telemetry
+        )
         try:
             result = sweep(plan.specs_for(unit), **kwargs)
             from ..store.shards import write_shard
 
             write_shard(result.outcomes, plan.shard_path(unit))
-        except BaseException:
+        except BaseException as exc:
             plan.release(unit.name, worker)
+            if telemetry is not None:
+                telemetry.unit_released(
+                    unit, f"{type(exc).__name__}: {exc}"
+                )
             raise
         plan.complete(unit.name, worker, records=len(result.outcomes))
+        if telemetry is not None:
+            telemetry.unit_completed(unit, records=len(result.outcomes))
         executed.append(unit)
         if on_unit is not None:
             on_unit(unit, result)
     return executed
+
+
+def _heartbeat_on_result(
+    plan: DispatchPlan,
+    unit: ShardUnit,
+    worker: str,
+    interval: float,
+    telemetry: Any | None,
+) -> Callable[[Any], None] | None:
+    """The per-scenario callback that paces one unit's heartbeats.
+
+    Clock checks use the monotonic clock (wall-clock steps must not
+    suppress or burst-fire renewals); the manifest stamps stay wall
+    clock, as every lease field does.  With a zero/negative interval
+    and no telemetry there is nothing to do — return ``None`` so the
+    backends skip the callback entirely.
+    """
+    if interval <= 0 and telemetry is None:
+        return None
+    state = {"done": 0, "last": time.monotonic()}
+
+    def on_result(outcome: Any) -> None:
+        state["done"] += 1
+        if interval <= 0:
+            return
+        now = time.monotonic()
+        if now - state["last"] < interval:
+            return
+        state["last"] = now
+        renewed = plan.heartbeat(
+            unit.name, worker,
+            done=state["done"], total=unit.scenarios,
+        )
+        if telemetry is not None:
+            telemetry.unit_renewed(unit, state["done"], renewed)
+
+    return on_result

@@ -58,6 +58,13 @@ class KernelContext:
         #: each per-run ``bus.clear()``.  The unprofiled fast path pays
         #: one ``is None`` test per run.
         self.profiler: "SweepProfiler | None" = None
+        #: Active :class:`~repro.obs.metrics.MetricsRegistry`, or
+        #: ``None``.  Same lifecycle as :attr:`profiler`: the sweep
+        #: backends install it for one observed sweep, and
+        #: :meth:`fresh_bus` re-arms its kernel counting sinks per run.
+        #: Unobserved runs pay one ``is None`` test here and keep every
+        #: probe's ``emit`` at ``None``.
+        self.metrics: Any | None = None
 
     def topology(self, kind: str, n: int) -> "Topology | None":
         """The (cached) topology instance for ``kind`` at size ``n``.
@@ -88,6 +95,8 @@ class KernelContext:
         self.runs += 1
         if self.profiler is not None:
             self.profiler.arm(self.bus)
+        if self.metrics is not None:
+            self.metrics.arm(self.bus)
         return self.bus
 
     def clear(self) -> None:

@@ -119,35 +119,52 @@ def _phase(profiler: "SweepProfiler | None", name: str) -> Any:
 
 
 class _ProfiledSweep:
-    """Scope that activates a profiler on the process-local kernel context.
+    """Scope that activates sweep observers on the process-local context.
 
     While active, :func:`~repro.orchestration.matrix.run_scenario` times
     its build/simulate/report stages and
     :meth:`~repro.orchestration.kernel.KernelContext.fresh_bus` arms the
-    ``sim.step`` sink per run.  A ``None`` profiler makes the scope a
-    no-op, so every backend can wrap its body unconditionally.
+    ``sim.step`` sink per run.  An ``observer`` carrying a metrics
+    registry (:class:`~repro.obs.telemetry.SweepTelemetry`) likewise has
+    its kernel counting sinks re-armed per run.  With neither a profiler
+    nor an observer the scope is a no-op, so every backend can wrap its
+    body unconditionally.
     """
 
-    __slots__ = ("_profiler", "_context")
+    __slots__ = ("_profiler", "_metrics", "_context")
 
-    def __init__(self, profiler: "SweepProfiler | None") -> None:
+    def __init__(
+        self,
+        profiler: "SweepProfiler | None",
+        observer: Any | None = None,
+    ) -> None:
         self._profiler = profiler
+        self._metrics = (
+            getattr(observer, "metrics", None)
+            if observer is not None else None
+        )
         self._context = None
 
     def __enter__(self) -> "SweepProfiler | None":
-        if self._profiler is not None:
+        if self._profiler is not None or self._metrics is not None:
             from .kernel import default_context
 
             self._context = default_context()
-            self._profiler.start()
-            self._context.profiler = self._profiler
+            if self._profiler is not None:
+                self._profiler.start()
+                self._context.profiler = self._profiler
+            if self._metrics is not None:
+                self._context.metrics = self._metrics
         return self._profiler
 
     def __exit__(self, *exc: Any) -> None:
-        if self._profiler is not None:
-            self._context.profiler = None
+        if self._context is not None:
+            if self._profiler is not None:
+                self._context.profiler = None
+                self._profiler.stop()
+            if self._metrics is not None:
+                self._context.metrics = None
             self._context = None
-            self._profiler.stop()
 
 
 @dataclass
@@ -356,6 +373,13 @@ def _emit(outcomes: Iterable[ScenarioOutcome], on_result: OnResult | None) -> No
             on_result(outcome)
 
 
+def _observe_hits(observer: Any | None, outcomes: Iterable[ScenarioOutcome]) -> None:
+    """Report store-served outcomes to the telemetry observer."""
+    if observer is not None:
+        for outcome in outcomes:
+            observer.cache_hit(outcome)
+
+
 def _finish_serial(
     cached: list[ScenarioOutcome],
     missing: list[ScenarioSpec],
@@ -365,14 +389,18 @@ def _finish_serial(
     workers: int,
     started: float,
     profiler: "SweepProfiler | None" = None,
+    observer: Any | None = None,
 ) -> SweepResult:
     """Shared tail for the serial paths: run ``missing``, merge, aggregate."""
     outcomes = list(cached)
+    _observe_hits(observer, cached)
     _emit(cached, on_result)
     for spec in missing:
         outcome = run_scenario(spec, check_invariants=check_invariants)
         _store(cache, outcome, profiler)
         outcomes.append(outcome)
+        if observer is not None:
+            observer.executed(outcome)
         _emit((outcome,), on_result)
     return SweepResult.from_outcomes(
         outcomes,
@@ -389,6 +417,7 @@ def sweep_serial(
     check_invariants: bool = False,
     cache: "ResultCache | None" = None,
     profiler: "SweepProfiler | None" = None,
+    observer: Any | None = None,
 ) -> SweepResult:
     """Run every scenario in this process, in matrix order.
 
@@ -400,15 +429,23 @@ def sweep_serial(
     for the duration of this sweep: harness phases are timed here, and
     the per-run ``sim.step`` sink attributes simulator wall time per
     event label.
+
+    ``observer`` (a :class:`~repro.obs.telemetry.SweepTelemetry`) sees
+    every outcome as it lands — ``cache_hit`` for store-served cells,
+    ``executed`` for fresh ones — and its metrics registry, if any, is
+    armed on the kernel bus per run.  Both hooks are pointer-test-free
+    when absent: an unobserved sweep runs the exact same code with
+    ``observer is None``.
     """
     started = _timer()
-    with _ProfiledSweep(profiler):
+    with _ProfiledSweep(profiler, observer):
         cached, missing = _split_cached(
             _as_specs(scenarios, profiler), cache, check_invariants, profiler
         )
         return _finish_serial(
             cached, missing, on_result, check_invariants, cache,
             workers=1, started=started, profiler=profiler,
+            observer=observer,
         )
 
 
@@ -419,6 +456,7 @@ def sweep_async(
     check_invariants: bool = False,
     cache: "ResultCache | None" = None,
     profiler: "SweepProfiler | None" = None,
+    observer: Any | None = None,
 ) -> SweepResult:
     """Run a scenario matrix on a cooperative in-process asyncio backend.
 
@@ -438,13 +476,14 @@ def sweep_async(
     from collections import deque
 
     started = _timer()
-    with _ProfiledSweep(profiler):
+    with _ProfiledSweep(profiler, observer):
         cached, missing = _split_cached(
             _as_specs(scenarios, profiler), cache, check_invariants, profiler
         )
         if concurrency is None:
             concurrency = min(8, max(1, len(missing)))
         outcomes: list[ScenarioOutcome] = list(cached)
+        _observe_hits(observer, cached)
         _emit(cached, on_result)
         queue: deque[ScenarioSpec] = deque(missing)
 
@@ -454,6 +493,8 @@ def sweep_async(
                 outcome = run_scenario(spec, check_invariants=check_invariants)
                 _store(cache, outcome, profiler)
                 outcomes.append(outcome)
+                if observer is not None:
+                    observer.executed(outcome)
                 _emit((outcome,), on_result)
                 await asyncio.sleep(0)
 
@@ -480,6 +521,7 @@ def sweep_parallel(
     check_invariants: bool = False,
     cache: "ResultCache | None" = None,
     profiler: "SweepProfiler | None" = None,
+    observer: Any | None = None,
 ) -> SweepResult:
     """Run a scenario matrix on a process pool.
 
@@ -516,7 +558,7 @@ def sweep_parallel(
     if workers is None:
         workers = default_workers()
     started = _timer()
-    with _ProfiledSweep(profiler):
+    with _ProfiledSweep(profiler, observer):
         specs = _as_specs(scenarios, profiler)
         cached, missing = _split_cached(
             specs, cache, check_invariants, profiler
@@ -525,6 +567,7 @@ def sweep_parallel(
             return _finish_serial(
                 cached, missing, on_result, check_invariants, cache,
                 workers=max(1, workers), started=started, profiler=profiler,
+                observer=observer,
             )
         adaptive = chunksize is None
         # Seconds-per-scenario EMA; None until the first chunk reports back.
@@ -540,6 +583,7 @@ def sweep_parallel(
             )
 
         outcomes: list[ScenarioOutcome] = list(cached)
+        _observe_hits(observer, cached)
         _emit(cached, on_result)
         position = 0
         with ProcessPoolExecutor(
@@ -571,6 +615,8 @@ def sweep_parallel(
                         )
                     for outcome in chunk_outcomes:
                         _store(cache, outcome, profiler)
+                        if observer is not None:
+                            observer.executed(outcome)
                     outcomes.extend(chunk_outcomes)
                     _emit(chunk_outcomes, on_result)
         return SweepResult.from_outcomes(

@@ -115,6 +115,12 @@ class ShardCollector:
             :func:`~repro.store.shards.merge_shards`.
         exclude: Extra paths to never treat as shards (e.g. the merged
             output when it lives inside ``shard_dir``).
+        ledger: Optional event sink (duck-typed
+            :class:`~repro.obs.events.EventLedger`): every fold emits a
+            ``shard_folded`` event, so the fleet history records when
+            each shard landed, not just that it did.  ``None`` — the
+            default — emits nothing (the store layer never constructs
+            telemetry on its own).
     """
 
     def __init__(
@@ -123,6 +129,7 @@ class ShardCollector:
         checkpoint: str | os.PathLike[str] | None = None,
         on_conflict: str = "error",
         exclude: Iterable[str | os.PathLike[str]] = (),
+        ledger: Any | None = None,
     ) -> None:
         self.shard_dir = Path(shard_dir)
         self.checkpoint_path = (
@@ -134,6 +141,7 @@ class ShardCollector:
         self._exclude = {
             Path(p).resolve() for p in (self.checkpoint_path, *exclude)
         }
+        self.ledger = ledger
         self._restore()
 
     # -- state ----------------------------------------------------------
@@ -249,6 +257,13 @@ class ShardCollector:
             )
             self._checkpoint()
             result.folded.append(name)
+            if self.ledger is not None:
+                # Matches repro.obs.events.EVENT_SHARD_FOLDED; a string
+                # literal keeps the store layer free of obs imports.
+                self.ledger.emit(
+                    "shard_folded", shard=name, records=len(outcomes),
+                    total=self.records_folded,
+                )
         return result
 
     # -- results --------------------------------------------------------
@@ -288,6 +303,7 @@ def watch_shards(
     on_conflict: str = "error",
     checkpoint: str | os.PathLike[str] | None = None,
     on_scan: Callable[[ShardCollector, ScanResult], None] | None = None,
+    ledger: Any | None = None,
 ) -> MergeResult:
     """Collect a directory of shards into one merged result.
 
@@ -312,10 +328,14 @@ def watch_shards(
             "follow=True needs a completion condition: a dispatch "
             "manifest, expect_shards or expect_records"
         )
-    exclude = [out] if out is not None else []
+    exclude: list[Any] = [out] if out is not None else []
+    if ledger is not None and getattr(ledger, "path", None) is not None:
+        # A ledger living inside shard_dir must never be scanned as a
+        # shard (its records are not scenario outcomes).
+        exclude.append(ledger.path)
     collector = ShardCollector(
         shard_dir, checkpoint=checkpoint, on_conflict=on_conflict,
-        exclude=exclude,
+        exclude=exclude, ledger=ledger,
     )
     deadline = None if timeout is None else time.monotonic() + timeout
 

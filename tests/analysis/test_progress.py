@@ -1,0 +1,75 @@
+"""Progress rendering degrades instead of raising on odd inputs."""
+
+import shutil
+
+from repro.analysis.progress import (
+    format_eta,
+    render_progress,
+    terminal_bar_width,
+)
+
+
+class TestRenderProgress:
+    def test_normal_bar(self):
+        assert render_progress(12, 40, width=10) == "[###.......] 12/40 (30%)"
+
+    def test_zero_total_renders_indefinite(self):
+        assert render_progress(5, 0, width=4) == "[----] 5/?"
+        assert render_progress(0, 0, width=4) == "[----] 0/?"
+
+    def test_negative_total_renders_indefinite(self):
+        assert render_progress(3, -1, width=4) == "[----] 3/?"
+
+    def test_negative_done_clamps_to_zero(self):
+        assert render_progress(-7, 10, width=5) == "[.....] 0/10 (0%)"
+        assert render_progress(-7, 0, width=4) == "[----] 0/?"
+
+    def test_done_beyond_total_clamps_to_full(self):
+        assert render_progress(99, 10, width=5) == "[#####] 10/10 (100%)"
+
+    def test_width_below_one_clamps_to_one_cell(self):
+        assert render_progress(1, 2, width=0) == "[.] 1/2 (50%)"
+        assert render_progress(2, 2, width=-5) == "[#] 2/2 (100%)"
+
+
+class TestTerminalBarWidth:
+    def test_fits_a_narrow_terminal(self, monkeypatch):
+        monkeypatch.setattr(
+            shutil, "get_terminal_size",
+            lambda: shutil.os.terminal_size((40, 24)),
+        )
+        assert terminal_bar_width(reserve=30) == 10
+
+    def test_wide_terminal_caps_at_the_default(self, monkeypatch):
+        monkeypatch.setattr(
+            shutil, "get_terminal_size",
+            lambda: shutil.os.terminal_size((500, 24)),
+        )
+        assert terminal_bar_width() == 30
+
+    def test_too_narrow_never_goes_below_one(self, monkeypatch):
+        monkeypatch.setattr(
+            shutil, "get_terminal_size",
+            lambda: shutil.os.terminal_size((10, 24)),
+        )
+        assert terminal_bar_width(reserve=30) == 1
+
+    def test_unknowable_size_falls_back(self, monkeypatch):
+        def boom():
+            raise OSError("no tty")
+
+        monkeypatch.setattr(shutil, "get_terminal_size", boom)
+        assert terminal_bar_width() == 30
+
+
+class TestFormatEta:
+    def test_linear_projection(self):
+        assert format_eta(10, 20, elapsed=10.0) == "~10s left"
+
+    def test_long_remainders_in_minutes(self):
+        assert format_eta(1, 100, elapsed=2.0) == "~3.3min left"
+
+    def test_no_rate_or_finished_is_empty(self):
+        assert format_eta(0, 10, elapsed=5.0) == ""
+        assert format_eta(5, 10, elapsed=0.0) == ""
+        assert format_eta(10, 10, elapsed=5.0) == ""

@@ -1,0 +1,165 @@
+"""Trace Event Format export: converters and the structural validator."""
+
+import json
+
+import pytest
+
+from repro.analysis.traces import TraceEvent
+from repro.obs.chrometrace import (
+    trace_from_ledger,
+    trace_from_profile,
+    trace_from_tracer,
+    validate_trace,
+    write_trace,
+)
+
+
+def _ledger_record(type, worker, ts, **fields):
+    return {"v": 1, "type": type, "run": "r", "worker": worker,
+            "ts": ts, "mono": ts, **fields}
+
+
+class TestValidator:
+    def test_accepts_object_and_array_forms(self):
+        events = [{"name": "a", "ph": "i", "ts": 1.0, "s": "t"}]
+        assert validate_trace({"traceEvents": events}) == 1
+        assert validate_trace(events) == 1
+        assert validate_trace([]) == 0
+
+    @pytest.mark.parametrize("event, message", [
+        ({"name": "a", "ph": "Q", "ts": 0}, "unsupported phase"),
+        ({"name": "a", "ph": "i", "ts": "soon"}, "bad ts"),
+        ({"name": "a", "ph": "i", "ts": -1}, "bad ts"),
+        ({"ph": "i", "ts": 0}, "no name"),
+        ({"name": "a", "ph": "X", "ts": 0}, "bad dur"),
+        ({"name": "a", "ph": "s", "ts": 0}, "no id"),
+        ("not an object", "not an object"),
+    ])
+    def test_rejects_malformed_events(self, event, message):
+        with pytest.raises(ValueError, match=message):
+            validate_trace([event])
+
+    def test_rejects_non_trace_values(self):
+        with pytest.raises(ValueError, match="must be an object or array"):
+            validate_trace(42)
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace({"events": []})
+
+    def test_metadata_needs_no_ts(self):
+        assert validate_trace([{"name": "process_name", "ph": "M"}]) == 1
+
+
+class TestFromTracer:
+    def _events(self):
+        return [
+            TraceEvent(1.0, "send", pid=1,
+                       detail={"tag": "ECHO", "uid": 7, "dest": 2}),
+            TraceEvent(3.0, "deliver", pid=2,
+                       detail={"tag": "ECHO", "uid": 7}),
+            TraceEvent(4.0, "decide", pid=2, detail={"value": "a"}),
+        ]
+
+    def test_virtual_time_maps_to_milliseconds(self):
+        trace = trace_from_tracer(self._events())
+        validate_trace(trace)
+        send = next(e for e in trace["traceEvents"]
+                    if e.get("name") == "send ECHO")
+        assert send["ts"] == 1000.0  # 1 virtual unit = 1000 us = 1 ms
+
+    def test_send_deliver_linked_by_flow_id(self):
+        events = trace_from_tracer(self._events())["traceEvents"]
+        start = next(e for e in events if e["ph"] == "s")
+        finish = next(e for e in events if e["ph"] == "f")
+        assert start["id"] == finish["id"] == 7
+
+    def test_each_process_gets_a_named_track(self):
+        events = trace_from_tracer(self._events())["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e.get("name") == "thread_name"}
+        assert names == {"process 1", "process 2"}
+
+    def test_non_primitive_detail_is_stringified(self):
+        class Sentinel:
+            def __repr__(self):
+                return "<bot>"
+
+        trace = trace_from_tracer(
+            [TraceEvent(0.0, "decide", pid=1,
+                        detail={"value": Sentinel()})]
+        )
+        json.dumps(trace)  # must be serialisable
+        marker = next(e for e in trace["traceEvents"]
+                      if e.get("cat") == "decide")
+        assert marker["args"]["value"] == "<bot>"
+
+    def test_accepts_a_tracer_object(self):
+        class FakeTracer:
+            events = []
+
+        assert trace_from_tracer(FakeTracer())["traceEvents"]
+
+
+class TestFromProfile:
+    def test_phases_laid_end_to_end(self):
+        profile = {
+            "phases": {"expand": {"seconds": 0.5, "calls": 1},
+                       "simulate": {"seconds": 1.5, "calls": 4}},
+            "sim": {"labels": {"ECHO": {"seconds": 1.0, "events": 9}}},
+        }
+        trace = trace_from_profile(profile)
+        validate_trace(trace)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        expand, simulate, echo = slices
+        assert (expand["ts"], expand["dur"]) == (0.0, 0.5e6)
+        assert simulate["ts"] == 0.5e6  # starts where expand ended
+        assert echo["tid"] != expand["tid"]  # sim labels on their own track
+
+
+class TestFromLedger:
+    def test_claim_opens_a_span_completion_closes_it(self):
+        trace = trace_from_ledger([
+            _ledger_record("unit_claimed", "w0", 10.0, unit="u1"),
+            _ledger_record("unit_completed", "w0", 13.0, unit="u1"),
+        ])
+        validate_trace(trace)
+        spans = [e for e in trace["traceEvents"] if e["ph"] in "BE"]
+        assert [(e["ph"], e["name"]) for e in spans] \
+            == [("B", "u1"), ("E", "u1")]
+        assert spans[1]["ts"] - spans[0]["ts"] == pytest.approx(3e6)
+
+    def test_reclaim_closes_the_stale_span(self):
+        trace = trace_from_ledger([
+            _ledger_record("unit_claimed", "w0", 1.0, unit="u1"),
+            _ledger_record("unit_claimed", "w0", 2.0, unit="u2"),
+        ])
+        phases = [e["ph"] for e in trace["traceEvents"]
+                  if e["ph"] in "BE"]
+        assert phases == ["B", "E", "B"]  # u1 auto-closed before u2
+
+    def test_one_process_per_worker(self):
+        trace = trace_from_ledger([
+            _ledger_record("unit_claimed", "w0", 1.0, unit="a"),
+            _ledger_record("unit_claimed", "w1", 1.5, unit="b"),
+        ])
+        pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "B"}
+        assert len(pids) == 2
+
+    def test_empty_slice(self):
+        assert trace_from_ledger([]) == {
+            "traceEvents": [], "displayTimeUnit": "ms"
+        }
+
+
+class TestWrite:
+    def test_write_validates_and_persists(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_trace(path, {"traceEvents": [
+            {"name": "a", "ph": "i", "ts": 0.0, "s": "t"}
+        ]})
+        assert validate_trace(json.loads(path.read_text())) == 1
+
+    def test_write_refuses_a_bad_trace(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(tmp_path / "t.json",
+                        {"traceEvents": [{"ph": "?"}]})
+        assert not (tmp_path / "t.json").exists()

@@ -1,0 +1,145 @@
+"""The event ledger: append discipline, filters, torn-tail tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.events import (
+    LEDGER_VERSION,
+    EventLedger,
+    format_event,
+    read_events,
+    tail_events,
+)
+
+
+def make_ledger(path, worker="w0", start=100.0):
+    """A ledger with a deterministic wall clock (1s per emit)."""
+    state = {"t": start}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    return EventLedger(path, run_id="r1", worker=worker, clock=clock,
+                       mono=lambda: 0.0)
+
+
+class TestEmit:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with make_ledger(path) as ledger:
+            record = ledger.emit("unit_claimed", unit="u1", attempt=1)
+        assert record["type"] == "unit_claimed"
+        [read] = list(read_events(path))
+        assert read == record
+        assert read["run"] == "r1" and read["worker"] == "w0"
+        assert read["v"] == LEDGER_VERSION
+
+    def test_envelope_shadowing_raises(self, tmp_path):
+        with make_ledger(tmp_path / "e.jsonl") as ledger:
+            with pytest.raises(ValueError, match="shadows"):
+                ledger.emit("x", worker="impostor")
+
+    def test_each_record_is_one_terminated_line(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with make_ledger(path) as ledger:
+            ledger.emit("a")
+            ledger.emit("b", payload="x\ny")  # embedded newline is escaped
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_emit_after_close_reopens(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        ledger = make_ledger(path)
+        ledger.emit("a")
+        ledger.close()
+        ledger.emit("b")
+        ledger.close()
+        assert [r["type"] for r in read_events(path)] == ["a", "b"]
+
+    def test_two_writers_interleave_at_line_granularity(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        a, b = make_ledger(path, "wA"), make_ledger(path, "wB")
+        for i in range(20):
+            (a if i % 2 == 0 else b).emit("tick", i=i)
+        a.close(), b.close()
+        records = list(read_events(path))
+        assert len(records) == 20
+        assert sorted(r["i"] for r in records) == list(range(20))
+
+
+class TestRead:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(read_events(tmp_path / "nope.jsonl")) == []
+
+    def test_filters(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with make_ledger(path, "wA") as a, make_ledger(path, "wB") as b:
+            a.emit("claim")       # ts 101
+            b.emit("complete")    # ts 101 (its own clock)
+            a.emit("complete")    # ts 102
+        assert [r["worker"] for r in read_events(path, worker="wA")] \
+            == ["wA", "wA"]
+        assert len(list(read_events(path, types=["complete"]))) == 2
+        assert len(list(read_events(path, since=102.0))) == 1
+        assert list(read_events(path, run="other")) == []
+
+    def test_unterminated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with make_ledger(path) as ledger:
+            ledger.emit("a")
+        with open(path, "a") as fh:
+            fh.write('{"v": 1, "type": "torn", "ts"')  # mid-write crash
+        assert [r["type"] for r in read_events(path)] == ["a"]
+
+    def test_corrupt_terminated_line_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"v": 1, "type": "a", "ts": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="corrupt ledger line"):
+            list(read_events(path))
+
+    def test_newer_ledger_version_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text(
+            json.dumps({"v": LEDGER_VERSION + 1, "type": "a", "ts": 1})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="newer than this code"):
+            list(read_events(path))
+
+    def test_tail_returns_the_last_n(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with make_ledger(path) as ledger:
+            for i in range(10):
+                ledger.emit("tick", i=i)
+        assert [r["i"] for r in tail_events(path, n=3)] == [7, 8, 9]
+        assert tail_events(path, n=0) == []
+
+    def test_reader_spans_chunk_boundaries(self, tmp_path):
+        # Records larger than the read chunk still parse (the reader
+        # carries partial lines across 64 KiB chunk boundaries).
+        path = tmp_path / "e.jsonl"
+        with make_ledger(path) as ledger:
+            for i in range(4):
+                ledger.emit("big", blob="x" * (1 << 15), i=i)
+        assert [r["i"] for r in read_events(path)] == [0, 1, 2, 3]
+
+
+class TestFormat:
+    def test_format_event_is_one_line(self):
+        line = format_event(
+            {"v": 1, "type": "unit_claimed", "run": "r", "worker": "w0",
+             "ts": 0.0, "mono": 0.0, "unit": "u1"}
+        )
+        assert "\n" not in line
+        assert "unit_claimed" in line and "unit=u1" in line
+
+    def test_bulky_values_are_elided(self):
+        line = format_event(
+            {"v": 1, "type": "done", "run": "", "worker": "", "ts": 0.0,
+             "mono": 0.0, "metrics": {str(i): i for i in range(50)}}
+        )
+        assert "metrics=<dict:50>" in line

@@ -1,0 +1,103 @@
+"""The `repro top` fleet view: throughput, ETA, straggler detection."""
+
+import pytest
+
+from repro.obs.fleet import fleet_rows, render_top
+from repro.orchestration.dispatch import plan_dispatch
+from repro.orchestration.matrix import ScenarioMatrix
+
+T0 = 1000.0
+
+
+@pytest.fixture
+def plan(tmp_path):
+    matrix = ScenarioMatrix(seeds=range(8), base_seed=3)
+    return plan_dispatch(
+        matrix, tmp_path / "d", units=2, lease_seconds=60.0, now=T0
+    )
+
+
+def row_for(plan, name, now, **kwargs):
+    return next(
+        r for r in fleet_rows(plan, now=now, **kwargs) if r.unit == name
+    )
+
+
+class TestRows:
+    def test_pending_units_are_not_listed(self, plan):
+        assert fleet_rows(plan, now=T0) == []
+
+    def test_heartbeat_progress_drives_throughput_and_eta(self, plan):
+        unit = plan.claim("w0", now=T0)
+        plan.heartbeat(unit.name, "w0", done=2, total=4, now=T0 + 10)
+        row = row_for(plan, unit.name, now=T0 + 10)
+        assert row.state == "leased"
+        assert (row.done, row.total) == (2, 4)
+        assert row.throughput == pytest.approx(0.2)  # 2 done in 10s
+        assert row.eta  # half done at a known rate => an ETA exists
+        assert row.heartbeat_age == 0.0
+        assert not row.straggler
+
+    def test_claim_with_no_heartbeat_counts_age_from_the_claim(self, plan):
+        unit = plan.claim("w0", now=T0)
+        row = row_for(plan, unit.name, now=T0 + 5)
+        assert row.heartbeat_age == 5.0
+        assert row.throughput == 0.0 and row.eta == ""
+
+    def test_quiet_pulse_flags_a_straggler(self, plan):
+        unit = plan.claim("w0", now=T0)
+        # Default stale threshold is lease/2 = 30s.
+        assert not row_for(plan, unit.name, now=T0 + 29).straggler
+        assert row_for(plan, unit.name, now=T0 + 31).straggler
+        # An explicit threshold overrides the default.
+        assert row_for(
+            plan, unit.name, now=T0 + 5, stale_after=1.0
+        ).straggler
+
+    def test_heartbeat_resets_the_straggler_clock(self, plan):
+        unit = plan.claim("w0", now=T0)
+        plan.heartbeat(unit.name, "w0", now=T0 + 25)
+        assert not row_for(plan, unit.name, now=T0 + 40).straggler
+
+    def test_expired_lease_reads_as_expired(self, plan):
+        unit = plan.claim("w0", now=T0)
+        row = row_for(plan, unit.name, now=T0 + 61)
+        assert row.state == "expired"
+
+    def test_done_unit_reports_its_records(self, plan):
+        unit = plan.claim("w0", now=T0)
+        plan.complete(unit.name, "w0", records=4)
+        row = row_for(plan, unit.name, now=T0 + 20)
+        assert row.state == "done"
+        assert (row.done, row.total) == (4, 4)
+        assert row.heartbeat_age is None and not row.straggler
+
+
+class TestRender:
+    def test_idle_plan_renders_without_a_table(self, plan):
+        screen = render_top(plan, now=T0)
+        assert plan.run_id in screen
+        assert "no active workers" in screen
+        assert "[" in screen  # the overall progress bar
+
+    def test_active_fleet_renders_a_table(self, plan):
+        unit = plan.claim("w0", now=T0)
+        plan.heartbeat(unit.name, "w0", done=1, total=4, now=T0 + 10)
+        screen = render_top(plan, now=T0 + 10)
+        assert "UNIT" in screen and "WORKER" in screen
+        assert unit.name in screen and "w0" in screen
+        assert "STALE" not in screen
+
+    def test_straggler_is_flagged_on_its_line(self, plan):
+        unit = plan.claim("w0", now=T0)
+        screen = render_top(plan, now=T0 + 45)
+        line = next(l for l in screen.splitlines() if unit.name in l)
+        assert line.endswith("STALE")
+
+    def test_done_units_fill_the_header_bar_only(self, plan):
+        for worker in ("w0", "w1"):
+            unit = plan.claim(worker, now=T0)
+            plan.complete(unit.name, worker, records=4)
+        screen = render_top(plan, now=T0 + 5)
+        assert "no active workers" in screen
+        assert "8/8 (100%)" in screen

@@ -1,0 +1,127 @@
+"""The metrics registry: families, label series, kernel-bus arming."""
+
+import json
+
+import pytest
+
+from repro.instrumentation import (
+    NET_DELIVER,
+    NET_SEND,
+    SIM_STEP,
+    InstrumentationBus,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_labelled_series_are_independent(self):
+        c = Counter("requests")
+        c.inc(source="cache")
+        c.inc(2, source="executed")
+        assert c.value(source="cache") == 1
+        assert c.value(source="executed") == 2
+        assert c.value(source="missing") == 0
+        assert c.total() == 3
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x")
+        c.inc(a=1, b=2)
+        c.inc(b=2, a=1)
+        assert c.value(a=1, b=2) == 2
+
+    def test_cannot_decrease(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            h.observe(value)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(6.25)
+        [series] = h.to_dict()["series"]
+        # Cumulative Prometheus-style buckets: <=0.1, <=1.0, +Inf.
+        assert [b["count"] for b in series["buckets"]] == [1, 3, 4]
+        assert series["buckets"][-1]["le"] == "+Inf"
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError, match=">= 1 bucket"):
+            Histogram("x", buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="is a counter, not a gauge"):
+            reg.gauge("a")
+
+    def test_snapshot_is_json_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("z").set(1)
+        reg.counter("a").inc(tag="X")
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "z"]
+        json.dumps(snap)  # must be JSON-serialisable as-is
+
+
+class _Msg:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestKernelArming:
+    def test_arm_attaches_the_three_kernel_sinks(self):
+        reg = MetricsRegistry()
+        bus = InstrumentationBus()
+        reg.arm(bus)
+        assert bus.probe(NET_SEND).emit is not None
+        assert bus.probe(NET_DELIVER).emit is not None
+        assert bus.probe(SIM_STEP).emit is not None
+        bus.probe(NET_SEND).emit(_Msg("ECHO"), 1.0)
+        bus.probe(NET_DELIVER).emit(_Msg("ECHO"), 2.0)
+        bus.probe(SIM_STEP).emit(object())
+        assert reg.counter(reg.KERNEL_SENT).value(tag="ECHO") == 1
+        assert reg.counter(reg.KERNEL_DELIVERED).value(tag="ECHO") == 1
+        assert reg.counter(reg.KERNEL_STEPS).value() == 1
+        assert reg.counter(reg.KERNEL_RUNS).value() == 1
+        assert reg.armed_runs == 1
+
+    def test_unarmed_bus_keeps_emit_none(self):
+        bus = InstrumentationBus()
+        assert bus.probe(NET_SEND).emit is None
+        assert bus.probe(SIM_STEP).emit is None
+
+    def test_attach_many_arms_each_named_probe(self):
+        bus = InstrumentationBus()
+        seen = []
+        bus.attach_many({"a": seen.append, "b": seen.append})
+        bus.probe("a").emit(1)
+        bus.probe("b").emit(2)
+        assert seen == [1, 2]

@@ -229,6 +229,135 @@ class TestRunClaims:
         with pytest.raises(ValueError, match="unknown backend"):
             run_claims(tmp_path / "d", worker="w", backend="quantum")
 
+    def test_tiny_heartbeat_interval_renews_while_executing(
+        self, tmp_path, matrix
+    ):
+        plan = plan_dispatch(matrix, tmp_path / "d", units=2)
+        renewals = []
+
+        class Recorder:
+            """Duck-typed telemetry: only the renewal hook records."""
+
+            def unit_claimed(self, unit):
+                pass
+
+            def unit_renewed(self, unit, done, renewed):
+                renewals.append((done, renewed))
+
+            def unit_completed(self, unit, records):
+                pass
+
+            def unit_released(self, unit, error):
+                pass
+
+            def executed(self, outcome):
+                pass
+
+            def cache_hit(self, outcome):
+                pass
+
+        run_claims(
+            plan, worker="w1", heartbeat_interval=1e-9,
+            telemetry=Recorder(),
+        )
+        assert renewals  # every scenario check found the interval due
+        assert all(renewed for _, renewed in renewals)
+        assert max(done for done, _ in renewals) >= 1
+        assert DispatchPlan.load(tmp_path / "d").finished
+
+
+T0 = 1000.0
+
+
+class TestHeartbeats:
+    @pytest.fixture
+    def plan(self, tmp_path):
+        small = ScenarioMatrix(seeds=range(2), base_seed=5)
+        return plan_dispatch(
+            small, tmp_path / "d", units=1, lease_seconds=50
+        )
+
+    def test_heartbeat_renews_the_lease(self, plan):
+        unit = plan.claim("w1", now=T0)
+        assert plan.heartbeat(unit.name, "w1", now=T0 + 40) is True
+        # Without the renewal the lease would have expired at T0+50.
+        assert plan.claim("w2", now=T0 + 60) is None
+        loaded = DispatchPlan.load(plan.root)
+        assert loaded._unit(unit.name).lease_expires == T0 + 40 + 50
+
+    def test_heartbeat_records_progress(self, plan):
+        unit = plan.claim("w1", now=T0)
+        plan.heartbeat(unit.name, "w1", done=3, total=8, now=T0 + 10)
+        loaded = DispatchPlan.load(plan.root)._unit(unit.name)
+        assert (loaded.progress_done, loaded.progress_total) == (3, 8)
+        assert loaded.heartbeat_at == T0 + 10
+        assert loaded.heartbeat_age(T0 + 15) == 5.0
+
+    def test_wrong_owner_heartbeat_changes_nothing(self, plan):
+        unit = plan.claim("w1", now=T0)
+        assert plan.heartbeat(unit.name, "w2", now=T0 + 1) is False
+        loaded = DispatchPlan.load(plan.root)._unit(unit.name)
+        assert loaded.heartbeat_at is None
+        assert loaded.lease_expires == T0 + 50
+
+    def test_unleased_unit_rejects_heartbeats(self, plan):
+        unit = plan.claim("w1", now=T0)
+        plan.complete(unit.name, "w1", records=2)
+        assert plan.heartbeat(unit.name, "w1", now=T0 + 1) is False
+
+    def test_expired_but_unreclaimed_lease_is_renewed(self, plan):
+        # The worker just proved it is alive — exactly what renewal is
+        # for.  Only an actual reclaim forfeits the lease.
+        unit = plan.claim("w1", now=T0)
+        assert plan.heartbeat(unit.name, "w1", now=T0 + 60) is True
+        loaded = DispatchPlan.load(plan.root)._unit(unit.name)
+        assert loaded.lease_expires == T0 + 60 + 50
+
+    def test_late_heartbeat_cannot_steal_a_reclaimed_unit(self, plan):
+        unit = plan.claim("w1", now=T0)
+        stolen = plan.claim("w2", now=T0 + 60)  # w1's lease expired
+        assert stolen.name == unit.name and stolen.owner == "w2"
+        assert plan.heartbeat(unit.name, "w1", now=T0 + 61) is False
+        loaded = DispatchPlan.load(plan.root)._unit(unit.name)
+        assert loaded.owner == "w2"
+        assert loaded.lease_expires == T0 + 60 + 50
+
+    def test_fresh_claim_never_inherits_a_pulse(self, plan):
+        unit = plan.claim("w1", now=T0)
+        plan.heartbeat(unit.name, "w1", done=5, total=8, now=T0 + 10)
+        again = plan.claim("w2", now=T0 + 100)  # reclaim after expiry
+        assert again.heartbeat_at is None
+        assert again.progress_done is None and again.progress_total is None
+        assert again.claimed_at == T0 + 100
+
+    def test_stale_units_and_reclaim(self, plan):
+        unit = plan.claim("w1", now=T0)
+        assert plan.stale_units(now=T0 + 10) == []
+        assert [u.name for u in plan.stale_units(now=T0 + 60)] \
+            == [unit.name]
+        reclaimed = plan.reclaim_stale(now=T0 + 60)
+        assert [u.name for u in reclaimed] == [unit.name]
+        loaded = DispatchPlan.load(plan.root)._unit(unit.name)
+        assert loaded.status == "pending" and loaded.owner is None
+        assert loaded.attempts == 1  # the spent attempt stays counted
+        assert plan.reclaim_stale(now=T0 + 60) == []  # idempotent
+        assert plan.claim("w2", now=T0 + 61) is not None
+
+    def test_old_manifest_without_heartbeat_fields_loads(self, plan):
+        # Manifests written before the heartbeat fields existed must
+        # load as "never heartbeat", not crash.
+        manifest = json.loads(plan.manifest_path.read_text())
+        for record in manifest["units"]:
+            for key in ("claimed_at", "heartbeat_at",
+                        "progress_done", "progress_total"):
+                del record[key]
+        plan.manifest_path.write_text(json.dumps(manifest))
+        loaded = DispatchPlan.load(plan.root)
+        unit = loaded.units[0]
+        assert unit.heartbeat_at is None and unit.claimed_at is None
+        assert unit.heartbeat_age(T0) is None
+        assert loaded.claim("w1", now=T0) is not None
+
 
 class TestDispatchCli:
     """plan → claim ×2 → status → collect, through the real CLI."""

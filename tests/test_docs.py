@@ -13,13 +13,20 @@ from check_docs_links import dead_links, iter_doc_files  # noqa: E402
 def test_docs_exist():
     names = {p.name for p in iter_doc_files(ROOT)}
     assert {"README.md", "index.md", "sweeps.md", "store.md",
-            "kernel.md", "profiling.md"} <= names
+            "kernel.md", "profiling.md", "observability.md"} <= names
 
 
 def test_profiling_page_is_cross_linked():
     for page in ("index.md", "kernel.md", "sweeps.md"):
         text = (ROOT / "docs" / page).read_text(encoding="utf-8")
         assert "profiling.md" in text, f"{page} lost its profiling link"
+
+
+def test_observability_page_is_cross_linked():
+    for page in ("index.md", "sweeps.md", "profiling.md"):
+        text = (ROOT / "docs" / page).read_text(encoding="utf-8")
+        assert "observability.md" in text, \
+            f"{page} lost its observability link"
 
 
 def test_no_dead_relative_links():
