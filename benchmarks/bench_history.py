@@ -16,19 +16,21 @@ replaces that label's entry instead of duplicating it, so CI can
 regenerate freely.
 
 The script is also the **trend gate**: after recording the new point
-it compares its sweep serial scenarios/sec against the previous
-history point measured under the same ``quick`` mode and exits 2 when
-throughput dropped by more than ``--max-sweep-drop`` (default 15%).
-The PR4→PR5 sweep regression shipped precisely because recording was
-not gating; see ``docs/profiling.md`` for the post-mortem.
-``--no-gate`` restores record-only behaviour for deliberately slower
-points.
+it compares its sweep serial scenarios/sec *and* its kernel speedup
+geomean against the previous history point measured under the same
+``quick`` mode and exits 2 when either dropped by more than
+``--max-sweep-drop`` / ``--max-kernel-drop`` (default 15% each).
+The PR4→PR5 sweep regression shipped because recording was not gating,
+and the PR7 kernel regression shipped because only the sweep was gated;
+see ``docs/profiling.md`` for the post-mortems.  ``--no-gate`` restores
+record-only behaviour for deliberately slower points.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_history.py
         [--kernel PATH] [--sweep PATH] [--history PATH] [--label TEXT]
-        [--max-sweep-drop FRACTION] [--no-gate]
+        [--max-sweep-drop FRACTION] [--max-kernel-drop FRACTION]
+        [--no-gate]
 """
 
 from __future__ import annotations
@@ -92,31 +94,39 @@ def append_entry(history: list[dict], entry: dict) -> list[dict]:
     return out
 
 
-def check_sweep_trend(
-    history: list[dict], entry: dict, max_drop: float
-) -> str | None:
-    """The gate: compare ``entry`` against the previous comparable point.
-
-    Comparable means the most recent *other* label recorded under the
-    same ``quick`` mode — CI's quick numbers are never judged against
-    full local runs.  Returns a failure message when the new point's
-    sweep serial scenarios/sec dropped by more than ``max_drop``
-    (a fraction), else ``None``.  Missing numbers on either side skip
-    the gate: the first point of a mode has nothing to regress from.
-    """
-    current = entry.get("sweep_serial_sps")
-    if not current:
-        return None
-    previous = next(
+def _previous_point(
+    history: list[dict], entry: dict, metric: str
+) -> dict | None:
+    """The most recent *other* label recorded under the same ``quick``
+    mode with ``metric`` present — CI's quick numbers are never judged
+    against full local runs."""
+    return next(
         (
             e
             for e in reversed(history)
             if e.get("label") != entry["label"]
             and e.get("quick") == entry.get("quick")
-            and e.get("sweep_serial_sps")
+            and e.get(metric)
         ),
         None,
     )
+
+
+def check_sweep_trend(
+    history: list[dict], entry: dict, max_drop: float
+) -> str | None:
+    """The sweep gate: compare ``entry`` against the previous comparable
+    point.
+
+    Returns a failure message when the new point's sweep serial
+    scenarios/sec dropped by more than ``max_drop`` (a fraction), else
+    ``None``.  Missing numbers on either side skip the gate: the first
+    point of a mode has nothing to regress from.
+    """
+    current = entry.get("sweep_serial_sps")
+    if not current:
+        return None
+    previous = _previous_point(history, entry, "sweep_serial_sps")
     if previous is None:
         return None
     baseline = previous["sweep_serial_sps"]
@@ -129,6 +139,34 @@ def check_sweep_trend(
         f"gate allows {max_drop:.0%}. Run `python -m repro profile` to "
         f"localise it (docs/profiling.md), or pass --no-gate for a "
         f"deliberate slowdown."
+    )
+
+
+def check_kernel_trend(
+    history: list[dict], entry: dict, max_drop: float
+) -> str | None:
+    """The kernel gate: same shape as :func:`check_sweep_trend`, over
+    the kernel speedup geomean (events/sec vs the frozen PR 1 baseline).
+
+    The PR 7 telemetry hooks cost the kernel 14% and sailed through
+    because only sweep throughput was gated; this closes that hole.
+    """
+    current = entry.get("kernel_speedup_geomean")
+    if not current:
+        return None
+    previous = _previous_point(history, entry, "kernel_speedup_geomean")
+    if previous is None:
+        return None
+    baseline = previous["kernel_speedup_geomean"]
+    drop = (baseline - current) / baseline
+    if drop <= max_drop:
+        return None
+    return (
+        f"kernel throughput regression: speedup geomean {current:.3f}x "
+        f"is {drop:.1%} below '{previous['label']}' ({baseline:.3f}x); "
+        f"gate allows {max_drop:.0%}. Run "
+        f"`python benchmarks/bench_kernel_events.py` per-case numbers to "
+        f"localise it, or pass --no-gate for a deliberate slowdown."
     )
 
 
@@ -176,9 +214,13 @@ def main(argv=None) -> int:
                         help="fail when sweep serial scenarios/s drops "
                              "by more than this fraction vs the "
                              "previous same-mode point (default 0.15)")
+    parser.add_argument("--max-kernel-drop", type=float, default=0.15,
+                        help="fail when the kernel speedup geomean drops "
+                             "by more than this fraction vs the "
+                             "previous same-mode point (default 0.15)")
     parser.add_argument("--no-gate", action="store_true",
                         help="record the point without enforcing the "
-                             "sweep-throughput trend gate")
+                             "trend gates")
     args = parser.parse_args(argv)
 
     try:
@@ -203,11 +245,21 @@ def main(argv=None) -> int:
     print(f"history      : {args.history} ({len(history)} entr(ies))")
 
     if not args.no_gate:
-        failure = check_sweep_trend(prior, entry, args.max_sweep_drop)
-        if failure is not None:
-            print(f"TREND GATE FAILED: {failure}", file=sys.stderr)
+        failures = [
+            failure
+            for failure in (
+                check_sweep_trend(prior, entry, args.max_sweep_drop),
+                check_kernel_trend(prior, entry, args.max_kernel_drop),
+            )
+            if failure is not None
+        ]
+        if failures:
+            for failure in failures:
+                print(f"TREND GATE FAILED: {failure}", file=sys.stderr)
             return 2
-        print(f"trend gate   : OK (max sweep drop {args.max_sweep_drop:.0%})")
+        print(f"trend gate   : OK (max sweep drop "
+              f"{args.max_sweep_drop:.0%}, max kernel drop "
+              f"{args.max_kernel_drop:.0%})")
     return 0
 
 

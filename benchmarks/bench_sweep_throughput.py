@@ -124,16 +124,32 @@ def main(argv=None) -> int:
         seeds=range(2),
     )
     workers = default_workers()
-    serial = sweep_serial(matrix)
-    parallel = sweep_parallel(matrix, workers=workers)
+    # Best-of-N per executor (same policy as bench_kernel_events): one
+    # pass is ±5% scheduler noise on a small container, which is larger
+    # than the regressions the trend gate is meant to catch.
+    repeats = 1 if args.quick else 3
+    serial = min((sweep_serial(matrix) for _ in range(repeats)),
+                 key=lambda r: r.elapsed)
+    # Cold pass spawns the shared pool (and pays for it); the warm passes
+    # reuse it, which is the steady state every sweep after the first
+    # sees — fleet runs (run_claims) share one pool across all units.
+    cold = sweep_parallel(matrix, workers=workers)
+    parallel = min((sweep_parallel(matrix, workers=workers)
+                    for _ in range(repeats)), key=lambda r: r.elapsed)
+    assert identical(serial, cold), "parallel sweep must be bit-identical"
     assert identical(serial, parallel), "parallel sweep must be bit-identical"
+    scenarios = len(serial.outcomes)
+    # Wall time the pooled sweep spends beyond perfectly-scaled serial
+    # execution — transport, chunk round-trips, parent-side decode.  On
+    # one core (inline dispatch) this is pure noise around zero.
+    overhead = max(0.0, parallel.elapsed - serial.elapsed / max(1, workers))
     payload = {
         "bench": "sweep_throughput",
         "quick": args.quick,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "scenarios": len(serial.outcomes),
+        "scenarios": scenarios,
         "workers": workers,
         "metrics": {
             "serial": {
@@ -143,8 +159,11 @@ def main(argv=None) -> int:
             "parallel": {
                 "wall_seconds": round(parallel.elapsed, 4),
                 "scenarios_per_sec": round(parallel.scenarios_per_second, 2),
+                "cold_wall_seconds": round(cold.elapsed, 4),
             },
         },
+        "pool_startup_seconds": round(cold.pool_startup_seconds, 4),
+        "dispatch_overhead_per_scenario": round(overhead / scenarios, 6),
         "parallel_speedup": round(
             parallel.scenarios_per_second / serial.scenarios_per_second, 3
         ) if serial.scenarios_per_second else 0.0,
@@ -156,6 +175,9 @@ def main(argv=None) -> int:
     print(f"serial   : {payload['metrics']['serial']['scenarios_per_sec']}/s")
     print(f"parallel : {payload['metrics']['parallel']['scenarios_per_sec']}/s "
           f"({workers} workers)")
+    print(f"pool     : {payload['pool_startup_seconds'] * 1000.0:.1f}ms "
+          f"startup, {payload['dispatch_overhead_per_scenario'] * 1e6:.0f}us "
+          f"dispatch overhead/scenario (warm)")
     print(f"wrote {args.out}")
     return 0
 

@@ -716,6 +716,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"throughput   : {len(sweep.outcomes)} scenarios in "
           f"{sweep.elapsed:.2f}s "
           f"({sweep.scenarios_per_second:.1f}/s, {sweep.workers} worker(s))")
+    if sweep.pool_startup_seconds > 0:
+        print(f"pool         : spawned in "
+              f"{sweep.pool_startup_seconds * 1000.0:.1f}ms "
+              f"(warm reuse on subsequent sweeps)")
     if cache is not None:
         print(f"cache        : {sweep.cache_hits} hit(s), "
               f"{sweep.executed} executed -> {args.cache}")

@@ -43,6 +43,7 @@ from typing import Any, Callable, Iterable, Iterator
 __all__ = [
     "EVENT_CACHE_HIT",
     "EVENT_CACHE_MISS",
+    "EVENT_POOL_STARTED",
     "EVENT_SHARD_FOLDED",
     "EVENT_SWEEP_FINISHED",
     "EVENT_SWEEP_STARTED",
@@ -72,6 +73,7 @@ LEDGER_VERSION = 1
 #: is a legal ``type`` — but these names are what the CLI, the fleet
 #: view and the trace exporter understand.
 EVENT_SWEEP_STARTED = "sweep_started"
+EVENT_POOL_STARTED = "pool_started"
 EVENT_SWEEP_FINISHED = "sweep_finished"
 EVENT_UNIT_CLAIMED = "unit_claimed"
 EVENT_UNIT_RENEWED = "unit_renewed"

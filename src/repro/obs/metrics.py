@@ -224,7 +224,7 @@ class MetricsRegistry:
     silently sharing a name would corrupt both series.
     """
 
-    __slots__ = ("_metrics", "armed_runs")
+    __slots__ = ("_metrics", "armed_runs", "_kernel_sinks")
 
     #: Kernel metric names fed by :meth:`arm`.
     KERNEL_SENT = "kernel.messages_sent"
@@ -236,6 +236,8 @@ class MetricsRegistry:
         self._metrics: dict[str, _Metric] = {}
         #: Runs the kernel sinks were armed for (introspection).
         self.armed_runs = 0
+        #: Precompiled kernel sinks, built lazily on first :meth:`arm`.
+        self._kernel_sinks: dict[str, Any] | None = None
 
     def _get(self, name: str, cls: type, **kwargs: Any) -> Any:
         metric = self._metrics.get(name)
@@ -281,24 +283,41 @@ class MetricsRegistry:
         profiler's step sink, so metrics survive the per-run observer
         strip while unobserved runs attach nothing at all.
         """
-        from ..instrumentation import NET_DELIVER, NET_SEND, SIM_STEP
-
-        bus.attach_many({
-            NET_SEND: self._on_send,
-            NET_DELIVER: self._on_deliver,
-            SIM_STEP: self._on_step,
-        })
+        sinks = self._kernel_sinks
+        if sinks is None:
+            sinks = self._kernel_sinks = self._compile_kernel_sinks()
+        bus.attach_many(sinks)
         self.counter(self.KERNEL_RUNS).inc()
         self.armed_runs += 1
 
-    def _on_send(self, message: Any, time: float) -> None:
-        self.counter(self.KERNEL_SENT).inc(tag=message.tag)
+    def _compile_kernel_sinks(self) -> dict[str, Any]:
+        """Build the three kernel sinks as closures over the series dicts.
 
-    def _on_deliver(self, message: Any, time: float) -> None:
-        self.counter(self.KERNEL_DELIVERED).inc(tag=message.tag)
+        These run once per message / sim step of every *observed* run, so
+        the generic ``counter(name).inc(tag=...)`` path (metric lookup,
+        kwargs packing, ``sorted()`` label canonicalisation) is hoisted
+        out: each closure binds its family's ``_series`` dict directly
+        and writes the canonical label key inline.  Snapshot output is
+        identical — the same series dicts are mutated either way.
+        """
+        sent = self.counter(self.KERNEL_SENT)._series
+        delivered = self.counter(self.KERNEL_DELIVERED)._series
+        steps = self.counter(self.KERNEL_STEPS)._series
 
-    def _on_step(self, handle: Any) -> None:
-        self.counter(self.KERNEL_STEPS).inc()
+        def on_send(message: Any, time: float) -> None:
+            key = (("tag", message.tag),)
+            sent[key] = sent.get(key, 0.0) + 1.0
+
+        def on_deliver(message: Any, time: float) -> None:
+            key = (("tag", message.tag),)
+            delivered[key] = delivered.get(key, 0.0) + 1.0
+
+        def on_step(handle: Any) -> None:
+            steps[()] = steps.get((), 0.0) + 1.0
+
+        from ..instrumentation import NET_DELIVER, NET_SEND, SIM_STEP
+
+        return {NET_SEND: on_send, NET_DELIVER: on_deliver, SIM_STEP: on_step}
 
     # -- snapshot --------------------------------------------------------
 

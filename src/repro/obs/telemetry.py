@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from .events import (
     EVENT_CACHE_HIT,
     EVENT_CACHE_MISS,
+    EVENT_POOL_STARTED,
     EVENT_SWEEP_FINISHED,
     EVENT_SWEEP_STARTED,
     EVENT_UNIT_CLAIMED,
@@ -106,6 +107,29 @@ class SweepTelemetry:
             )
         if self.on_scenario is not None:
             self.on_scenario(self.scenarios)
+
+    def pool_started(
+        self, workers: int, startup_seconds: float, reused: bool
+    ) -> None:
+        """The pooled backend acquired its worker pool.
+
+        ``reused`` distinguishes a warm shared pool (startup already
+        amortised by an earlier sweep) from a cold spawn whose cost this
+        sweep paid; the ``sweep.pool`` counter is labelled accordingly,
+        so a fleet run shows exactly one ``state=spawned`` increment per
+        worker generation.
+        """
+        if self.metrics is not None:
+            self.metrics.counter("sweep.pool").inc(
+                state="reused" if reused else "spawned"
+            )
+        if self.ledger is not None:
+            self.ledger.emit(
+                EVENT_POOL_STARTED,
+                workers=workers,
+                startup_seconds=round(startup_seconds, 6),
+                reused=reused,
+            )
 
     # -- sweep lifecycle (called by the CLI / worker loop) ---------------
 

@@ -692,8 +692,16 @@ def run_claims(
     if heartbeat_interval is None:
         heartbeat_interval = plan.lease_seconds / 4.0
     kwargs: dict[str, Any] = {"cache": cache, "observer": telemetry}
-    if backend == "parallel" and workers is not None:
-        kwargs["workers"] = workers
+    if backend == "parallel":
+        if workers is not None:
+            kwargs["workers"] = workers
+        # One transport for the whole plan: the matrix codec is shipped
+        # to each pool worker at most once, and every subsequent unit's
+        # chunks reference it by digest — consecutive units reuse the
+        # warm worker-side expansion instead of re-pickling specs.
+        from .pool import SpecTransport
+
+        kwargs["transport"] = SpecTransport.from_matrix(plan.matrix)
     executed: list[ShardUnit] = []
     while max_units is None or len(executed) < max_units:
         unit = plan.claim(worker)
@@ -706,9 +714,9 @@ def run_claims(
         )
         try:
             result = sweep(plan.specs_for(unit), **kwargs)
-            from ..store.shards import write_shard
-
-            write_shard(result.outcomes, plan.shard_path(unit))
+            # write_jsonl reuses the workers' pre-encoded record lines
+            # (byte-identical to write_shard, without re-encoding).
+            result.write_jsonl(plan.shard_path(unit))
         except BaseException as exc:
             plan.release(unit.name, worker)
             if telemetry is not None:

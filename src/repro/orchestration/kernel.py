@@ -65,6 +65,14 @@ class KernelContext:
         #: Unobserved runs pay one ``is None`` test here and keep every
         #: probe's ``emit`` at ``None``.
         self.metrics: Any | None = None
+        #: Warm-cache accounting: how often a lookup was served from the
+        #: context instead of rebuilt.  The pooled backend round-trips
+        #: these (:meth:`stats`) to prove worker reuse across sweeps and
+        #: dispatch units.
+        self.topology_hits = 0
+        self.topology_misses = 0
+        self.adversary_hits = 0
+        self.adversary_misses = 0
 
     def topology(self, kind: str, n: int) -> "Topology | None":
         """The (cached) topology instance for ``kind`` at size ``n``.
@@ -75,19 +83,41 @@ class KernelContext:
         maps from send time to delivery time.
         """
         key = (kind, n)
-        if key not in self._topologies:
+        try:
+            cached = self._topologies[key]
+        except KeyError:
             from .axes import topology_from_name
 
-            self._topologies[key] = topology_from_name(kind, n)
-        return self._topologies[key]
+            cached = self._topologies[key] = topology_from_name(kind, n)
+            self.topology_misses += 1
+        else:
+            self.topology_hits += 1
+        return cached
 
     def adversary(self, name: str) -> "AdversarySpec | None":
         """The (cached) adversary spec for ``"kind"`` / ``"kind:arg"``."""
-        if name not in self._adversaries:
+        try:
+            cached = self._adversaries[name]
+        except KeyError:
             from .axes import adversary_from_name
 
-            self._adversaries[name] = adversary_from_name(name)
-        return self._adversaries[name]
+            cached = self._adversaries[name] = adversary_from_name(name)
+            self.adversary_misses += 1
+        else:
+            self.adversary_hits += 1
+        return cached
+
+    def stats(self) -> dict[str, int]:
+        """Warm-reuse counters as one JSON-friendly dict."""
+        return {
+            "runs": self.runs,
+            "topologies": len(self._topologies),
+            "adversaries": len(self._adversaries),
+            "topology_hits": self.topology_hits,
+            "topology_misses": self.topology_misses,
+            "adversary_hits": self.adversary_hits,
+            "adversary_misses": self.adversary_misses,
+        }
 
     def fresh_bus(self) -> InstrumentationBus:
         """The shared bus, re-armed (every sink detached) for a new run."""
@@ -104,6 +134,8 @@ class KernelContext:
         self._topologies.clear()
         self._adversaries.clear()
         self.bus.clear()
+        self.topology_hits = self.topology_misses = 0
+        self.adversary_hits = self.adversary_misses = 0
 
     def __repr__(self) -> str:
         return (

@@ -2,15 +2,16 @@
 
 :func:`sweep_parallel` fans a :class:`~repro.orchestration.matrix.ScenarioMatrix`
 (or any list of :class:`~repro.orchestration.matrix.ScenarioSpec`) out
-over a :class:`concurrent.futures.ProcessPoolExecutor`.  Only specs cross
-the process boundary — each worker reconstructs its
-:class:`~repro.orchestration.config.RunConfig` locally via
-:func:`~repro.orchestration.matrix.build_config` — and only picklable
-:class:`~repro.orchestration.matrix.ScenarioOutcome` digests come back.
-Because every run is deterministic in its spec (the simulator draws all
-randomness from the spec's derived seed), serial and parallel execution
-of the same matrix are bit-identical; ``tests/orchestration/test_parallel.py``
-locks this in.
+over the persistent :class:`~repro.orchestration.pool.WorkerPool`:
+workers are forked once per process (not per sweep) and keep a warm
+:class:`~repro.orchestration.kernel.KernelContext` plus the sweep's spec
+universe, so a chunk on the wire is just an index range and results come
+back as pre-encoded JSONL batches (see :mod:`repro.orchestration.pool`
+for the transport).  Because every run is deterministic in its spec (the
+simulator draws all randomness from the spec's derived seed), serial and
+pooled execution of the same matrix are bit-identical;
+``tests/orchestration/test_parallel.py`` and
+``tests/orchestration/test_pool.py`` lock this in.
 
 :func:`sweep_async` is the in-process cooperative backend for platforms
 where process pools are expensive (single-CPU containers, notebooks,
@@ -25,17 +26,20 @@ served from it (and re-attached to the caller's matrix indices), only
 the missing cells are executed, and fresh outcomes are written back.
 ``SweepResult.cache_hits`` reports how much work the store saved.
 
-Dispatch in the process-pool path is chunked: specs are dealt into
-batches so each IPC round-trip amortises the pickle overhead, while
-results stream back per *chunk* to feed progress callbacks.  Chunk
-sizing is *adaptive* by default: workers report each chunk's wall time,
-the parent keeps an exponential moving average of the per-scenario
-cost, and subsequent chunks are sized to take roughly
-:data:`TARGET_CHUNK_SECONDS` each — so a sweep of millisecond cells
-ships big batches while a sweep of second-long cells stays responsive.
-Passing an explicit ``chunksize`` restores fixed-size dispatch.
-Chunking never affects results: outcomes are re-ordered by matrix index
-before aggregation.
+Dispatch in the pooled path is chunked: specs are dealt into batches so
+each IPC round-trip amortises its overhead, while results stream back
+per *chunk* to feed progress callbacks.  Chunk sizing is *adaptive* by
+default: workers report each chunk's wall time, the parent keeps an
+exponential moving average of the per-scenario cost, and subsequent
+chunks are sized to take roughly :data:`TARGET_CHUNK_SECONDS` each — so
+a sweep of millisecond cells ships big batches while a sweep of
+second-long cells stays responsive.  Passing an explicit ``chunksize``
+restores fixed-size dispatch.  Chunking never affects results: outcomes
+are re-ordered by matrix index before aggregation.  Sweeps too small to
+amortise even one dispatch round-trip (fewer than
+:data:`INLINE_THRESHOLD` scenarios left to execute, or ``workers <= 1``)
+run on the in-process serial path automatically — the pooled backend is
+never slower than serial on work that cannot use it.
 
 :func:`shard_slice` deterministically slices an expanded matrix into
 ``1/N .. N/N`` round-robin shards (``repro sweep --shard i/N``), the
@@ -51,9 +55,9 @@ persistence format (:meth:`SweepResult.write_jsonl`).
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
@@ -63,14 +67,22 @@ from ..profiling import (
     PHASE_CACHE_PUT,
     PHASE_EXPAND,
     PHASE_JSONL,
+    PHASE_POOL,
     PHASE_REPORT,
     PHASE_SIMULATE,
 )
-from .matrix import ScenarioMatrix, ScenarioOutcome, ScenarioSpec, run_scenario
+from .matrix import (
+    ScenarioMatrix,
+    ScenarioOutcome,
+    ScenarioSpec,
+    outcome_from_record,
+    run_scenario,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..profiling import SweepProfiler
     from ..store.cache import ResultCache
+    from .pool import SpecTransport, WorkerPool
 
 __all__ = [
     "SweepResult",
@@ -79,6 +91,7 @@ __all__ = [
     "sweep_parallel",
     "shard_slice",
     "default_workers",
+    "INLINE_THRESHOLD",
     "TARGET_CHUNK_SECONDS",
 ]
 
@@ -96,6 +109,11 @@ _PROBE_CHUNK = 4
 #: Upper bound on an adaptive chunk (keeps one IPC payload bounded even
 #: for microsecond-scale cells).
 _MAX_CHUNK = 256
+
+#: Sweeps with fewer scenarios left to execute than this run inline on
+#: the serial path: two probe chunks is the least work that can overlap
+#: at all, and below it the dispatch round-trip is pure overhead.
+INLINE_THRESHOLD = 2 * _PROBE_CHUNK
 
 
 class _NullPhase:
@@ -181,6 +199,15 @@ class SweepResult:
     elapsed: float = 0.0
     #: Scenarios served from the result cache instead of executed.
     cache_hits: int = 0
+    #: Worker-pool spawn cost paid by *this* sweep (0.0 when the shared
+    #: pool was already warm, or on the serial/async paths).
+    pool_startup_seconds: float = 0.0
+    #: Worker-encoded shard lines keyed by ``spec.index`` — the pooled
+    #: backend fills this so :meth:`write_jsonl` persists the workers'
+    #: bytes instead of re-encoding every record.
+    _encoded: dict[int, str] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def executed(self) -> int:
@@ -202,6 +229,8 @@ class SweepResult:
         elapsed: float = 0.0,
         cache_hits: int = 0,
         profiler: "SweepProfiler | None" = None,
+        pool_startup: float = 0.0,
+        encoded: dict[int, str] | None = None,
     ) -> "SweepResult":
         """Aggregate a finished outcome list into a result."""
         with _phase(profiler, PHASE_REPORT):
@@ -213,6 +242,23 @@ class SweepResult:
             workers=workers,
             elapsed=elapsed,
             cache_hits=cache_hits,
+            pool_startup_seconds=pool_startup,
+            _encoded=encoded or None,
+        )
+
+    def _shard_lines(self) -> Iterable[str]:
+        """Canonical shard lines, reusing worker-encoded bytes when the
+        pooled backend supplied them (cache hits and serial outcomes are
+        encoded here; either way the bytes are
+        :func:`repro.store.shards.encode_record`'s)."""
+        from ..store.shards import encode_record
+
+        encoded = self._encoded
+        if not encoded:
+            return (encode_record(outcome) for outcome in self.outcomes)
+        return (
+            encoded.get(outcome.spec.index) or encode_record(outcome)
+            for outcome in self.outcomes
         )
 
     def write_jsonl(
@@ -223,18 +269,18 @@ class SweepResult:
         """Persist one JSON record per scenario; returns the path.
 
         Parent directories are created, and the write is atomic (temp
-        file + rename via :func:`repro.store.shards.write_shard`), so an
-        interrupted sweep can never leave a truncated shard behind.
+        file + rename via :func:`repro.store.atomic.atomic_write_lines`),
+        so an interrupted sweep can never leave a truncated shard behind.
         """
-        from ..store.shards import write_shard
+        from ..store.atomic import atomic_write_lines
 
         if profiler is None:
-            return write_shard(self.outcomes, path)
+            return atomic_write_lines(path, self._shard_lines())
         # measuring() keeps the wall window open: this usually runs
         # *after* the sweep's own window closed, and the encode time must
         # land inside, not on top of, the measured total.
         with profiler.measuring(), profiler.phase(PHASE_JSONL):
-            return write_shard(self.outcomes, path)
+            return atomic_write_lines(path, self._shard_lines())
 
 
 def _as_specs(
@@ -522,14 +568,17 @@ def sweep_parallel(
     cache: "ResultCache | None" = None,
     profiler: "SweepProfiler | None" = None,
     observer: Any | None = None,
+    pool: "WorkerPool | None" = None,
+    transport: "SpecTransport | None" = None,
 ) -> SweepResult:
-    """Run a scenario matrix on a process pool.
+    """Run a scenario matrix on the persistent worker pool.
 
     Args:
         scenarios: A matrix or an explicit spec list.
-        workers: Pool size; ``None`` uses :func:`default_workers`, and
-            ``workers <= 1`` (or at most one scenario left to execute)
-            degrades to the serial path — same results, no pool overhead.
+        workers: Pool size; ``None`` uses :func:`default_workers`.
+            ``workers <= 1``, or fewer than :data:`INLINE_THRESHOLD`
+            scenarios left to execute, dispatches inline on the serial
+            path — same results, no pool round-trips.
         chunksize: Specs per dispatch unit.  ``None`` (default) sizes
             chunks adaptively from the observed per-scenario wall time,
             targeting ~:data:`TARGET_CHUNK_SECONDS` of work per chunk;
@@ -540,20 +589,32 @@ def sweep_parallel(
             (chunks complete out of order; outcomes in the returned
             result are nevertheless in matrix order).
         check_invariants: Propagated to every run; when true a safety
-            violation raises in the worker and aborts the sweep.
+            violation raises in the worker and re-raises here (original
+            exception type, worker traceback attached), aborting the
+            sweep.
         cache: Optional result store; cached scenarios are not
-            re-executed, fresh outcomes are written back (in the parent,
-            so workers never touch the store).  ``check_invariants``
-            sweeps bypass cache *reads* so violations always raise.
+            re-executed.  Fresh outcomes are written back *worker-side*
+            through the pool's persistent cache handles (content-
+            addressed atomic writes, so concurrent workers are safe).
+            ``check_invariants`` sweeps bypass cache *reads* so
+            violations always raise.
         profiler: Optional :class:`~repro.profiling.SweepProfiler`.
-            Parent-side phases (expand, cache keying, cache puts,
-            aggregation) are timed directly; each worker chunk's
-            reported wall time is credited to the ``simulate`` phase.
-            Workers run in separate processes, so the per-event
-            ``sim.step`` breakdown only populates when the sweep
-            degrades to the in-process serial path — and summed worker
-            time can exceed measured wall time (that is parallelism, not
-            an accounting bug).
+            Parent-side phases (expand, cache keying, aggregation, pool
+            dispatch) are timed directly; each worker chunk runs under a
+            chunk-local profiler whose export is merged back, so the
+            build/simulate/report split and the per-event ``sim.step``
+            breakdown populate on the pooled path too.  Summed worker
+            time can exceed measured wall time (that is parallelism,
+            not an accounting bug).
+        pool: An explicit :class:`~repro.orchestration.pool.WorkerPool`
+            to run on (kept alive for the caller); ``None`` uses the
+            process-global shared pool, spawning it on first use.
+        transport: A prebuilt
+            :class:`~repro.orchestration.pool.SpecTransport` whose
+            universe covers every spec of this sweep —
+            :func:`~repro.orchestration.dispatch.run_claims` passes its
+            plan's matrix transport so consecutive units reuse the
+            worker-side expansion instead of re-shipping specs.
     """
     if workers is None:
         workers = default_workers()
@@ -563,66 +624,136 @@ def sweep_parallel(
         cached, missing = _split_cached(
             specs, cache, check_invariants, profiler
         )
-        if workers <= 1 or len(missing) <= 1:
+        if workers <= 1 or len(missing) < max(2, INLINE_THRESHOLD):
             return _finish_serial(
                 cached, missing, on_result, check_invariants, cache,
                 workers=max(1, workers), started=started, profiler=profiler,
                 observer=observer,
             )
-        adaptive = chunksize is None
-        # Seconds-per-scenario EMA; None until the first chunk reports back.
-        cost_ema: float | None = None
-
-        def _next_size() -> int:
-            if not adaptive:
-                return max(1, int(chunksize))
-            if cost_ema is None or cost_ema <= 0:
-                return _PROBE_CHUNK
-            return max(
-                1, min(_MAX_CHUNK, int(TARGET_CHUNK_SECONDS / cost_ema))
-            )
-
-        outcomes: list[ScenarioOutcome] = list(cached)
-        _observe_hits(observer, cached)
-        _emit(cached, on_result)
-        position = 0
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(missing))
-        ) as pool:
-            pending: set[Any] = set()
-            while pending or position < len(missing):
-                # Keep up to two chunks in flight per worker so a
-                # finishing worker never idles while the parent drains
-                # results.
-                while position < len(missing) and len(pending) < workers * 2:
-                    chunk = missing[position : position + _next_size()]
-                    position += len(chunk)
-                    pending.add(
-                        pool.submit(_run_chunk, chunk, check_invariants)
-                    )
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    chunk_outcomes, spent = future.result()
-                    if adaptive and chunk_outcomes and spent > 0:
-                        per_spec = spent / len(chunk_outcomes)
-                        cost_ema = (
-                            per_spec if cost_ema is None
-                            else 0.5 * cost_ema + 0.5 * per_spec
-                        )
-                    if profiler is not None:
-                        profiler.add(
-                            PHASE_SIMULATE, spent, len(chunk_outcomes)
-                        )
-                    for outcome in chunk_outcomes:
-                        _store(cache, outcome, profiler)
-                        if observer is not None:
-                            observer.executed(outcome)
-                    outcomes.extend(chunk_outcomes)
-                    _emit(chunk_outcomes, on_result)
-        return SweepResult.from_outcomes(
-            outcomes,
-            workers=workers,
-            elapsed=_timer() - started,
-            cache_hits=len(cached),
-            profiler=profiler,
+        return _sweep_pooled(
+            scenarios, specs, cached, missing, workers, chunksize,
+            on_result, check_invariants, cache, profiler, observer,
+            pool, transport, started,
         )
+
+
+def _sweep_pooled(
+    scenarios: ScenarioMatrix | Iterable[ScenarioSpec],
+    specs: list[ScenarioSpec],
+    cached: list[ScenarioOutcome],
+    missing: list[ScenarioSpec],
+    workers: int,
+    chunksize: int | None,
+    on_result: OnResult | None,
+    check_invariants: bool,
+    cache: "ResultCache | None",
+    profiler: "SweepProfiler | None",
+    observer: Any | None,
+    pool: "WorkerPool | None",
+    transport: "SpecTransport | None",
+    started: float,
+) -> SweepResult:
+    """The pooled dispatch loop (callers did the cache split already)."""
+    from .pool import PoolWorkerError, SpecTransport, get_pool
+
+    owns_pool = False
+    pool_startup = 0.0
+    if pool is None:
+        pool, spawned = get_pool(workers)
+        if spawned:
+            pool_startup = pool.startup_seconds
+        owns_pool = not pool.shared
+    if pool.closed:
+        raise PoolWorkerError("worker pool is shut down")
+    if observer is not None:
+        notify = getattr(observer, "pool_started", None)
+        if notify is not None:
+            notify(
+                workers=pool.size,
+                startup_seconds=pool_startup,
+                reused=pool_startup == 0.0,
+            )
+    if transport is None:
+        if isinstance(scenarios, ScenarioMatrix):
+            transport = SpecTransport.from_matrix(scenarios)
+        else:
+            transport = SpecTransport.from_specs(specs)
+    adaptive = chunksize is None
+    # Seconds-per-scenario EMA; None until the first chunk reports back.
+    cost_ema: float | None = None
+
+    def _next_size() -> int:
+        if not adaptive:
+            return max(1, int(chunksize))
+        if cost_ema is None or cost_ema <= 0:
+            return _PROBE_CHUNK
+        return max(
+            1, min(_MAX_CHUNK, int(TARGET_CHUNK_SECONDS / cost_ema))
+        )
+
+    options: dict[str, Any] = {"check_invariants": check_invariants}
+    if cache is not None:
+        options["cache"] = (
+            str(cache.root), cache.salt, cache.max_entries, cache.max_age
+        )
+    if profiler is not None:
+        options["profile"] = True
+    outcomes: list[ScenarioOutcome] = list(cached)
+    encoded: dict[int, str] = {}
+    _observe_hits(observer, cached)
+    _emit(cached, on_result)
+    position = 0
+    inflight: dict[int, list[ScenarioSpec]] = {}
+    pool.active = True
+    try:
+        pool.quiesce()
+        while inflight or position < len(missing):
+            # Keep up to two chunks queued per worker so a finishing
+            # worker never idles while the parent drains results.
+            while position < len(missing) and pool.has_capacity():
+                chunk = missing[position : position + _next_size()]
+                position += len(chunk)
+                job_id = pool.submit_chunk(
+                    pool.least_loaded(), transport,
+                    transport.positions_for(chunk), options,
+                )
+                inflight[job_id] = chunk
+            for job_id, payload in pool.wait_any():
+                chunk_specs = inflight.pop(job_id)
+                lines, spent, profile_export = payload
+                with _phase(profiler, PHASE_POOL):
+                    chunk_outcomes = [
+                        outcome_from_record(json.loads(line), spec=spec)
+                        for line, spec in zip(lines, chunk_specs)
+                    ]
+                    for spec, line in zip(chunk_specs, lines):
+                        encoded[spec.index] = line
+                if adaptive and chunk_outcomes and spent > 0:
+                    per_spec = spent / len(chunk_outcomes)
+                    cost_ema = (
+                        per_spec if cost_ema is None
+                        else 0.5 * cost_ema + 0.5 * per_spec
+                    )
+                if profiler is not None and profile_export is not None:
+                    profiler.merge_remote(profile_export)
+                if observer is not None:
+                    for outcome in chunk_outcomes:
+                        observer.executed(outcome)
+                outcomes.extend(chunk_outcomes)
+                _emit(chunk_outcomes, on_result)
+    except BaseException:
+        pool.abort(inflight)
+        raise
+    finally:
+        pool.active = False
+        if owns_pool:
+            pool.shutdown()
+    return SweepResult.from_outcomes(
+        outcomes,
+        workers=pool.size,
+        elapsed=_timer() - started,
+        cache_hits=len(cached),
+        profiler=profiler,
+        pool_startup=pool_startup,
+        encoded=encoded,
+    )

@@ -59,6 +59,7 @@ __all__ = [
     "PHASE_CACHE_PUT",
     "PHASE_EXPAND",
     "PHASE_JSONL",
+    "PHASE_POOL",
     "PHASE_REPORT",
     "PHASE_SIMULATE",
     "PhaseStat",
@@ -73,6 +74,9 @@ PHASE_SIMULATE = "simulate"
 PHASE_REPORT = "report_construct"
 PHASE_CACHE_PUT = "cache_put"
 PHASE_JSONL = "jsonl_encode"
+#: Parent-side pool overhead: shipping chunks, waiting on replies,
+#: decoding result batches.  Only populates on the pooled backend.
+PHASE_POOL = "pool_dispatch"
 
 #: Canonical display order for the phase table.
 HARNESS_PHASES = (
@@ -80,6 +84,7 @@ HARNESS_PHASES = (
     PHASE_CACHE_KEY,
     PHASE_BUILD_CONFIG,
     PHASE_SIMULATE,
+    PHASE_POOL,
     PHASE_REPORT,
     PHASE_CACHE_PUT,
     PHASE_JSONL,
@@ -285,6 +290,44 @@ class SweepProfiler:
                 stat = self.sim_labels[label] = PhaseStat()
             stat.add(0.0)
             self._pending = None
+
+    # -- cross-process merge ---------------------------------------------
+
+    def export(self) -> dict[str, Any]:
+        """Picklable snapshot of the accumulated accounting.
+
+        The pooled sweep backend runs a short-lived profiler inside each
+        worker chunk and ships this export back with the results;
+        :meth:`merge_remote` folds it into the parent's profiler, so the
+        phase table and per-tag breakdown cover worker-side work too.
+        Wall-window state is deliberately excluded — the measured window
+        is the parent's.
+        """
+        self._flush_pending()
+        return {
+            "phases": {
+                name: (stat.seconds, stat.calls)
+                for name, stat in self.phases.items()
+            },
+            "sim_labels": {
+                name: (stat.seconds, stat.calls)
+                for name, stat in self.sim_labels.items()
+            },
+            "sim_events": self.sim_events,
+            "runs": self.runs,
+        }
+
+    def merge_remote(self, data: dict[str, Any]) -> None:
+        """Fold a worker's :meth:`export` into this profiler."""
+        for name, (seconds, calls) in data.get("phases", {}).items():
+            self.add(name, seconds, calls)
+        for name, (seconds, calls) in data.get("sim_labels", {}).items():
+            stat = self.sim_labels.get(name)
+            if stat is None:
+                stat = self.sim_labels[name] = PhaseStat()
+            stat.add(seconds, calls)
+        self.sim_events += int(data.get("sim_events", 0))
+        self.runs += int(data.get("runs", 0))
 
     # -- reporting -------------------------------------------------------
 

@@ -58,6 +58,7 @@ __all__ = [
     "ShardFolder",
     "ShardTruncatedError",
     "canonical_order",
+    "encode_record",
     "iter_shard_records",
     "matrix_order",
     "merge_shards",
@@ -208,6 +209,18 @@ def read_shard_tolerant(
     return parse_shard_text(shard.read_text(encoding="utf-8"), str(shard))
 
 
+def encode_record(outcome: ScenarioOutcome) -> str:
+    """One outcome as its canonical shard line (newline included).
+
+    This is *the* shard byte format: :func:`write_shard`, the pool
+    workers (:mod:`repro.orchestration.pool`, which pre-encode result
+    batches worker-side) and :meth:`SweepResult.write_jsonl
+    <repro.orchestration.parallel.SweepResult.write_jsonl>` all share
+    it, which is what makes pooled and serial shard files byte-identical.
+    """
+    return json.dumps(outcome.to_record(), sort_keys=True) + "\n"
+
+
 def write_shard(
     outcomes: Iterable[ScenarioOutcome], path: str | os.PathLike[str]
 ) -> Path:
@@ -221,11 +234,7 @@ def write_shard(
     unchanged.
     """
     return atomic_write_lines(
-        path,
-        (
-            json.dumps(outcome.to_record(), sort_keys=True) + "\n"
-            for outcome in outcomes
-        ),
+        path, (encode_record(outcome) for outcome in outcomes)
     )
 
 

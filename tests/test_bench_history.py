@@ -20,10 +20,16 @@ bench_history = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_history)
 
 check_sweep_trend = bench_history.check_sweep_trend
+check_kernel_trend = bench_history.check_kernel_trend
 
 
 def point(label, sps, quick=False):
     return {"label": label, "quick": quick, "sweep_serial_sps": sps}
+
+
+def kpoint(label, geomean, quick=False):
+    return {"label": label, "quick": quick,
+            "kernel_speedup_geomean": geomean}
 
 
 class TestCheckSweepTrend:
@@ -77,6 +83,49 @@ class TestCheckSweepTrend:
         ) is None
 
 
+class TestCheckKernelTrend:
+    """PR 7 shipped a 14% kernel drop past the sweep-only gate; the
+    kernel geomean is now gated with the same comparable-point rules."""
+
+    def test_drop_beyond_threshold_fails(self):
+        failure = check_kernel_trend(
+            [kpoint("pr6", 2.081)], kpoint("pr7", 1.488), 0.15
+        )
+        assert failure is not None
+        assert "28.5%" in failure and "pr6" in failure
+
+    def test_drop_within_threshold_passes(self):
+        # The actual pr6→pr7 move (2.081 → 1.788, 14.1%) squeaks by; the
+        # gate exists so the *next* such drop compounds no further.
+        assert check_kernel_trend(
+            [kpoint("pr6", 2.081)], kpoint("pr7", 1.788), 0.15
+        ) is None
+
+    def test_improvement_passes(self):
+        assert check_kernel_trend(
+            [kpoint("pr7", 1.788)], kpoint("pr8", 2.5), 0.15
+        ) is None
+
+    def test_points_without_kernel_numbers_skip_the_gate(self):
+        assert check_kernel_trend([], kpoint("pr8", 2.0), 0.15) is None
+        assert check_kernel_trend(
+            [{"label": "pr7", "quick": False}], kpoint("pr8", 2.0), 0.15
+        ) is None
+        assert check_kernel_trend(
+            [kpoint("pr7", 2.0)], {"label": "pr8", "quick": False}, 0.15
+        ) is None
+
+    def test_quick_points_only_compare_against_quick_points(self):
+        history = [kpoint("pr7", 4.0), kpoint("ci-1", 1.0, quick=True)]
+        assert check_kernel_trend(
+            history, kpoint("ci-2", 0.95, quick=True), 0.15
+        ) is None
+        failure = check_kernel_trend(
+            history, kpoint("ci-2", 0.5, quick=True), 0.15
+        )
+        assert failure is not None and "ci-1" in failure
+
+
 class TestMainGate:
     def write_jsons(self, tmp_path, serial_sps, label="new"):
         kernel = tmp_path / "BENCH_kernel.json"
@@ -124,4 +173,27 @@ class TestMainGate:
 
     def test_threshold_is_tunable(self, tmp_path):
         code, _ = self.run_main(tmp_path, 30.0, "--max-sweep-drop", "0.5")
+        assert code == 0
+
+    def test_kernel_regression_exits_2(self, tmp_path):
+        kernel, sweep = self.write_jsons(tmp_path, 50.0)
+        history = tmp_path / "history.jsonl"
+        history.write_text(json.dumps({
+            "label": "prev", "quick": False, "sweep_serial_sps": 50.0,
+            "kernel_speedup_geomean": 2.0,
+        }) + "\n")
+        # write_jsons stamps speedup_geomean=1.0 — a 50% kernel drop
+        # while sweep throughput holds steady.
+        code = bench_history.main([
+            "--kernel", str(kernel), "--sweep", str(sweep),
+            "--history", str(history),
+            "--table-out", str(tmp_path / "history.txt"),
+        ])
+        assert code == 2
+        code = bench_history.main([
+            "--kernel", str(kernel), "--sweep", str(sweep),
+            "--history", str(history),
+            "--table-out", str(tmp_path / "history.txt"),
+            "--max-kernel-drop", "0.6",
+        ])
         assert code == 0
