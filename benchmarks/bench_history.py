@@ -22,15 +22,20 @@ geomean against the previous history point measured under the same
 ``--max-sweep-drop`` / ``--max-kernel-drop`` (default 15% each).
 The PR4→PR5 sweep regression shipped because recording was not gating,
 and the PR7 kernel regression shipped because only the sweep was gated;
-see ``docs/profiling.md`` for the post-mortems.  ``--no-gate`` restores
-record-only behaviour for deliberately slower points.
+see ``docs/profiling.md`` for the post-mortems.  Since PR 9 a third
+gate pins kernel allocations-per-event (the freelist construction
+counters from ``BENCH_kernel.json``'s ``alloc`` section):
+``--max-alloc-rise`` is an *absolute* allowance because the pooled
+kernel sits near zero allocs/event, where relative thresholds are
+meaningless.  ``--no-gate`` restores record-only behaviour for
+deliberately slower points.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_history.py
         [--kernel PATH] [--sweep PATH] [--history PATH] [--label TEXT]
         [--max-sweep-drop FRACTION] [--max-kernel-drop FRACTION]
-        [--no-gate]
+        [--max-alloc-rise ALLOCS] [--no-gate]
 """
 
 from __future__ import annotations
@@ -67,12 +72,16 @@ def summarize(kernel: dict, sweep: dict, label: str | None) -> dict:
         "quick": bool(kernel.get("quick", False)),
         "kernel_events_per_sec_geomean": round(events_geomean, 1),
         "kernel_speedup_geomean": kernel.get("speedup_geomean"),
+        "kernel_allocs_per_event": kernel.get("alloc", {})
+        .get("flood", {})
+        .get("allocs_per_event"),
         "sweep_serial_sps": sweep_metrics.get("serial", {}).get(
             "scenarios_per_sec"
         ),
         "sweep_parallel_sps": sweep_metrics.get("parallel", {}).get(
             "scenarios_per_sec"
         ),
+        "sweep_cpu_count": sweep.get("cpu_count"),
         "sweep_bit_identical": sweep.get("bit_identical"),
     }
 
@@ -170,6 +179,46 @@ def check_kernel_trend(
     )
 
 
+def check_alloc_trend(
+    history: list[dict], entry: dict, max_rise: float
+) -> str | None:
+    """The allocation gate: allocations-per-event must not creep back.
+
+    ``max_rise`` is an *absolute* allowance (allocs/event), not a
+    fraction: a healthy pooled kernel sits near zero, where any relative
+    threshold is numerically meaningless (0.003 → 0.006 is "100% worse"
+    but still free).  Missing numbers on either side skip the gate.
+    """
+    current = entry.get("kernel_allocs_per_event")
+    if current is None:
+        return None
+    # Not _previous_point: 0.0 allocs/event is a perfectly good (ideal!)
+    # baseline, and that helper's truthiness test would skip it.
+    previous = next(
+        (
+            e
+            for e in reversed(history)
+            if e.get("label") != entry["label"]
+            and e.get("quick") == entry.get("quick")
+            and e.get("kernel_allocs_per_event") is not None
+        ),
+        None,
+    )
+    if previous is None:
+        return None
+    baseline = previous["kernel_allocs_per_event"]
+    rise = current - baseline
+    if rise <= max_rise:
+        return None
+    return (
+        f"allocation regression: {current:.4f} allocs/event is "
+        f"{rise:.4f} above '{previous['label']}' ({baseline:.4f}); "
+        f"gate allows +{max_rise:.4f}. Run `python -m repro profile "
+        f"--alloc` to localise it (docs/profiling.md), or pass "
+        f"--no-gate for a deliberate change."
+    )
+
+
 def render_table(history: list[dict]) -> str:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.orchestration.sweeps import format_table
@@ -179,20 +228,33 @@ def render_table(history: list[dict]) -> str:
             return "-"
         return format(value, spec) if spec else str(value)
 
+    def fmt_parallel(e: dict) -> str:
+        # Annotate with the measured host's core count: parallel ~= serial
+        # on a 1-core container is expected pool overhead, not a
+        # regression, and the annotation keeps that readable years later.
+        sps = e.get("sweep_parallel_sps")
+        if sps is None:
+            return "-"
+        cpus = e.get("sweep_cpu_count")
+        if cpus is None:
+            return str(sps)
+        return f"{sps} ({cpus} cpu)"
+
     rows = [
         [
             e.get("label"),
             (e.get("timestamp") or "")[:10],
             fmt(e.get("kernel_events_per_sec_geomean"), ",.0f"),
             fmt(e.get("kernel_speedup_geomean")),
+            fmt(e.get("kernel_allocs_per_event")),
             fmt(e.get("sweep_serial_sps")),
-            fmt(e.get("sweep_parallel_sps")),
+            fmt_parallel(e),
         ]
         for e in history
     ]
     return format_table(
         ["PR label", "date", "kernel ev/s (geomean)",
-         "vs baseline", "sweep serial/s", "sweep parallel/s"],
+         "vs baseline", "allocs/ev", "sweep serial/s", "sweep parallel/s"],
         rows,
     )
 
@@ -218,6 +280,12 @@ def main(argv=None) -> int:
                         help="fail when the kernel speedup geomean drops "
                              "by more than this fraction vs the "
                              "previous same-mode point (default 0.15)")
+    parser.add_argument("--max-alloc-rise", type=float, default=0.25,
+                        help="fail when kernel allocs/event rises by more "
+                             "than this absolute amount vs the previous "
+                             "same-mode point (default 0.25; absolute "
+                             "because the pooled kernel sits near zero, "
+                             "where fractions are meaningless)")
     parser.add_argument("--no-gate", action="store_true",
                         help="record the point without enforcing the "
                              "trend gates")
@@ -250,6 +318,7 @@ def main(argv=None) -> int:
             for failure in (
                 check_sweep_trend(prior, entry, args.max_sweep_drop),
                 check_kernel_trend(prior, entry, args.max_kernel_drop),
+                check_alloc_trend(prior, entry, args.max_alloc_rise),
             )
             if failure is not None
         ]
@@ -259,7 +328,8 @@ def main(argv=None) -> int:
             return 2
         print(f"trend gate   : OK (max sweep drop "
               f"{args.max_sweep_drop:.0%}, max kernel drop "
-              f"{args.max_kernel_drop:.0%})")
+              f"{args.max_kernel_drop:.0%}, max alloc rise "
+              f"+{args.max_alloc_rise})")
     return 0
 
 

@@ -123,10 +123,15 @@ def _noop() -> None:
 def _build_flood(n_messages: int, counted: bool):
     def run() -> int:
         sim = Simulator()
+        # recycle=True matches the consensus fast path (runner.py): the
+        # counted variant's hooks keep every message alive anyway (the
+        # never-recycle-observed contract), so flood vs flood_counted
+        # also bounds what enabling instrumentation costs in allocation.
         network = Network(
             sim, 8,
             default_timing=Asynchronous(ConstantDelay(1.0)),
             rng=RngRegistry(0),
+            recycle=True,
         )
         if counted:
             seen = [0]
@@ -196,6 +201,81 @@ def collect(quick: bool) -> dict[str, dict[str, float]]:
     return metrics
 
 
+def collect_alloc(quick: bool) -> dict[str, dict[str, float]]:
+    """Kernel-object allocations per event, from the pool counters.
+
+    The freelist counters (:mod:`repro.sim.pool`) are exact and
+    gc-independent — unlike net ``sys.getallocatedblocks()`` deltas,
+    which miss churn that refcounting frees promptly — so they are the
+    number the CI gate pins.  ``allocs_per_event`` counts handle +
+    message *constructions* (pool misses) per simulator event; a warm
+    freelist drives it toward zero.
+    """
+    scale = 0.1 if quick else 1.0
+    out: dict[str, dict[str, float]] = {}
+
+    # Flood shape: the send→deliver ping-pong of the flood metric.
+    n_messages = int(60_000 * scale)
+    sim = Simulator()
+    network = Network(
+        sim, 8,
+        default_timing=Asynchronous(ConstantDelay(1.0)),
+        rng=RngRegistry(0),
+        recycle=True,
+    )
+    budget = [n_messages]
+
+    def on_message(message) -> None:
+        if budget[0] > 0:
+            budget[0] -= 1
+            network.send(message.dest, 1 + message.uid % 8, "PING", None)
+
+    for pid in range(1, 9):
+        network.register_process(pid, on_message)
+    budget[0] -= 8
+    for pid in range(1, 9):
+        network.send(pid, 1 + pid % 8, "PING", None)
+    sim.run()
+    pools = sim.pools
+    created = pools.created_total()
+    reused = pools.reused_total()
+    out["flood"] = {
+        "events": sim.events_processed,
+        "created": created,
+        "reused": reused,
+        "allocs_per_event": round(created / sim.events_processed, 4),
+    }
+
+    # Scenario shape: full runs through a shared KernelContext, whose
+    # pools stay warm across runs exactly like a sweep worker's.
+    from repro.orchestration.kernel import KernelContext
+    from repro.orchestration.matrix import run_scenario as run_one
+
+    context = KernelContext()
+    spec = ScenarioSpec(
+        n=4, t=1, topology="single_bisource", adversary="two_faced:evil",
+        num_values=2, seed=1234,
+    )
+    n_runs = max(3, int(40 * scale))
+    events = 0
+    for _ in range(n_runs):
+        outcome = run_one(spec, context=context)
+        events += outcome.events_processed
+    created = context.pools.created_total()
+    reused = context.pools.reused_total()
+    out["scenario"] = {
+        "events": events,
+        "created": created,
+        "reused": reused,
+        "allocs_per_event": round(created / events, 4) if events else 0.0,
+    }
+    for name, stats in out.items():
+        print(f"{name:>14}: {stats['allocs_per_event']:.4f} allocs/event  "
+              f"({stats['created']:,.0f} created, "
+              f"{stats['reused']:,.0f} reused)")
+    return out
+
+
 def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
 
@@ -210,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     metrics = collect(args.quick)
+    print()
+    alloc = collect_alloc(args.quick)
     payload: dict[str, Any] = {
         "bench": "kernel_events",
         "label": args.label,
@@ -218,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "metrics": metrics,
+        "alloc": alloc,
     }
     if args.baseline.is_file():
         baseline = json.loads(args.baseline.read_text(encoding="utf-8"))

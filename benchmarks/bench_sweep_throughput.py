@@ -105,6 +105,7 @@ def main(argv=None) -> int:
     """Record the sweep-throughput trajectory point as JSON."""
     import argparse
     import json
+    import os
     import platform
     import time
 
@@ -151,6 +152,9 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "scenarios": scenarios,
         "workers": workers,
+        # Host core count, so a future reader of history.jsonl can tell
+        # "parallel ~= serial" on a 1-core box from a real regression.
+        "cpu_count": os.cpu_count(),
         "metrics": {
             "serial": {
                 "wall_seconds": round(serial.elapsed, 4),

@@ -184,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.add_argument("--jsonl", default=None, metavar="PATH",
                            help="persist the sweep JSONL (profiles the "
                                 "jsonl_encode phase)")
+    profile_p.add_argument("--alloc", action="store_true",
+                           help="allocation-profiling mode: record net "
+                                "allocated-block deltas per phase and per "
+                                "sim tag, plus the tracemalloc peak "
+                                "(slower; docs/profiling.md)")
     profile_p.add_argument("--out", default="BENCH_profile.json",
                            metavar="PATH",
                            help="machine-readable profile output "
@@ -764,7 +769,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         from .store import ResultCache
 
         cache = ResultCache(args.cache)
-    profiler = SweepProfiler()
+    profiler = SweepProfiler(alloc=args.alloc)
     if args.backend == "serial":
         sweep = sweep_serial(matrix, cache=cache, profiler=profiler)
     elif args.backend == "async":

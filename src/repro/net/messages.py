@@ -5,19 +5,30 @@ Section 2.1, guarantees that receivers can identify senders — no process
 can impersonate another), a protocol ``tag`` and an arbitrary ``payload``.
 Protocol layers encode instance identifiers (round numbers, broadcast
 instance keys) inside the payload.
+
+``Message`` is a plain ``__slots__`` class rather than a frozen
+dataclass: it sits on the hottest allocation path in the whole system
+(one per send, n per broadcast fan-out), and the frozen-dataclass
+``__init__`` — six ``object.__setattr__`` calls per message — was
+measurable at flood rates.  The class is *mutable by the kernel only*:
+:class:`~repro.net.network.Network` recycles retired messages through a
+per-context freelist (:mod:`repro.sim.pool`), re-stamping the six
+fields in place.  Protocol and analysis code must keep treating
+messages as immutable values; a message that needs to outlive its
+delivery (or its observation by an instrumentation sink) must be
+:meth:`copy`-ed — see the copy-on-emit contract in
+:mod:`repro.instrumentation`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["Message"]
 
 
-@dataclass(frozen=True, slots=True)
 class Message:
-    """An immutable network message.
+    """A network message, equal by ``(sender, dest, tag, payload)``.
 
     Attributes:
         sender: Process id of the sender (authenticated by the channel).
@@ -26,14 +37,54 @@ class Message:
         payload: Arbitrary, protocol-defined content.
         sent_at: Virtual send time (stamped by the network).
         uid: Per-network unique, monotonically increasing message id.
+
+    ``sent_at`` and ``uid`` are delivery bookkeeping and excluded from
+    equality and hashing, exactly like the former dataclass's
+    ``compare=False`` fields.
     """
 
-    sender: int
-    dest: int
-    tag: str
-    payload: Any
-    sent_at: float = field(default=0.0, compare=False)
-    uid: int = field(default=-1, compare=False)
+    __slots__ = ("sender", "dest", "tag", "payload", "sent_at", "uid")
+
+    def __init__(
+        self,
+        sender: int,
+        dest: int,
+        tag: str,
+        payload: Any,
+        sent_at: float = 0.0,
+        uid: int = -1,
+    ) -> None:
+        self.sender = sender
+        self.dest = dest
+        self.tag = tag
+        self.payload = payload
+        self.sent_at = sent_at
+        self.uid = uid
+
+    def copy(self) -> "Message":
+        """A snapshot safe to retain across deliveries.
+
+        The copy is an ordinary, never-recycled message: sinks (or any
+        caller) that keep messages past the synchronous observation
+        window take one of these instead of the live kernel object.
+        """
+        return Message(
+            self.sender, self.dest, self.tag, self.payload,
+            self.sent_at, self.uid,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Message:
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.dest == other.dest
+            and self.tag == other.tag
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.dest, self.tag, self.payload))
 
     def __repr__(self) -> str:
         return (

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..errors import ConfigurationError
 from ..instrumentation import NET_DELIVER, NET_SEND, InstrumentationBus
+from ..sim.pool import MAX_POOL, ObjectPools
 from ..sim.random import RngRegistry
 from .channel import Channel
 from .messages import Message
@@ -60,6 +61,17 @@ class Network:
         bus: Instrumentation bus to publish the ``net.send`` /
             ``net.deliver`` probes on (default: the simulator's bus, so
             one run shares one bus without extra wiring).
+        pools: Object freelists / intern tables to recycle through
+            (default: the simulator's, so one run shares one set and a
+            sweep's :class:`KernelContext` keeps them warm across runs).
+        recycle: Enable the message freelist.  A retired message is
+            re-stamped for a later send *after its delivery handler
+            returns*, so protocol code must not retain delivered
+            messages (none of the in-repo protocols do; they
+            destructure payloads synchronously).  Messages observed by
+            an instrumentation sink are **never** recycled — the
+            copy-on-emit contract (:mod:`repro.instrumentation`) — so
+            tracers and golden fixtures see stable values either way.
     """
 
     def __init__(
@@ -71,6 +83,8 @@ class Network:
         rng: RngRegistry | None = None,
         fifo: bool = False,
         bus: InstrumentationBus | None = None,
+        pools: ObjectPools | None = None,
+        recycle: bool = False,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"need at least 2 processes, got {n}")
@@ -97,6 +111,18 @@ class Network:
         ) or InstrumentationBus()
         self._send_probe = self.bus.probe(NET_SEND)
         self._deliver_probe = self.bus.probe(NET_DELIVER)
+        if pools is None:
+            pools = getattr(sim, "pools", None)
+            if pools is None:
+                pools = ObjectPools()
+        self.pools = pools
+        self._msg_pool = pools.messages
+        self._tags = pools.tags
+        self._pids = pools.pid_range(n)
+        self._recycle = recycle
+        #: One bound method for the network's lifetime — ``self._deliver``
+        #: at the transmit call site would allocate one per send.
+        self._deliver_cb = self._deliver
         self._next_uid = 0
         #: Total messages sent through the network.
         self.messages_sent = 0
@@ -162,13 +188,35 @@ class Network:
         The ``src`` argument is trusted because only the process runtime
         (or the adversary harness, for its own pid) calls this — matching
         the model's no-impersonation guarantee.
+
+        In ``recycle`` mode the returned message is *borrowed*: it is
+        valid until its delivery handler returns, after which the kernel
+        may re-stamp it for a later send.  Callers that keep it longer
+        must take a :meth:`Message.copy`.
         """
         if dst not in self._processes:
             raise ConfigurationError(f"no process registered with id {dst}")
+        interned = self._tags.get(tag)
+        if interned is None:
+            interned = self.pools.intern_tag(tag)
+        tag = interned
         now = self.sim._clock._now
         uid = self._next_uid
         self._next_uid = uid + 1
-        message = Message(src, dst, tag, payload, now, uid)
+        pools = self.pools
+        pool = self._msg_pool
+        if pool:
+            message = pool.pop()
+            pools.messages_reused += 1
+            message.sender = src
+            message.dest = dst
+            message.tag = tag
+            message.payload = payload
+            message.sent_at = now
+            message.uid = uid
+        else:
+            pools.messages_created += 1
+            message = Message(src, dst, tag, payload, now, uid)
         self.messages_sent += 1
         counts = self.sent_by_tag
         counts[tag] = counts.get(tag, 0) + 1
@@ -178,7 +226,7 @@ class Network:
         channel = self._channels.get((src, dst))
         if channel is None:
             channel = self._materialize(src, dst)
-        channel.transmit(self.sim, message, self._deliver)
+        channel.transmit(self.sim, message, self._deliver_cb)
         return message
 
     def broadcast(self, src: int, tag: str, payload: Any) -> None:
@@ -206,18 +254,38 @@ class Network:
             for dst in range(1, n + 1):
                 send(src, dst, tag, payload)
             return
+        interned = self._tags.get(tag)
+        if interned is None:
+            interned = self.pools.intern_tag(tag)
+        tag = interned
         now = self.sim._clock._now
         uid = self._next_uid
         self._next_uid = uid + n
         self.messages_sent += n
         counts = self.sent_by_tag
         counts[tag] = counts.get(tag, 0) + n
+        pools = self.pools
+        pool = self._msg_pool
+        reused = len(pool)
+        if reused > n:
+            reused = n
+        pools.messages_reused += reused
+        pools.messages_created += n - reused
         emit = self._send_probe.emit
         channels = self._channels
-        deliver = self._deliver
+        deliver = self._deliver_cb
         sim = self.sim
-        for dst in range(1, n + 1):
-            message = Message(src, dst, tag, payload, now, uid)
+        for dst in self._pids:
+            if pool:
+                message = pool.pop()
+                message.sender = src
+                message.dest = dst
+                message.tag = tag
+                message.payload = payload
+                message.sent_at = now
+                message.uid = uid
+            else:
+                message = Message(src, dst, tag, payload, now, uid)
             uid += 1
             if emit is not None:
                 emit(message, now)
@@ -231,6 +299,17 @@ class Network:
         if emit is not None:
             emit(message, self.sim._clock._now)
         self._processes[message.dest](message)
+        # Retire the message once the handler returns.  Copy-on-emit: a
+        # message any probe observed is never recycled, so sinks that
+        # retain references (tracers, golden fixtures) stay valid.
+        if (
+            self._recycle
+            and emit is None
+            and self._send_probe.emit is None
+            and len(self._msg_pool) < MAX_POOL
+        ):
+            message.payload = None
+            self._msg_pool.append(message)
 
     def __repr__(self) -> str:
         return f"Network(n={self.n}, sent={self.messages_sent})"

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from ..instrumentation import InstrumentationBus
+from ..sim.pool import ObjectPools
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..adversary.strategies import AdversarySpec
@@ -50,6 +51,11 @@ class KernelContext:
         #: (all sinks detached) before each run, so one scenario's
         #: observers can never leak into the next.
         self.bus = InstrumentationBus()
+        #: Shared object freelists / intern tables
+        #: (:class:`~repro.sim.pool.ObjectPools`).  Handles and messages
+        #: retired by one scenario are re-stamped by the next, so a warm
+        #: worker stops allocating kernel objects almost entirely.
+        self.pools = ObjectPools()
         #: Scenarios executed through this context (introspection).
         self.runs = 0
         #: Active :class:`~repro.profiling.SweepProfiler`, or ``None``.
@@ -117,6 +123,7 @@ class KernelContext:
             "topology_misses": self.topology_misses,
             "adversary_hits": self.adversary_hits,
             "adversary_misses": self.adversary_misses,
+            **self.pools.counters(),
         }
 
     def fresh_bus(self) -> InstrumentationBus:
@@ -134,6 +141,7 @@ class KernelContext:
         self._topologies.clear()
         self._adversaries.clear()
         self.bus.clear()
+        self.pools.clear()
         self.topology_hits = self.topology_misses = 0
         self.adversary_hits = self.adversary_misses = 0
 

@@ -194,7 +194,10 @@ def run_consensus(
     counters — so with ``config.trace`` unset the probes cost one
     pointer check per message.
     """
-    sim = Simulator(bus=context.fresh_bus() if context is not None else None)
+    if context is not None:
+        sim = Simulator(bus=context.fresh_bus(), pools=context.pools)
+    else:
+        sim = Simulator()
     rng = RngRegistry(config.seed)
     topology = config.topology if config.topology is not None else default_topology(config)
     network = Network(
@@ -204,6 +207,7 @@ def run_consensus(
         default_timing=topology.default,
         rng=rng,
         fifo=config.fifo,
+        recycle=True,
     )
     tracer = None
     if config.trace:
@@ -348,6 +352,7 @@ def run_randomized(
         timing=topology.overrides,
         default_timing=topology.default,
         rng=rng,
+        recycle=True,
     )
     coin = CommonCoin(derive_seed(seed, "common-coin"))
     adversaries = adversaries or {}

@@ -46,7 +46,9 @@ machine-readable ``BENCH_profile.json``).  See ``docs/profiling.md``.
 
 from __future__ import annotations
 
+import sys
 import time
+import tracemalloc
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,17 +94,24 @@ HARNESS_PHASES = (
 
 
 class PhaseStat:
-    """Accumulated wall time and call count for one phase or sim label."""
+    """Accumulated wall time and call count for one phase or sim label.
 
-    __slots__ = ("seconds", "calls")
+    ``blocks`` accumulates net ``sys.getallocatedblocks()`` deltas and
+    only populates in allocation-profiling mode (``alloc=True``); the
+    wall-time-only mode never touches it.
+    """
+
+    __slots__ = ("seconds", "calls", "blocks")
 
     def __init__(self) -> None:
         self.seconds = 0.0
         self.calls = 0
+        self.blocks = 0
 
-    def add(self, seconds: float, calls: int = 1) -> None:
+    def add(self, seconds: float, calls: int = 1, blocks: int = 0) -> None:
         self.seconds += seconds
         self.calls += calls
+        self.blocks += blocks
 
     def __repr__(self) -> str:
         return f"PhaseStat(seconds={self.seconds:.6f}, calls={self.calls})"
@@ -129,6 +138,35 @@ class _Phase:
 
     def __exit__(self, *exc: Any) -> None:
         self._stat.add(self._clock() - self._started)
+
+
+class _AllocPhase:
+    """Timing scope that also books the phase's net allocated-block delta.
+
+    The allocation-mode twin of :class:`_Phase`: two clock reads plus
+    two ``sys.getallocatedblocks()`` reads per phase.  Deltas are *net*
+    (allocations minus frees inside the scope), which is the right
+    number for "how much does this phase churn the allocator" — a phase
+    that allocates and promptly frees shows near zero, a phase that
+    builds retained structures shows its real footprint.
+    """
+
+    __slots__ = ("_stat", "_clock", "_started", "_blocks")
+
+    def __init__(self, stat: PhaseStat, clock: Callable[[], float]) -> None:
+        self._stat = stat
+        self._clock = clock
+        self._started = 0.0
+        self._blocks = 0
+
+    def __enter__(self) -> "_AllocPhase":
+        self._started = self._clock()
+        self._blocks = sys.getallocatedblocks()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        blocks = sys.getallocatedblocks() - self._blocks
+        self._stat.add(self._clock() - self._started, 1, blocks)
 
 
 class _Window:
@@ -161,15 +199,30 @@ class SweepProfiler:
             breakdown inside :data:`PHASE_SIMULATE`).  Costs one clock
             read per simulator event while profiling; phase timers alone
             are nearly free.
+        alloc: Allocation-profiling mode (``repro profile --alloc``).
+            Phase scopes and the step sink additionally record net
+            ``sys.getallocatedblocks()`` deltas, and the wall window
+            runs under :mod:`tracemalloc` so :attr:`traced_peak_kib`
+            reports the traced-memory high-water mark.  Noticeably
+            slower than plain profiling (tracemalloc hooks every
+            allocation) — never armed on an unprofiled sweep.
     """
 
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         sim_steps: bool = True,
+        alloc: bool = False,
     ) -> None:
         self._clock = clock
         self.sim_steps = sim_steps
+        self.alloc = alloc
+        #: tracemalloc traced-memory high-water mark (KiB), alloc mode.
+        self.traced_peak_kib = 0.0
+        #: Net allocated-blocks delta across the wall window, alloc mode.
+        self.blocks_delta = 0
+        self._blocks_start = 0
+        self._trace_started = False
         self.phases: dict[str, PhaseStat] = {}
         #: Wall time inside the simulator, keyed by event label
         #: (``tag:RB_ECHO`` for deliveries, callback qualname otherwise).
@@ -195,12 +248,28 @@ class SweepProfiler:
         """
         if self._started is None:
             self._started = self._clock()
+            if self.alloc:
+                self._blocks_start = sys.getallocatedblocks()
+                if not tracemalloc.is_tracing():
+                    tracemalloc.start()
+                    self._trace_started = True
 
     def stop(self) -> float:
         """Close the window; returns (and accumulates) its wall time."""
         if self._started is not None:
             self._wall += self._clock() - self._started
             self._started = None
+            if self.alloc:
+                self.blocks_delta += (
+                    sys.getallocatedblocks() - self._blocks_start
+                )
+                if tracemalloc.is_tracing():
+                    _, peak = tracemalloc.get_traced_memory()
+                    if peak / 1024.0 > self.traced_peak_kib:
+                        self.traced_peak_kib = peak / 1024.0
+                    if self._trace_started:
+                        tracemalloc.stop()
+                        self._trace_started = False
         return self.wall_seconds
 
     @property
@@ -222,20 +291,24 @@ class SweepProfiler:
 
     # -- phase timers ----------------------------------------------------
 
-    def phase(self, name: str) -> _Phase:
+    def phase(self, name: str) -> "_Phase | _AllocPhase":
         """A ``with``-scope adding its wall time to phase ``name``."""
         stat = self.phases.get(name)
         if stat is None:
             stat = self.phases[name] = PhaseStat()
+        if self.alloc:
+            return _AllocPhase(stat, self._clock)
         return _Phase(stat, self._clock)
 
-    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+    def add(
+        self, name: str, seconds: float, calls: int = 1, blocks: int = 0
+    ) -> None:
         """Credit ``seconds`` to phase ``name`` directly (e.g. worker-
         reported chunk wall time on the process-pool backend)."""
         stat = self.phases.get(name)
         if stat is None:
             stat = self.phases[name] = PhaseStat()
-        stat.add(seconds, calls)
+        stat.add(seconds, calls, blocks)
 
     def phase_seconds(self, name: str) -> float:
         stat = self.phases.get(name)
@@ -265,7 +338,8 @@ class SweepProfiler:
         if self.sim_steps:
             from .instrumentation import SIM_STEP
 
-            bus.probe(SIM_STEP).attach(self._on_step)
+            sink = self._on_step_alloc if self.alloc else self._on_step
+            bus.probe(SIM_STEP).attach(sink)
             self.runs += 1
 
     def _on_step(self, handle: Any) -> None:
@@ -280,11 +354,25 @@ class SweepProfiler:
         self.sim_events += 1
         self._pending = (_event_label(handle), now)
 
+    def _on_step_alloc(self, handle: Any) -> None:
+        """Alloc-mode step sink: wall time *and* block delta per label."""
+        now = self._clock()
+        blocks = sys.getallocatedblocks()
+        pending = self._pending
+        if pending is not None:
+            label, started, blocks0 = pending
+            stat = self.sim_labels.get(label)
+            if stat is None:
+                stat = self.sim_labels[label] = PhaseStat()
+            stat.add(now - started, 1, blocks - blocks0)
+        self.sim_events += 1
+        self._pending = (_event_label(handle), now, blocks)
+
     def _flush_pending(self) -> None:
         """Drop the attribution window left open by a run's final event
         (its cost cannot be separated from post-run harness work)."""
         if self._pending is not None:
-            label, _ = self._pending
+            label = self._pending[0]
             stat = self.sim_labels.get(label)
             if stat is None:
                 stat = self.sim_labels[label] = PhaseStat()
@@ -306,11 +394,11 @@ class SweepProfiler:
         self._flush_pending()
         return {
             "phases": {
-                name: (stat.seconds, stat.calls)
+                name: (stat.seconds, stat.calls, stat.blocks)
                 for name, stat in self.phases.items()
             },
             "sim_labels": {
-                name: (stat.seconds, stat.calls)
+                name: (stat.seconds, stat.calls, stat.blocks)
                 for name, stat in self.sim_labels.items()
             },
             "sim_events": self.sim_events,
@@ -319,48 +407,81 @@ class SweepProfiler:
 
     def merge_remote(self, data: dict[str, Any]) -> None:
         """Fold a worker's :meth:`export` into this profiler."""
-        for name, (seconds, calls) in data.get("phases", {}).items():
-            self.add(name, seconds, calls)
-        for name, (seconds, calls) in data.get("sim_labels", {}).items():
+        for name, entry in data.get("phases", {}).items():
+            blocks = entry[2] if len(entry) > 2 else 0
+            self.add(name, entry[0], entry[1], blocks)
+        for name, entry in data.get("sim_labels", {}).items():
             stat = self.sim_labels.get(name)
             if stat is None:
                 stat = self.sim_labels[name] = PhaseStat()
-            stat.add(seconds, calls)
+            blocks = entry[2] if len(entry) > 2 else 0
+            stat.add(entry[0], entry[1], blocks)
         self.sim_events += int(data.get("sim_events", 0))
         self.runs += int(data.get("runs", 0))
 
     # -- reporting -------------------------------------------------------
 
     def to_dict(self, top_labels: int = 20) -> dict[str, Any]:
-        """Machine-readable profile (the ``BENCH_profile.json`` body)."""
+        """Machine-readable profile (the ``BENCH_profile.json`` body).
+
+        In allocation mode each phase/label additionally reports its
+        net ``blocks`` delta, and a top-level ``alloc`` section carries
+        the window-wide totals; the wall-time-only schema is unchanged
+        (``tests/profiling/test_profile_schema.py`` pins it).
+        """
         self._flush_pending()
         wall = self.wall_seconds
+        alloc = self.alloc
         labels = sorted(
             self.sim_labels.items(), key=lambda kv: -kv[1].seconds
         )
-        return {
+
+        def phase_entry(stat: PhaseStat) -> dict[str, Any]:
+            entry: dict[str, Any] = {
+                "seconds": round(stat.seconds, 6),
+                "calls": stat.calls,
+            }
+            if alloc:
+                entry["blocks"] = stat.blocks
+            return entry
+
+        def label_entry(stat: PhaseStat) -> dict[str, Any]:
+            entry: dict[str, Any] = {
+                "seconds": round(stat.seconds, 6),
+                "events": stat.calls,
+            }
+            if alloc:
+                entry["blocks"] = stat.blocks
+            return entry
+
+        out = {
             "wall_seconds": round(wall, 6),
             "coverage": round(self.coverage(), 4),
             "phases": {
-                name: {
-                    "seconds": round(stat.seconds, 6),
-                    "calls": stat.calls,
-                }
+                name: phase_entry(stat)
                 for name, stat in self._ordered_phases()
             },
             "sim": {
                 "events": self.sim_events,
                 "runs": self.runs,
                 "labels": {
-                    name: {
-                        "seconds": round(stat.seconds, 6),
-                        "events": stat.calls,
-                    }
+                    name: label_entry(stat)
                     for name, stat in labels[:top_labels]
                 },
                 "labels_truncated": max(0, len(labels) - top_labels),
             },
         }
+        if alloc:
+            out["alloc"] = {
+                "blocks_delta": self.blocks_delta,
+                "traced_peak_kib": round(self.traced_peak_kib, 1),
+                "blocks_per_event": round(
+                    sum(stat.blocks for stat in self.sim_labels.values())
+                    / self.sim_events,
+                    3,
+                ) if self.sim_events else 0.0,
+            }
+        return out
 
     def render(self, top_labels: int = 12) -> str:
         """The human-readable per-phase / per-tag breakdown table."""
@@ -368,43 +489,73 @@ class SweepProfiler:
 
         self._flush_pending()
         wall = self.wall_seconds
+        alloc = self.alloc
         accounted = sum(stat.seconds for stat in self.phases.values())
 
         def pct(seconds: float) -> str:
             return f"{100.0 * seconds / wall:.1f}%" if wall > 0 else "-"
 
-        rows = [
-            [name, f"{stat.seconds:.4f}", stat.calls, pct(stat.seconds)]
-            for name, stat in self._ordered_phases()
-        ]
-        rows.append(["(total accounted)", f"{accounted:.4f}", "",
-                     pct(accounted)])
-        rows.append(["(measured wall)", f"{wall:.4f}", "", "100.0%"])
-        out = [format_table(["phase", "seconds", "calls", "of wall"], rows)]
+        phase_header = ["phase", "seconds", "calls", "of wall"]
+        if alloc:
+            phase_header.append("blocks")
+        rows = []
+        for name, stat in self._ordered_phases():
+            row = [name, f"{stat.seconds:.4f}", stat.calls, pct(stat.seconds)]
+            if alloc:
+                row.append(f"{stat.blocks:+,}")
+            rows.append(row)
+        total_row = ["(total accounted)", f"{accounted:.4f}", "",
+                     pct(accounted)]
+        wall_row = ["(measured wall)", f"{wall:.4f}", "", "100.0%"]
+        if alloc:
+            total_row.append(
+                f"{sum(stat.blocks for stat in self.phases.values()):+,}"
+            )
+            wall_row.append(f"{self.blocks_delta:+,}")
+        rows.append(total_row)
+        rows.append(wall_row)
+        out = [format_table(phase_header, rows)]
         if self.sim_labels:
             labels = sorted(
                 self.sim_labels.items(), key=lambda kv: -kv[1].seconds
             )
-            sim_rows = [
-                [name, f"{stat.seconds:.4f}", stat.calls, pct(stat.seconds)]
-                for name, stat in labels[:top_labels]
-            ]
+            sim_header = ["sim event", "seconds", "events", "of wall"]
+            if alloc:
+                sim_header.append("blocks/ev")
+            sim_rows = []
+            for name, stat in labels[:top_labels]:
+                row = [
+                    name, f"{stat.seconds:.4f}", stat.calls, pct(stat.seconds)
+                ]
+                if alloc:
+                    per_event = stat.blocks / stat.calls if stat.calls else 0.0
+                    row.append(f"{per_event:+.2f}")
+                sim_rows.append(row)
             rest = labels[top_labels:]
             if rest:
                 rest_seconds = sum(stat.seconds for _, stat in rest)
                 rest_events = sum(stat.calls for _, stat in rest)
-                sim_rows.append([
+                rest_row = [
                     f"(+{len(rest)} more)", f"{rest_seconds:.4f}",
                     rest_events, pct(rest_seconds),
-                ])
+                ]
+                if alloc:
+                    rest_blocks = sum(stat.blocks for _, stat in rest)
+                    per_event = rest_blocks / rest_events if rest_events else 0.0
+                    rest_row.append(f"{per_event:+.2f}")
+                sim_rows.append(rest_row)
             out.append("")
             out.append(
                 f"inside {PHASE_SIMULATE} — wall time per simulator event "
                 f"({self.sim_events} events over {self.runs} run(s)):"
             )
-            out.append(format_table(
-                ["sim event", "seconds", "events", "of wall"], sim_rows
-            ))
+            out.append(format_table(sim_header, sim_rows))
+        if alloc:
+            out.append("")
+            out.append(
+                f"alloc: net blocks {self.blocks_delta:+,} over the window, "
+                f"tracemalloc peak {self.traced_peak_kib:,.1f} KiB"
+            )
         return "\n".join(out)
 
     def _ordered_phases(self) -> list[tuple[str, PhaseStat]]:

@@ -19,9 +19,21 @@ class EventHandle:
     only while the handle sits in the *heap*, so that :meth:`cancel`
     can feed the scheduler's lazy-compaction accounting without the
     ready fast path paying for it.
+
+    ``_pooled`` marks handles owned by the scheduler's freelist
+    (:mod:`repro.sim.pool`): they are created only by the simulator's
+    internal scheduling entry points, never escape the kernel, and are
+    re-armed in place after their callback runs.  Handles returned by
+    the public ``call_soon``/``call_at``/``call_later`` API are never
+    pooled — callers may hold and :meth:`cancel` them at any time.  A
+    pooled handle's ``_args`` may be a reusable single-slot *list*
+    (the preallocated argument slot of the delivery fast path) instead
+    of a tuple; ``_run`` unpacks either.
     """
 
-    __slots__ = ("time", "seq", "_callback", "_args", "_cancelled", "_loop")
+    __slots__ = (
+        "time", "seq", "_callback", "_args", "_cancelled", "_loop", "_pooled"
+    )
 
     def __init__(
         self,
@@ -36,6 +48,7 @@ class EventHandle:
         self._args = args
         self._cancelled = False
         self._loop = None
+        self._pooled = False
 
     @property
     def cancelled(self) -> bool:

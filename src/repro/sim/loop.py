@@ -35,6 +35,7 @@ from ..instrumentation import SIM_STEP, InstrumentationBus
 from .clock import VirtualClock
 from .futures import _PENDING, Future
 from .handles import EventHandle
+from .pool import MAX_POOL, ObjectPools
 from .tasks import Task
 
 __all__ = ["Simulator"]
@@ -60,7 +61,10 @@ class Simulator:
     """
 
     def __init__(
-        self, start_time: float = 0.0, bus: InstrumentationBus | None = None
+        self,
+        start_time: float = 0.0,
+        bus: InstrumentationBus | None = None,
+        pools: ObjectPools | None = None,
     ) -> None:
         self._clock = VirtualClock(start_time)
         #: Future events: ``(time, seq, handle)`` tuples (C-compared).
@@ -71,6 +75,10 @@ class Simulator:
         self._heap_cancelled = 0
         self.bus = bus if bus is not None else InstrumentationBus()
         self._step_probe = self.bus.probe(SIM_STEP)
+        #: Object freelists (shared with the network and, in sweeps,
+        #: with the per-worker :class:`KernelContext` so reuse survives
+        #: across runs).  A standalone simulator gets a private set.
+        self.pools = pools if pools is not None else ObjectPools()
         #: Total events executed so far (cancelled events excluded).
         self.events_processed = 0
 
@@ -122,6 +130,80 @@ class Simulator:
         handle = EventHandle(self._clock._now, seq, callback, args)
         self._ready.append(handle)
         return handle
+
+    # ------------------------------------------------------------------
+    # Pooled scheduling (kernel-internal fast paths)
+    # ------------------------------------------------------------------
+    # The two entry points below return nothing and recycle their
+    # handles through ``self.pools`` right after the callback runs.
+    # They are safe only because their handles never escape the kernel:
+    # nobody can hold one, so nobody can cancel one after reuse.  Public
+    # scheduling stays on call_soon/call_at, which allocate caller-owned
+    # handles.
+
+    def schedule_delivery(
+        self, time: float, callback: Callable[..., Any], arg: Any
+    ) -> None:
+        """Schedule ``callback(arg)`` on a recycled single-arg handle.
+
+        The network's delivery path: ``time`` must already be clamped to
+        ``>= now`` (channels guarantee it), and the handle's argument
+        travels in a reusable one-slot list — the preallocated argument
+        slot that replaces the per-delivery ``(message,)`` tuple.
+        """
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        pools = self.pools
+        pool = pools.handles
+        if pool:
+            handle = pool.pop()
+            pools.handles_reused += 1
+            handle.time = time
+            handle.seq = seq
+            handle._callback = callback
+            args = handle._args
+            if type(args) is list:
+                args[0] = arg
+            else:
+                handle._args = [arg]
+            handle._cancelled = False
+        else:
+            pools.handles_created += 1
+            handle = EventHandle(time, seq, callback, [arg])
+            handle._pooled = True
+        if time == self._clock._now:
+            self._ready.append(handle)
+        else:
+            # No ``_loop`` backref: pooled handles are never cancelled,
+            # so they never feed the lazy-compaction accounting.
+            heapq.heappush(self._heap, (time, seq, handle))
+
+    def call_soon_pooled(
+        self, callback: Callable[..., Any], args: tuple[Any, ...] = ()
+    ) -> None:
+        """Schedule ``callback(*args)`` now, on a recycled handle.
+
+        ``args`` is taken by reference (pass a constant tuple on hot
+        paths).  Used by the task-stepping machinery, whose handles are
+        always discarded at the call site.
+        """
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        pools = self.pools
+        pool = pools.handles
+        if pool:
+            handle = pool.pop()
+            pools.handles_reused += 1
+            handle.time = self._clock._now
+            handle.seq = seq
+            handle._callback = callback
+            handle._args = args
+            handle._cancelled = False
+        else:
+            pools.handles_created += 1
+            handle = EventHandle(self._clock._now, seq, callback, args)
+            handle._pooled = True
+        self._ready.append(handle)
 
     def _compact_heap(self) -> None:
         """Drop every tombstone from the heap in one O(n) pass.
@@ -198,7 +280,25 @@ class Simulator:
         if emit is not None:
             emit(handle)
         handle._run()
+        if handle._pooled:
+            self._release_handle(handle)
         return True
+
+    def _release_handle(self, handle: EventHandle) -> None:
+        """Retire an executed pooled handle into the freelist.
+
+        Clears the callback (and the argument slot's payload) so retired
+        handles never pin protocol objects between reuses.
+        """
+        handle._callback = _noop_release
+        args = handle._args
+        if type(args) is list:
+            args[0] = None
+        else:
+            handle._args = ()
+        pool = self.pools.handles
+        if len(pool) < MAX_POOL:
+            pool.append(handle)
 
     def peek_time(self) -> float | None:
         """Virtual time of the next pending event, or None if idle."""
@@ -241,11 +341,19 @@ class Simulator:
         clock = self._clock
         probe = self._step_probe
         heappop = heapq.heappop
+        handle_pool = self.pools.handles
         while True:
             # -- peek (skimming tombstones) --------------------------------
             while ready and ready[0]._cancelled:
                 ready.popleft()
             while heap and heap[0][2]._cancelled:
+                # Mass cancellation (a protocol dropping its round
+                # timers) surfaces here as a tombstone-dominated heap:
+                # one O(n) compaction beats popping them one by one.
+                cancelled = self._heap_cancelled
+                if cancelled > _MIN_HEAP_COMPACTION and cancelled * 2 > len(heap):
+                    self._compact_heap()
+                    break
                 heappop(heap)
                 self._heap_cancelled -= 1
             if ready:
@@ -282,6 +390,16 @@ class Simulator:
             if emit is not None:
                 emit(handle)
             handle._run()
+            if handle._pooled:
+                # Retire into the freelist (inlined _release_handle).
+                handle._callback = _noop_release
+                args = handle._args
+                if type(args) is list:
+                    args[0] = None
+                else:
+                    handle._args = ()
+                if len(handle_pool) < MAX_POOL:
+                    handle_pool.append(handle)
         if until is not None and until > self._clock._now:
             self._clock.advance_to(until)
 
@@ -308,11 +426,16 @@ class Simulator:
         clock = self._clock
         probe = self._step_probe
         heappop = heapq.heappop
+        handle_pool = self.pools.handles
         while future._state is _PENDING:
             # -- peek (skimming tombstones) --------------------------------
             while ready and ready[0]._cancelled:
                 ready.popleft()
             while heap and heap[0][2]._cancelled:
+                cancelled = self._heap_cancelled
+                if cancelled > _MIN_HEAP_COMPACTION and cancelled * 2 > len(heap):
+                    self._compact_heap()
+                    break
                 heappop(heap)
                 self._heap_cancelled -= 1
             if ready:
@@ -355,6 +478,16 @@ class Simulator:
             if emit is not None:
                 emit(handle)
             handle._run()
+            if handle._pooled:
+                # Retire into the freelist (inlined _release_handle).
+                handle._callback = _noop_release
+                args = handle._args
+                if type(args) is list:
+                    args[0] = None
+                else:
+                    handle._args = ()
+                if len(handle_pool) < MAX_POOL:
+                    handle_pool.append(handle)
         return future.result()
 
     @property
@@ -371,3 +504,7 @@ class Simulator:
 def _resolve_sleep(fut: Future) -> None:
     if not fut.done():
         fut.set_result(None)
+
+
+def _noop_release(*_args: Any) -> None:
+    """Placeholder callback installed on retired pooled handles."""

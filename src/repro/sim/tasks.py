@@ -27,7 +27,7 @@ class Task(Future):
     :class:`~repro.sim.futures.Future` (or a bare ``yield``) is an error.
     """
 
-    __slots__ = ("_coro", "_sim", "_waiting_on", "_must_cancel")
+    __slots__ = ("_coro", "_sim", "_waiting_on", "_must_cancel", "_step_cb")
 
     def __init__(
         self,
@@ -40,7 +40,11 @@ class Task(Future):
         self._sim = sim
         self._waiting_on: Future | None = None
         self._must_cancel = False
-        sim.call_soon(self._step, None, None)
+        # One bound method for the task's lifetime: stepping is the
+        # densest same-instant event in a run, and ``self._step`` at the
+        # call site would allocate a fresh bound method every time.
+        self._step_cb = self._step
+        sim.call_soon_pooled(self._step_cb, (None, None))
 
     # ------------------------------------------------------------------
     # Cancellation
@@ -58,7 +62,7 @@ class Task(Future):
             # cancelling the awaited future only affects this task.
             return waiting.cancel()
         self._must_cancel = True
-        self._sim.call_soon(self._step, None, None)
+        self._sim.call_soon_pooled(self._step_cb, (None, None))
         return True
 
     # ------------------------------------------------------------------
@@ -101,7 +105,7 @@ class Task(Future):
             elif result is None:
                 # A bare ``yield`` cooperatively reschedules at the same
                 # virtual instant.
-                self._sim.call_soon(self._step, None, None)
+                self._sim.call_soon_pooled(self._step_cb, (None, None))
             else:
                 self._step(
                     None,

@@ -14,14 +14,32 @@ class TestMessage:
         assert message.sent_at == 3.5
         assert message.uid == 7
 
-    def test_immutability(self):
-        import dataclasses
-
+    def test_slots_reject_new_attributes(self):
+        # Message is a __slots__ class (mutable by the kernel for
+        # freelist re-stamping) — ad-hoc attributes still fail fast.
         import pytest
 
         message = Message(sender=1, dest=2, tag="T", payload=None)
-        with pytest.raises(dataclasses.FrozenInstanceError):
-            message.sender = 9
+        with pytest.raises(AttributeError):
+            message.extra = 1
+
+    def test_copy_is_equal_but_independent(self):
+        message = Message(sender=1, dest=2, tag="T", payload="p",
+                          sent_at=3.5, uid=7)
+        snapshot = message.copy()
+        assert snapshot == message
+        assert snapshot.sent_at == 3.5
+        assert snapshot.uid == 7
+        # Re-stamping the original (what the kernel's freelist does)
+        # leaves the snapshot untouched.
+        message.payload = None
+        assert snapshot.payload == "p"
+
+    def test_hashable(self):
+        a = Message(sender=1, dest=2, tag="T", payload="p", uid=1)
+        b = Message(sender=1, dest=2, tag="T", payload="p", uid=2)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
 
     def test_equality_ignores_bookkeeping_fields(self):
         # sent_at and uid are compare=False: two logically equal messages

@@ -21,6 +21,7 @@ _spec.loader.exec_module(bench_history)
 
 check_sweep_trend = bench_history.check_sweep_trend
 check_kernel_trend = bench_history.check_kernel_trend
+check_alloc_trend = bench_history.check_alloc_trend
 
 
 def point(label, sps, quick=False):
@@ -124,6 +125,75 @@ class TestCheckKernelTrend:
             history, kpoint("ci-2", 0.5, quick=True), 0.15
         )
         assert failure is not None and "ci-1" in failure
+
+
+def apoint(label, allocs, quick=False):
+    return {"label": label, "quick": quick,
+            "kernel_allocs_per_event": allocs}
+
+
+class TestCheckAllocTrend:
+    """Allocations-per-event gate: absolute rise allowance, because a
+    pooled kernel sits near zero where any relative threshold explodes
+    (0.003 → 0.006 is '100% worse' but still free)."""
+
+    def test_rise_beyond_allowance_fails(self):
+        failure = check_alloc_trend(
+            [apoint("pr9", 0.003)], apoint("pr10", 0.5), 0.25
+        )
+        assert failure is not None
+        assert "pr9" in failure and "--alloc" in failure
+
+    def test_rise_within_allowance_passes(self):
+        assert check_alloc_trend(
+            [apoint("pr9", 0.003)], apoint("pr10", 0.2), 0.25
+        ) is None
+
+    def test_improvement_passes(self):
+        assert check_alloc_trend(
+            [apoint("pr9", 0.5)], apoint("pr10", 0.003), 0.25
+        ) is None
+
+    def test_zero_baseline_is_a_valid_comparable_point(self):
+        # 0.0 allocs/event is the ideal baseline, not a missing number.
+        failure = check_alloc_trend(
+            [apoint("pr9", 0.0)], apoint("pr10", 0.5), 0.25
+        )
+        assert failure is not None
+
+    def test_missing_numbers_skip_the_gate(self):
+        assert check_alloc_trend([], apoint("pr10", 0.5), 0.25) is None
+        assert check_alloc_trend(
+            [{"label": "pr9", "quick": False}], apoint("pr10", 0.5), 0.25
+        ) is None
+        assert check_alloc_trend(
+            [apoint("pr9", 0.003)], {"label": "pr10", "quick": False}, 0.25
+        ) is None
+
+    def test_quick_points_only_compare_against_quick_points(self):
+        history = [apoint("pr9", 0.003), apoint("ci-1", 0.9, quick=True)]
+        assert check_alloc_trend(
+            history, apoint("ci-2", 1.0, quick=True), 0.25
+        ) is None
+
+
+class TestRenderTable:
+    def test_parallel_column_is_annotated_with_cpu_count(self):
+        text = bench_history.render_table([
+            {"label": "pr9", "sweep_parallel_sps": 76.19,
+             "sweep_cpu_count": 1},
+            {"label": "pr8", "sweep_parallel_sps": 69.2},
+        ])
+        assert "76.19 (1 cpu)" in text
+        assert "69.2" in text  # pre-annotation points render bare
+
+    def test_allocs_column_renders_dash_for_old_points(self):
+        text = bench_history.render_table([
+            {"label": "pr8"},
+            {"label": "pr9", "kernel_allocs_per_event": 0.0003},
+        ])
+        assert "allocs/ev" in text
+        assert "0.0003" in text
 
 
 class TestMainGate:
