@@ -58,14 +58,20 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def summarize(kernel: dict, sweep: dict, label: str | None) -> dict:
-    """One history record from the two per-PR bench JSONs."""
+def summarize(
+    kernel: dict, sweep: dict, label: str | None, check: dict | None = None
+) -> dict:
+    """One history record from the per-PR bench JSONs.
+
+    ``check`` (``BENCH_check.json``, see ``bench_check.py``) joined the
+    trajectory in PR 10; older points simply lack the field.
+    """
     metrics = kernel.get("metrics", {})
     events_geomean = geomean(
         [m["events_per_sec"] for m in metrics.values()]
     )
     sweep_metrics = sweep.get("metrics", {})
-    return {
+    record = {
         "label": label or kernel.get("label", "unlabeled"),
         "timestamp": kernel.get("timestamp"),
         "python": kernel.get("python"),
@@ -84,6 +90,9 @@ def summarize(kernel: dict, sweep: dict, label: str | None) -> dict:
         "sweep_cpu_count": sweep.get("cpu_count"),
         "sweep_bit_identical": sweep.get("bit_identical"),
     }
+    if check is not None:
+        record["check_states_per_sec"] = check.get("states_per_sec_geomean")
+    return record
 
 
 def load_history(path: pathlib.Path) -> list[dict]:
@@ -249,12 +258,14 @@ def render_table(history: list[dict]) -> str:
             fmt(e.get("kernel_allocs_per_event")),
             fmt(e.get("sweep_serial_sps")),
             fmt_parallel(e),
+            fmt(e.get("check_states_per_sec"), ",.0f"),
         ]
         for e in history
     ]
     return format_table(
         ["PR label", "date", "kernel ev/s (geomean)",
-         "vs baseline", "allocs/ev", "sweep serial/s", "sweep parallel/s"],
+         "vs baseline", "allocs/ev", "sweep serial/s", "sweep parallel/s",
+         "check states/s"],
         rows,
     )
 
@@ -265,6 +276,10 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_kernel.json")
     parser.add_argument("--sweep", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_sweep.json")
+    parser.add_argument("--check", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_check.json",
+                        help="checker throughput JSON (bench_check.py); "
+                             "optional — skipped when missing")
     parser.add_argument("--history", type=pathlib.Path,
                         default=DEFAULT_HISTORY)
     parser.add_argument("--label", default=None,
@@ -297,8 +312,13 @@ def main(argv=None) -> int:
     except FileNotFoundError as exc:
         print(f"missing bench JSON: {exc.filename}", file=sys.stderr)
         return 1
+    check = (
+        json.loads(args.check.read_text(encoding="utf-8"))
+        if args.check.is_file()
+        else None
+    )
 
-    entry = summarize(kernel, sweep, args.label)
+    entry = summarize(kernel, sweep, args.label, check)
     prior = load_history(args.history)
     history = append_entry(prior, entry)
     args.history.parent.mkdir(parents=True, exist_ok=True)

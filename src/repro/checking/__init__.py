@@ -1,0 +1,50 @@
+"""Exhaustive small-model schedule checking (``repro check``).
+
+The sampling stack (:mod:`repro.orchestration.sweeps`) draws delivery
+*delays* from seeded distributions; each seed is one schedule out of an
+astronomical space.  This package instead *enumerates* the space for
+small ``n``: with every channel instant (:class:`repro.net.timing.Instant`)
+the only nondeterminism left in a run is the order in which same-instant
+deliveries are popped from the scheduler's ready tier, which the
+simulator exposes as explicit choice points
+(:meth:`repro.sim.loop.Simulator.set_chooser`).
+
+A *schedule* is the list of choice indices taken at successive choice
+points.  :class:`~repro.checking.explorer.Explorer` drives an iterative
+DFS over schedule prefixes with hash-based visited-state deduplication
+(:mod:`repro.checking.fingerprint`) and sleep-set partial-order pruning,
+verifying :mod:`repro.analysis.invariants` after every event.  On a
+violation it shrinks the schedule to a locally minimal counterexample
+that the ordinary runner replays bit-identically
+(``RunConfig.check_schedule`` / the ``schedule`` scenario axis).
+
+See ``docs/checking.md`` for the state-fingerprint model and the
+pruning-soundness argument.
+"""
+
+from .choice import ScheduleChooser, ScheduleDivergence, message_key
+from .explorer import CheckResult, CheckStats, Explorer, minimize_counterexample
+from .fingerprint import canon, state_fingerprint
+from .harness import RunOutcome, execute_run
+from .mutants import MUTANTS, Mutant, apply_mutant
+from .sharding import ShardRoots, schedule_prefix_roots, shard_roots_slice
+
+__all__ = [
+    "CheckResult",
+    "CheckStats",
+    "Explorer",
+    "MUTANTS",
+    "Mutant",
+    "RunOutcome",
+    "apply_mutant",
+    "ScheduleChooser",
+    "ScheduleDivergence",
+    "ShardRoots",
+    "canon",
+    "execute_run",
+    "message_key",
+    "minimize_counterexample",
+    "schedule_prefix_roots",
+    "shard_roots_slice",
+    "state_fingerprint",
+]

@@ -1,0 +1,251 @@
+"""Canonical state fingerprints for visited-state deduplication.
+
+Two executions that reach *semantically identical* global states must
+produce identical fingerprints even though their kernels differ in
+bookkeeping (message uids, scheduling sequence numbers, pool contents,
+deque order).  The fingerprint therefore hashes only:
+
+* the virtual clock;
+* the pending-delivery **multiset** by semantic message key — sorted, so
+  commuting delivery orders (the diamonds dedup exists to collapse)
+  fingerprint equal;
+* the pending-timer multiset (time, callback qualname, plain args);
+* every protocol object's state, walked structurally (kernel objects —
+  simulator, network, processes, futures, RNG streams — are skipped;
+  their protocol-relevant content is captured elsewhere);
+* each tracked coroutine's stack: code position plus plain-valued
+  locals, which is where round counters and await points live;
+* the decisions (and decision times) of tracked processes.
+
+Excluded on purpose: message uids, handle sequence numbers, object
+identities, network counters — all vary between executions that are
+about to behave identically.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import random
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..orchestration.runner import RuntimeFrame
+    from ..sim.handles import EventHandle
+    from ..sim.tasks import Task
+
+__all__ = ["canon", "state_fingerprint"]
+
+#: Types whose values are hashed verbatim.
+_PLAIN = (type(None), bool, int, float, str, bytes)
+
+#: Walk depth guard: protocol state is shallow; anything deeper is a
+#: cycle the memo set already breaks, or kernel plumbing we exclude.
+_MAX_CORO_DEPTH = 32
+
+
+def canon(value: Any, _depth: int = 0) -> str | None:
+    """Canonical string of a *plain* value tree; ``None`` if not plain.
+
+    Plain means: scalars, enums, and tuples/lists/dicts/sets thereof.
+    Deterministic across processes (no ids, no unordered iteration).
+    """
+    if isinstance(value, _PLAIN):
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if _depth >= 8:
+        return None
+    if isinstance(value, (tuple, list)):
+        parts = [canon(item, _depth + 1) for item in value]
+        if any(part is None for part in parts):
+            return None
+        bracket = "()" if isinstance(value, tuple) else "[]"
+        return bracket[0] + ",".join(parts) + bracket[1]
+    if isinstance(value, (set, frozenset)):
+        parts = [canon(item, _depth + 1) for item in value]
+        if any(part is None for part in parts):
+            return None
+        return "{" + ",".join(sorted(parts)) + "}"
+    if isinstance(value, dict):
+        items = []
+        for key, item in value.items():
+            ckey = canon(key, _depth + 1)
+            citem = canon(item, _depth + 1)
+            if ckey is None or citem is None:
+                return None
+            items.append(f"{ckey}:{citem}")
+        return "{" + ",".join(sorted(items)) + "}"
+    return None
+
+
+def _object_attrs(obj: Any) -> dict[str, Any]:
+    """Instance attributes of ``obj``, covering ``__dict__`` and slots."""
+    items: dict[str, Any] = {}
+    d = getattr(obj, "__dict__", None)
+    if d:
+        items.update(d)
+    for cls in type(obj).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name not in items:
+                try:
+                    items[name] = getattr(obj, name)
+                except AttributeError:
+                    pass
+    return items
+
+
+_EXCLUDED_TYPES: tuple[type, ...] = ()
+
+
+def _excluded_types() -> tuple[type, ...]:
+    global _EXCLUDED_TYPES
+    if not _EXCLUDED_TYPES:
+        from ..net.channel import Channel
+        from ..net.network import Network
+        from ..runtime.process import Process
+        from ..sim.futures import Future
+        from ..sim.loop import Simulator
+
+        _EXCLUDED_TYPES = (
+            Simulator, Network, Channel, Process, Future, random.Random
+        )
+    return _EXCLUDED_TYPES
+
+
+def _is_excluded(value: Any) -> bool:
+    """Kernel plumbing the structural walk must not descend into."""
+    return isinstance(value, _excluded_types()) or callable(value)
+
+
+def _walk(value: Any, label: str, out: list[str], seen: set[int]) -> None:
+    """Emit deterministic state tokens for one protocol-state value."""
+    plain = canon(value)
+    if plain is not None:
+        out.append(f"{label}={plain}")
+        return
+    if _is_excluded(value):
+        # Bound-method callables etc. carry no state of their own; the
+        # excluded kernel types are fingerprinted through other channels
+        # (pending deliveries, coroutine stacks, decision snapshots).
+        return
+    if id(value) in seen:
+        out.append(f"{label}=<cycle>")
+        return
+    seen.add(id(value))
+    if isinstance(value, (tuple, list)):
+        for index, item in enumerate(value):
+            _walk(item, f"{label}[{index}]", out, seen)
+        return
+    if isinstance(value, dict):
+        entries = []
+        for key, item in value.items():
+            ckey = canon(key)
+            entries.append((ckey if ckey is not None else type(key).__name__, item))
+        for ckey, item in sorted(entries, key=lambda pair: pair[0]):
+            _walk(item, f"{label}{{{ckey}}}", out, seen)
+        return
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(
+            canon(item) or type(item).__name__ for item in value
+        )
+        out.append(f"{label}={{{','.join(parts)}}}")
+        return
+    module = type(value).__module__
+    if module.startswith("repro."):
+        out.append(f"{label}:{type(value).__name__}")
+        for name, item in sorted(_object_attrs(value).items()):
+            _walk(item, f"{label}.{name}", out, seen)
+        return
+    # Foreign object: its type is all we can say deterministically.
+    out.append(f"{label}=<{type(value).__name__}>")
+
+
+def _coro_tokens(task: "Task") -> list[str]:
+    """Stack snapshot of one task: code positions + plain locals."""
+    out = [f"task:{task.name}"]
+    if task.done():
+        out.append("done")
+        return out
+    obj: Any = task._coro
+    for _ in range(_MAX_CORO_DEPTH):
+        if obj is None:
+            break
+        frame = getattr(obj, "cr_frame", None)
+        if frame is None:
+            frame = getattr(obj, "gi_frame", None)
+        if frame is None:
+            break
+        code = frame.f_code
+        out.append(f"{code.co_qualname}:{frame.f_lasti}")
+        for name in sorted(frame.f_locals):
+            plain = canon(frame.f_locals[name])
+            if plain is not None:
+                out.append(f"{name}={plain}")
+        nxt = getattr(obj, "cr_await", None)
+        if nxt is None:
+            nxt = getattr(obj, "gi_yieldfrom", None)
+        obj = nxt
+    return out
+
+
+def state_fingerprint(
+    frame: "RuntimeFrame",
+    candidates: Iterable["EventHandle"],
+    tasks: Iterable["Task"] = (),
+    extra_stacks: Iterable[Any] = (),
+    fifo: bool = False,
+) -> str:
+    """SHA-256 fingerprint of the global state at one choice point.
+
+    Called when every live ready handle is a pending cross-process
+    delivery (``candidates``), so the ready tier contributes exactly its
+    sorted semantic multiset.  With ``fifo`` the multiset is grouped
+    into per-channel *sequences* instead: under FIFO channels the order
+    of two pending messages on the same channel is part of the state
+    (it fixes which is deliverable), so states differing only there must
+    not fingerprint equal.  ``tasks`` are the coroutines created this
+    run (the chooser's ``on_task`` feed); ``extra_stacks`` are
+    additional protocol objects to walk (untracked adversary stacks).
+    """
+    from .choice import message_key
+
+    out: list[str] = [f"now={frame.sim.now!r}"]
+    if fifo:
+        queues: dict[tuple[int, int], list[str]] = {}
+        for handle in candidates:
+            message = handle._args[0]
+            queues.setdefault((message.sender, message.dest), []).append(
+                repr(message_key(message))
+            )
+        out.extend(
+            f"chan:{channel!r}:" + ";".join(keys)
+            for channel, keys in sorted(queues.items())
+        )
+    else:
+        out.extend(sorted(repr(message_key(h._args[0])) for h in candidates))
+    deliver_cb = frame.network._deliver_cb
+    timers = []
+    for time, _seq, handle in frame.sim._heap:
+        if handle._cancelled or handle._callback is deliver_cb:
+            continue
+        qualname = getattr(handle._callback, "__qualname__", "?")
+        args = ",".join(canon(a) or type(a).__name__ for a in handle._args)
+        timers.append(f"timer:{time!r}:{qualname}({args})")
+    out.extend(sorted(timers))
+    seen: set[int] = set()
+    for pid in sorted(frame.consensi):
+        _walk(frame.consensi[pid], f"p{pid}", out, seen)
+        _walk(frame.rb_engines[pid], f"p{pid}.rb", out, seen)
+    for index, stack in enumerate(extra_stacks):
+        _walk(stack, f"adv{index}", out, seen)
+    for pid in sorted(frame.consensi):
+        decision = frame.consensi[pid].decision
+        if decision.done() and not decision.cancelled():
+            out.append(f"decided:p{pid}={canon(decision.result()) or '?'}")
+    for pid, when in sorted(frame.decision_times.items()):
+        out.append(f"decided_at:p{pid}={when!r}")
+    for task in tasks:
+        out.extend(_coro_tokens(task))
+    digest = hashlib.sha256("\x1f".join(out).encode("utf-8", "replace"))
+    return digest.hexdigest()

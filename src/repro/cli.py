@@ -113,6 +113,84 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true",
                        help="emit a JSON summary instead of text")
 
+    check_p = sub.add_parser(
+        "check",
+        help="exhaustively enumerate small-model schedules",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="enumerates ALL delivery orders of a small model (instant\n"
+               "channels, explicit choice points) instead of sampling\n"
+               "seeds; dedups visited states, prunes commuting orders\n"
+               "(sleep sets), checks invariants after every event, and\n"
+               "shrinks any violation to a minimal replayable schedule.\n"
+               "replay one with --replay or `repro sweep --axis\n"
+               "schedule=...`.  walkthrough: docs/checking.md",
+    )
+    check_p.add_argument("--n", type=int, default=2, help="number of processes")
+    check_p.add_argument("--t", type=int, default=0, help="fault threshold")
+    check_p.add_argument("--values", default="a",
+                         help="comma-separated proposal values (round-robin)")
+    check_p.add_argument(
+        "--adversary", default="none",
+        help="KIND or KIND:ARG (kinds: "
+             f"{', '.join(sorted(ADVERSARY_KINDS))}; 'none' for none)",
+    )
+    check_p.add_argument("--faults", type=int, default=None,
+                         help="number of Byzantine processes (default: t)")
+    check_p.add_argument("--variant", default="standard",
+                         choices=["standard", "bot"])
+    check_p.add_argument("--k", type=int, default=0, help="Section 5.4 knob")
+    check_p.add_argument("--max-rounds", type=int, default=1,
+                         help="consensus round cap for the model "
+                              "(default: %(default)s — keeps the schedule "
+                              "space finite and small)")
+    check_p.add_argument("--fifo", action="store_true",
+                         help="model FIFO channels: only per-channel head "
+                              "deliveries branch, which collapses the "
+                              "schedule space enough to exhaust it")
+    check_p.add_argument("--mutant", default=None, metavar="NAME",
+                         help="check a seeded protocol mutant instead "
+                              "(its trigger scenario replaces the model "
+                              "flags above); 'list' prints the registry")
+    check_p.add_argument("--budget", type=int, default=None, metavar="N",
+                         help="stop after N schedule executions "
+                              "(default: unbounded — exhaust the space)")
+    check_p.add_argument("--depth", type=int, default=None, metavar="D",
+                         help="per-run choice-point ceiling")
+    check_p.add_argument("--states", type=int, default=None, metavar="N",
+                         help="distinct-fingerprint ceiling")
+    check_p.add_argument("--max-steps", type=int, default=None,
+                         metavar="N", help="per-run event ceiling "
+                         "(livelock guard)")
+    check_p.add_argument("--no-prune", action="store_true",
+                         help="disable sleep-set partial-order pruning")
+    check_p.add_argument("--no-dedup", action="store_true",
+                         help="disable visited-state deduplication")
+    check_p.add_argument("--no-minimize", action="store_true",
+                         help="report the raw violating schedule without "
+                              "shrinking it")
+    check_p.add_argument("--shard", default=None, metavar="I/N",
+                         help="explore only the i-th of N schedule-prefix "
+                              "shards (1-based; shards partition the "
+                              "space by prefixes of --shard-depth)")
+    check_p.add_argument("--shard-depth", type=int, default=2, metavar="D",
+                         help="prefix depth of the shard partition "
+                              "(default: %(default)s)")
+    check_p.add_argument("--replay", default=None, metavar="SCHEDULE",
+                         help="replay a counterexample ('-'-joined choice "
+                              "indices) through the standard runner "
+                              "instead of exploring")
+    check_p.add_argument("--progress", action="store_true",
+                         help="print a progress line per batch of "
+                              "executions")
+    check_p.add_argument("--events", default=None, metavar="PATH",
+                         help="append check lifecycle events (started/"
+                              "progress/finished, explored-states "
+                              "throughput) to this JSONL ledger")
+    check_p.add_argument("--json", action="store_true",
+                         help="emit a JSON summary instead of text")
+    check_p.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the JSON summary here")
+
     sweep_p = sub.add_parser(
         "sweep", help="run a scenario-matrix sweep",
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -509,6 +587,224 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"virtual time : {result.finished_at:.1f}")
     print(f"safety       : {'OK' if result.invariants.ok else 'VIOLATED'}")
     return 0 if result.all_decided else 1
+
+
+def _check_config(args: argparse.Namespace) -> RunConfig:
+    """The model `repro check` explores (mutants supply their own)."""
+    n, t = args.n, args.t
+    faults = t if args.faults is None else args.faults
+    adversaries: dict[int, Any] = {}
+    if args.adversary != "none" and faults > 0:
+        kind, _, arg = args.adversary.partition(":")
+        if kind not in ADVERSARY_KINDS:
+            raise SystemExit(f"unknown adversary kind {kind!r}")
+        for pid in range(n - faults + 1, n + 1):
+            adversaries[pid] = ADVERSARY_KINDS[kind](arg)
+    correct = [pid for pid in range(1, n + 1) if pid not in adversaries]
+    values = [v for v in args.values.split(",") if v]
+    proposals = standard_proposals(correct, values)
+    return RunConfig(
+        n=n, t=t, proposals=proposals, adversaries=adversaries,
+        variant=args.variant, k=args.k, max_rounds=args.max_rounds,
+        fifo=args.fifo,
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import contextlib
+    import time
+
+    from .analysis.progress import render_progress
+    from .checking import (
+        Explorer,
+        ScheduleDivergence,
+        schedule_prefix_roots,
+        shard_roots_slice,
+    )
+    from .checking.harness import DEFAULT_MAX_STEPS
+    from .checking.mutants import MUTANTS, apply_mutant
+    from .errors import SimulationError
+
+    if args.mutant == "list":
+        for mutant in MUTANTS.values():
+            print(f"{mutant.name:20s} {mutant.description} "
+                  f"(expects: {', '.join(sorted(mutant.expected_checks))})")
+        return 0
+
+    guard: Any = contextlib.nullcontext()
+    if args.mutant is not None:
+        if args.mutant not in MUTANTS:
+            raise SystemExit(
+                f"unknown mutant {args.mutant!r}; available: "
+                f"{', '.join(sorted(MUTANTS))} (or 'list')"
+            )
+        guard = apply_mutant(args.mutant)
+        config = MUTANTS[args.mutant].scenario()
+    else:
+        config = _check_config(args)
+    max_steps = args.max_steps or DEFAULT_MAX_STEPS
+
+    if args.replay is not None:
+        import dataclasses
+
+        try:
+            schedule = tuple(
+                int(p) for p in args.replay.split("-") if p != ""
+            )
+        except ValueError:
+            raise SystemExit(f"bad --replay {args.replay!r} "
+                             "(expected '-'-joined indices, e.g. 0-2-1)")
+        replay_config = dataclasses.replace(config, check_schedule=schedule)
+        with guard:
+            try:
+                result = run_consensus(replay_config, check_invariants=False)
+            except (ScheduleDivergence, SimulationError) as exc:
+                raise SystemExit(f"replay failed: {exc}")
+        print(f"schedule     : {'-'.join(map(str, schedule)) or '(empty)'}")
+        print(f"decided      : {result.all_decided}")
+        for pid in sorted(result.decisions):
+            print(f"  p{pid} -> {_render(result.decisions[pid])}")
+        print(f"safety       : "
+              f"{'OK' if result.invariants.ok else 'VIOLATED'}")
+        for violation in result.invariants.violations:
+            print(f"  {violation}")
+        return 0 if result.invariants.ok else 1
+
+    ledger = None
+    if args.events:
+        import os as _os
+
+        from .obs import EVENT_CHECK_STARTED, EventLedger
+
+        ledger = EventLedger(
+            args.events,
+            run_id=f"check-{int(time.time())}-{_os.getpid():x}",
+        )
+        ledger.emit(
+            EVENT_CHECK_STARTED,
+            n=config.n, t=config.t, mutant=args.mutant,
+            budget=args.budget, depth=args.depth, shard=args.shard,
+        )
+
+    roots: tuple[tuple[int, ...], ...] = ((),)
+    shard_note = ""
+    with guard:
+        if args.shard:
+            index, count = _parse_shard(args.shard)
+            partition = schedule_prefix_roots(
+                config, args.shard_depth, max_steps=max_steps
+            )
+            roots = shard_roots_slice(partition, index - 1, count)
+            shard_note = (f"{index}/{count} -> {len(roots)} of "
+                          f"{len(partition.roots)} prefix root(s)")
+            if not roots:
+                print(f"shard        : {shard_note} (nothing to explore)")
+                if ledger is not None:
+                    ledger.close()
+                return 0
+
+        started = time.monotonic()
+        progress = None
+        if args.progress or ledger is not None:
+            from .obs import EVENT_CHECK_PROGRESS
+
+            def progress(stats: Any, done: bool) -> None:
+                if args.progress and not done:
+                    bar = render_progress(stats.executions, args.budget or 0)
+                    print(f"explored     : {bar} states={stats.states} "
+                          f"deduped={stats.deduped} pruned={stats.pruned}",
+                          flush=True)
+                if ledger is not None and not done:
+                    ledger.emit(
+                        EVENT_CHECK_PROGRESS,
+                        executions=stats.executions, states=stats.states,
+                        deduped=stats.deduped, pruned=stats.pruned,
+                    )
+
+        explorer = Explorer(
+            config,
+            max_executions=args.budget,
+            max_depth=args.depth,
+            max_states=args.states,
+            max_steps=max_steps,
+            prune=not args.no_prune,
+            dedup=not args.no_dedup,
+            minimize=not args.no_minimize,
+            progress=progress,
+            roots=roots,
+        )
+        result = explorer.run()
+    elapsed = max(time.monotonic() - started, 1e-9)
+    stats = result.stats
+
+    states_per_second = stats.states / elapsed
+    if ledger is not None:
+        from .obs import EVENT_CHECK_FINISHED, MetricsRegistry
+
+        metrics = MetricsRegistry()
+        metrics.counter(
+            "check.states", help="distinct states fingerprinted"
+        ).inc(stats.states)
+        metrics.counter(
+            "check.executions", help="schedules executed"
+        ).inc(stats.executions)
+        ledger.emit(
+            EVENT_CHECK_FINISHED,
+            verdict=result.verdict, exhausted=result.exhausted,
+            elapsed=elapsed, states_per_second=states_per_second,
+            counterexample=(
+                None if result.counterexample is None
+                else list(result.counterexample)
+            ),
+            **stats.as_dict(),
+        )
+        ledger.close()
+
+    if args.json or args.out:
+        payload = result.as_dict()
+        payload["elapsed"] = elapsed
+        payload["states_per_second"] = states_per_second
+        if shard_note:
+            payload["shard"] = shard_note
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.out:
+            from .store.atomic import atomic_write_text
+
+            atomic_write_text(args.out, text + "\n")
+        if args.json:
+            print(text)
+            return 0 if result.verdict == "ok" else 1
+
+    if shard_note:
+        print(f"shard        : {shard_note}")
+    print(f"verdict      : {result.verdict.upper()}"
+          + ("" if result.exhausted or result.verdict == "violation"
+             else " (budget hit before exhaustion)"))
+    print(f"exhausted    : {result.exhausted}")
+    print(f"executions   : {stats.executions} "
+          f"({stats.completed} complete, {stats.quiescent} quiescent, "
+          f"{stats.deduped} deduped, {stats.pruned + 0} pruned-out)")
+    print(f"states       : {stats.states} distinct "
+          f"({states_per_second:.0f}/s)")
+    print(f"choice pts   : {stats.choice_points} "
+          f"(max depth {stats.max_depth})")
+    print(f"pruned       : {stats.pruned} slept branch(es)")
+    print(f"sim steps    : {stats.steps}")
+    print(f"elapsed      : {elapsed:.2f}s")
+    if result.verdict == "violation":
+        assert result.counterexample is not None
+        schedule_text = "-".join(map(str, result.counterexample))
+        print(f"counterexample: "
+              f"{schedule_text or '(empty — violates on every schedule)'}"
+              + (" (minimal)" if result.minimized else " (raw)"))
+        for line in result.violations:
+            print(f"  {line}")
+        replay_flags = f"--replay {schedule_text}" if schedule_text else \
+            "--replay ''"
+        mutant_flag = f" --mutant {args.mutant}" if args.mutant else ""
+        print(f"replay with  : repro check{mutant_flag} {replay_flags}")
+        return 1
+    return 0
 
 
 def _parse_grid(text: str) -> list[tuple[int, int]]:
@@ -1250,6 +1546,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "check": _cmd_check,
         "sweep": _cmd_sweep,
         "profile": _cmd_profile,
         "merge": _cmd_merge,

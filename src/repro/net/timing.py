@@ -33,6 +33,7 @@ __all__ = [
     "Timely",
     "EventuallyTimely",
     "Asynchronous",
+    "Instant",
     "PerTagTiming",
     "ScriptedTiming",
     "TIMEOUT_SCHEDULE_KINDS",
@@ -268,6 +269,35 @@ class Asynchronous(ChannelTiming):
 
     def describe(self) -> str:
         return f"Asynchronous({self.dist.describe()})"
+
+
+class Instant(ChannelTiming):
+    """Zero-delay delivery: every message arrives at its send instant.
+
+    The exhaustive checker's timing model (:mod:`repro.checking`): with
+    all deliveries landing on the scheduler's same-instant ready tier,
+    the *only* nondeterminism left in a run is the order in which ready
+    deliveries are popped — exactly the choice points the checker
+    enumerates.  Never used by the sampling stack, whose distributions
+    must keep delays strictly positive.
+    """
+
+    def delivery_time(self, send_time: float, rng: random.Random) -> float:
+        return send_time
+
+    def delivery_time_for(
+        self, message: object, send_time: float, rng: random.Random
+    ) -> float:
+        # Fast-path override: one call fewer per message (see base class).
+        return send_time
+
+    @property
+    def is_eventually_timely(self) -> bool:
+        # A zero-delay channel is timely for any delta > 0.
+        return True
+
+    def describe(self) -> str:
+        return "Instant"
 
 
 class PerTagTiming(ChannelTiming):

@@ -21,6 +21,7 @@ from .timing import (
     ChannelTiming,
     EventuallyTimely,
     ExponentialDelay,
+    Instant,
     Timely,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "Topology",
     "fully_timely",
     "fully_asynchronous",
+    "instant_topology",
     "single_bisource",
     "bisource_sets",
     "is_bisource",
@@ -83,6 +85,22 @@ def fully_asynchronous(n: int, mean_delay: float = 5.0) -> Topology:
         n=n,
         default=Asynchronous(ExponentialDelay(mean=mean_delay)),
         description=f"fully asynchronous (mean={mean_delay:g})",
+    )
+
+
+def instant_topology(n: int) -> Topology:
+    """Every channel delivers at its send instant — the checker's model.
+
+    :mod:`repro.checking` replaces message *delays* (sampled from the
+    topology under test) with message *orderings* (enumerated
+    exhaustively), so the timing matrix degenerates to zero-delay
+    everywhere and all remaining nondeterminism lives in the scheduler's
+    ready-tier pop order.
+    """
+    return Topology(
+        n=n,
+        default=Instant(),
+        description="instant (check mode)",
     )
 
 

@@ -25,6 +25,9 @@ The walkthrough lives in ``docs/observability.md``.
 from .events import (
     EVENT_CACHE_HIT,
     EVENT_CACHE_MISS,
+    EVENT_CHECK_FINISHED,
+    EVENT_CHECK_PROGRESS,
+    EVENT_CHECK_STARTED,
     EVENT_SHARD_FOLDED,
     EVENT_SWEEP_FINISHED,
     EVENT_SWEEP_STARTED,
@@ -46,6 +49,9 @@ from .telemetry import SweepTelemetry
 __all__ = [
     "EVENT_CACHE_HIT",
     "EVENT_CACHE_MISS",
+    "EVENT_CHECK_FINISHED",
+    "EVENT_CHECK_PROGRESS",
+    "EVENT_CHECK_STARTED",
     "EVENT_SHARD_FOLDED",
     "EVENT_SWEEP_FINISHED",
     "EVENT_SWEEP_STARTED",

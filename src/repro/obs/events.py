@@ -43,6 +43,9 @@ from typing import Any, Callable, Iterable, Iterator
 __all__ = [
     "EVENT_CACHE_HIT",
     "EVENT_CACHE_MISS",
+    "EVENT_CHECK_FINISHED",
+    "EVENT_CHECK_PROGRESS",
+    "EVENT_CHECK_STARTED",
     "EVENT_POOL_STARTED",
     "EVENT_SHARD_FOLDED",
     "EVENT_SWEEP_FINISHED",
@@ -83,6 +86,9 @@ EVENT_UNIT_RECLAIMED = "unit_reclaimed"
 EVENT_CACHE_HIT = "cache_hit"
 EVENT_CACHE_MISS = "cache_miss"
 EVENT_SHARD_FOLDED = "shard_folded"
+EVENT_CHECK_STARTED = "check_started"
+EVENT_CHECK_PROGRESS = "check_progress"
+EVENT_CHECK_FINISHED = "check_finished"
 
 
 class EventLedger:

@@ -485,6 +485,40 @@ AXES.register(Axis(
 ))
 
 
+def _parse_schedule(text: str) -> tuple[int, ...] | None:
+    if text in ("", "none"):
+        return None
+    return tuple(int(part) for part in text.split("-") if part != "")
+
+
+def _canonical_schedule(value: Any) -> tuple[int, ...] | None:
+    if value is None:
+        return None
+    schedule = tuple(int(c) for c in value)
+    if any(c < 0 for c in schedule):
+        raise ValueError(f"schedule indices must be >= 0, got {schedule}")
+    return schedule
+
+
+def _apply_schedule(
+    kwargs: MutableMapping[str, Any], value: tuple[int, ...] | None
+) -> None:
+    if value is not None:
+        kwargs["check_schedule"] = value
+
+
+AXES.register(Axis(
+    name="schedule", default=None, parse=_parse_schedule,
+    canonical=_canonical_schedule,
+    encode=lambda v: None if v is None else list(v),
+    decode=lambda v: None if v is None else tuple(int(c) for c in v),
+    label=lambda v: None if v is None else "sched=" + "-".join(map(str, v)),
+    apply=_apply_schedule,
+    help="checker schedule replay: '-'-joined choice indices "
+         "(repro.checking counterexamples; forces check-mode semantics)",
+))
+
+
 def canonical_extras(
     extras: Mapping[str, Any],
 ) -> tuple[tuple[str, Any], ...]:

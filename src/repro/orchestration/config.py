@@ -56,6 +56,12 @@ class RunConfig:
         trace: Record a full structured event trace (network sends and
             deliveries, RB deliveries, decisions) on the result's
             ``trace`` attribute.  Adds memory/CPU cost; off by default.
+        check_schedule: Replay a checker schedule (:mod:`repro.checking`):
+            the run executes under check-mode semantics (instant
+            deliveries, ``topology`` ignored) with delivery order forced
+            by the given choice indices, defaulting to first-candidate
+            once the schedule is consumed.  ``None`` (default) runs the
+            ordinary sampled semantics.
     """
 
     n: int
@@ -75,8 +81,16 @@ class RunConfig:
     max_events: int = 20_000_000
     fifo: bool = False
     trace: bool = False
+    check_schedule: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
+        if self.check_schedule is not None:
+            self.check_schedule = tuple(int(c) for c in self.check_schedule)
+            if any(c < 0 for c in self.check_schedule):
+                raise ConfigurationError(
+                    f"check_schedule indices must be >= 0, "
+                    f"got {self.check_schedule}"
+                )
         if not self.n > 3 * self.t:
             raise ConfigurationError(
                 f"resilience bound requires n > 3t, got n={self.n}, t={self.t}"

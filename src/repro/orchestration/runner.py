@@ -29,15 +29,21 @@ from ..core.consensus_variant import BotConsensus
 from ..core.eventual_agreement import default_timeout
 from ..errors import ConfigurationError, DeadlineExceeded, DeadlockError
 from ..net.network import Network
-from ..net.topology import Topology, single_bisource
+from ..net.topology import Topology, instant_topology, single_bisource
 from ..runtime.process import Process
 from ..sim.loop import Simulator
 from ..sim.random import RngRegistry, derive_seed
-from ..sim.tasks import gather
+from ..sim.tasks import Task, gather
 from .config import RunConfig
 from .kernel import KernelContext
 
-__all__ = ["ConsensusRunResult", "run_consensus", "run_randomized"]
+__all__ = [
+    "ConsensusRunResult",
+    "RuntimeFrame",
+    "build_runtime",
+    "run_consensus",
+    "run_randomized",
+]
 
 
 @dataclass
@@ -175,31 +181,65 @@ def _adversary_proposal(spec: AdversarySpec, config: RunConfig) -> Any:
     return next(iter(config.proposals.values()))
 
 
-def run_consensus(
+@dataclass
+class RuntimeFrame:
+    """One fully wired (but not yet run) consensus runtime.
+
+    :func:`build_runtime` assembles it; :func:`run_consensus` drives it
+    to completion, while the exhaustive checker
+    (:mod:`repro.checking.harness`) instead steps the simulator manually
+    so it can verify invariants between events and abort explorations
+    mid-run.
+    """
+
+    config: RunConfig
+    sim: Simulator
+    network: Network
+    rng: RngRegistry
+    #: Tracked (correct) protocol stacks, ``pid -> Consensus``.
+    consensi: dict[int, Any]
+    rb_engines: dict[int, ReliableBroadcast]
+    decision_times: dict[int, float]
+    #: Completes when every tracked process has decided.
+    all_decided: "Task | Any"
+    tracer: Any = None
+    #: Protocol stacks of protocol-running *adversaries* (untracked by
+    #: the invariants, but part of the global state the checker
+    #: fingerprints — their internals steer future behaviour).
+    adversary_consensi: dict[int, Any] = field(default_factory=dict)
+
+
+def build_runtime(
     config: RunConfig,
-    check_invariants: bool = True,
     context: "KernelContext | None" = None,
-) -> ConsensusRunResult:
-    """Execute one full consensus run described by ``config``.
+    chooser: Any | None = None,
+) -> RuntimeFrame:
+    """Assemble the simulator, network and protocol stacks for one run.
 
-    Returns a result whether or not every process decided: if the time or
-    event budget ran out, ``timed_out`` is set and partial decisions are
-    reported (benchmark E8 uses exactly this to measure non-convergence).
-    When ``check_invariants`` is true (default), safety violations raise.
-
-    ``context`` supplies the reusable per-worker kernel state (shared
-    instrumentation bus); sweeps pass one so per-scenario object churn
-    stays minimal.  The fast path attaches *no* instrumentation sinks —
-    message totals and per-tag counts come from the network's native
-    counters — so with ``config.trace`` unset the probes cost one
-    pointer check per message.
+    ``chooser`` switches the runtime to *check mode* (as does a config
+    with ``check_schedule`` set, which installs a
+    :class:`~repro.checking.choice.ScheduleChooser` for it): the
+    topology under test is replaced by :func:`instant_topology`, the
+    virtual self channel delivers at the send instant, and the chooser
+    is installed on the simulator before any task or adversary is
+    scheduled, so it observes every choice point from event zero.
     """
     if context is not None:
         sim = Simulator(bus=context.fresh_bus(), pools=context.pools)
     else:
         sim = Simulator()
+    if chooser is None and config.check_schedule is not None:
+        from ..checking.choice import ScheduleChooser
+
+        chooser = ScheduleChooser(config.check_schedule)
+    check_mode = chooser is not None
     rng = RngRegistry(config.seed)
-    topology = config.topology if config.topology is not None else default_topology(config)
+    if check_mode:
+        topology = instant_topology(config.n)
+    elif config.topology is not None:
+        topology = config.topology
+    else:
+        topology = default_topology(config)
     network = Network(
         sim,
         config.n,
@@ -209,6 +249,18 @@ def run_consensus(
         fifo=config.fifo,
         recycle=True,
     )
+    if check_mode:
+        from ..net.timing import Instant
+
+        # Self-deliveries land on the ready tier like everything else;
+        # the chooser treats them as eager internal events (sound: the
+        # 1e-9 self channel always beats the sampled stack's positive
+        # delay floor, so cascades drain first there too).
+        network._self_timing = Instant()
+        sim.set_chooser(chooser)
+        bind = getattr(chooser, "bind", None)
+        if bind is not None:
+            bind(network)
     tracer = None
     if config.trace:
         from ..analysis.traces import Tracer
@@ -231,11 +283,14 @@ def run_consensus(
 
     consensi: dict[int, Any] = {}
     rb_engines: dict[int, ReliableBroadcast] = {}
+    adversary_consensi: dict[int, Any] = {}
     decision_times: dict[int, float] = {}
 
     def build_stack(process: Process, proposal: Any, track: bool) -> None:
         rb = ReliableBroadcast(process, config.n, config.t)
         consensus = consensus_cls(process, rb, config.n, config.t, **common_kwargs)
+        if not track:
+            adversary_consensi[process.pid] = consensus
         if track:
             consensi[process.pid] = consensus
             rb_engines[process.pid] = rb
@@ -270,10 +325,51 @@ def run_consensus(
     all_decided = gather(
         sim, [consensi[pid].decision for pid in sorted(consensi)], name="all-decisions"
     )
+    return RuntimeFrame(
+        config=config,
+        sim=sim,
+        network=network,
+        rng=rng,
+        consensi=consensi,
+        rb_engines=rb_engines,
+        decision_times=decision_times,
+        all_decided=all_decided,
+        tracer=tracer,
+        adversary_consensi=adversary_consensi,
+    )
+
+
+def run_consensus(
+    config: RunConfig,
+    check_invariants: bool = True,
+    context: "KernelContext | None" = None,
+) -> ConsensusRunResult:
+    """Execute one full consensus run described by ``config``.
+
+    Returns a result whether or not every process decided: if the time or
+    event budget ran out, ``timed_out`` is set and partial decisions are
+    reported (benchmark E8 uses exactly this to measure non-convergence).
+    When ``check_invariants`` is true (default), safety violations raise.
+
+    ``context`` supplies the reusable per-worker kernel state (shared
+    instrumentation bus); sweeps pass one so per-scenario object churn
+    stays minimal.  The fast path attaches *no* instrumentation sinks —
+    message totals and per-tag counts come from the network's native
+    counters — so with ``config.trace`` unset the probes cost one
+    pointer check per message.
+
+    A config with ``check_schedule`` set replays a checker counterexample
+    instead: check-mode semantics, delivery order forced by the schedule
+    (see :func:`build_runtime`).
+    """
+    frame = build_runtime(config, context=context)
+    sim = frame.sim
+    network = frame.network
+    consensi = frame.consensi
     timed_out = False
     try:
         sim.run_until_complete(
-            all_decided, max_time=config.max_time, max_events=config.max_events
+            frame.all_decided, max_time=config.max_time, max_events=config.max_events
         )
     except (DeadlineExceeded, DeadlockError):
         timed_out = True
@@ -288,7 +384,7 @@ def run_consensus(
         decisions,
         config.proposals,
         consensi=consensi,
-        rb_engines=rb_engines,
+        rb_engines=frame.rb_engines,
         allow_bot=(config.variant == "bot"),
     )
     if check_invariants:
@@ -296,7 +392,7 @@ def run_consensus(
     return ConsensusRunResult(
         config=config,
         decisions=decisions,
-        decision_times=decision_times,
+        decision_times=frame.decision_times,
         rounds=rounds,
         timed_out=timed_out,
         messages_sent=network.messages_sent,
@@ -306,7 +402,7 @@ def run_consensus(
         invariants=report,
         consensi=consensi,
         network=network,
-        trace=tracer,
+        trace=frame.tracer,
     )
 
 

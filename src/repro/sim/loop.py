@@ -81,6 +81,11 @@ class Simulator:
         self.pools = pools if pools is not None else ObjectPools()
         #: Total events executed so far (cancelled events excluded).
         self.events_processed = 0
+        #: Schedule chooser (exhaustive checking): when set, ready-tier
+        #: pops go through :meth:`_pop_next_chosen` so delivery order
+        #: becomes an explicit choice instead of FIFO.  ``None`` (the
+        #: default) keeps every hot path untouched.
+        self._chooser: Any | None = None
 
     # ------------------------------------------------------------------
     # Time and scheduling
@@ -225,7 +230,13 @@ class Simulator:
         self, coro: Coroutine[Any, Any, Any], name: str = ""
     ) -> Task:
         """Wrap ``coro`` in a :class:`~repro.sim.tasks.Task` and schedule it."""
-        return Task(coro, self, name=name)
+        task = Task(coro, self, name=name)
+        chooser = self._chooser
+        if chooser is not None:
+            on_task = getattr(chooser, "on_task", None)
+            if on_task is not None:
+                on_task(task)
+        return task
 
     def sleep(self, delay: float) -> Future:
         """Return a future that resolves ``delay`` time units from now."""
@@ -270,9 +281,68 @@ class Simulator:
             return handle
         return None
 
+    def set_chooser(self, chooser: Any | None) -> None:
+        """Install (or clear) a schedule chooser.
+
+        A chooser exposes the scheduler's one remaining degree of freedom
+        — which same-instant ready event runs next — as an explicit
+        decision.  The protocol (duck-typed; see
+        :mod:`repro.checking.choice`):
+
+        * ``is_choice(handle) -> bool``: whether a ready handle is a
+          *choice point* (a cross-process message delivery) rather than
+          an internal event (task step, callback, self-delivery), which
+          always runs eagerly in FIFO order;
+        * ``choose(candidates) -> int``: pick the next handle when every
+          live ready handle is a choice (called even for singletons;
+          choosers treat a lone candidate as a forced move that consumes
+          no schedule index);
+        * optionally ``on_task(task)``: observe task creation (the
+          checker fingerprints coroutine stacks).
+
+        With a chooser installed, the ready tier drains fully before any
+        heap entry runs — heap timers fire only at ready-quiescence.
+        This is the check-mode fragment: same-instant cascades always
+        outrun positive-delay timers, which is exactly how the sampling
+        stack behaves for instant deliveries.
+        """
+        self._chooser = chooser
+
+    def _pop_next_chosen(self) -> EventHandle | None:
+        """The chooser-mode variant of :meth:`_pop_next`.
+
+        Internal (non-choice) ready events run first, in FIFO order;
+        when only choice events remain, the chooser picks one.  The heap
+        is consulted only once the ready tier is empty, so timers fire
+        at quiescence regardless of their (time, seq) rank against
+        same-instant ready entries — part of the check-mode contract
+        (exploration and replay agree on it, so runs stay bit-identical).
+        """
+        ready = self._ready
+        while ready and ready[0]._cancelled:
+            ready.popleft()
+        if not ready:
+            return self._pop_next()
+        chooser = self._chooser
+        is_choice = chooser.is_choice
+        candidates: list[EventHandle] = []
+        for handle in ready:
+            if handle._cancelled:
+                continue
+            if not is_choice(handle):
+                ready.remove(handle)  # identity-based: no __eq__ on handles
+                return handle
+            candidates.append(handle)
+        chosen = candidates[chooser.choose(candidates)]
+        ready.remove(chosen)
+        return chosen
+
     def step(self) -> bool:
         """Run the next scheduled event; return False if none remain."""
-        handle = self._pop_next()
+        if self._chooser is not None:
+            handle = self._pop_next_chosen()
+        else:
+            handle = self._pop_next()
         if handle is None:
             return False
         self.events_processed += 1
@@ -335,6 +405,8 @@ class Simulator:
         queued when a budget trips — observable behaviour (event order,
         clock advance, error text) is unchanged.
         """
+        if self._chooser is not None:
+            return self._run_chosen(until, max_events)
         executed = 0
         ready = self._ready
         heap = self._heap
@@ -420,6 +492,8 @@ class Simulator:
         which stays queued if a budget trips (exactly the pre-refactor
         contract).
         """
+        if self._chooser is not None:
+            return self._run_until_complete_chosen(future, max_time, max_events)
         executed = 0
         ready = self._ready
         heap = self._heap
@@ -488,6 +562,59 @@ class Simulator:
                     handle._args = ()
                 if len(handle_pool) < MAX_POOL:
                     handle_pool.append(handle)
+        return future.result()
+
+    def _run_chosen(
+        self, until: float | None, max_events: int | None
+    ) -> None:
+        """Chooser-mode :meth:`run`: per-event ``step()`` so every pop
+        routes through the chooser (exploration rates dominate the loop
+        overhead, so nothing is inlined here)."""
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._clock.advance_to(until)
+                return
+            if max_events is not None and executed >= max_events:
+                raise DeadlineExceeded(
+                    f"run() exceeded max_events={max_events} at t={self.now}"
+                )
+            self.step()
+            executed += 1
+        if until is not None and until > self._clock._now:
+            self._clock.advance_to(until)
+
+    def _run_until_complete_chosen(
+        self,
+        future: Future,
+        max_time: float | None,
+        max_events: int | None,
+    ) -> Any:
+        """Chooser-mode :meth:`run_until_complete` (same budget contract,
+        same error texts, per-event ``step()`` for the chooser)."""
+        executed = 0
+        while future._state is _PENDING:
+            next_time = self.peek_time()
+            if next_time is None:
+                raise DeadlockError(
+                    f"event queue drained at t={self.now} while waiting for "
+                    f"{future!r}"
+                )
+            if max_time is not None and next_time > max_time:
+                raise DeadlineExceeded(
+                    f"virtual deadline {max_time} reached while waiting for "
+                    f"{future!r}"
+                )
+            if max_events is not None and executed >= max_events:
+                raise DeadlineExceeded(
+                    f"event budget {max_events} exhausted while waiting for "
+                    f"{future!r}"
+                )
+            self.step()
+            executed += 1
         return future.result()
 
     @property

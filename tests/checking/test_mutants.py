@@ -1,0 +1,91 @@
+"""Seeded-mutant battery: the checker must *find* every planted bug.
+
+Each registered mutant pairs a protocol-breaking patch (test-only hook,
+applied via ``apply_mutant``) with a trigger scenario.  For each one
+this module asserts the full counterexample lifecycle:
+
+* the explorer reports a violation of the expected invariant check;
+* the counterexample is *locally minimal* — it reproduces the
+  violation, and removing any single choice no longer does;
+* the standard runner (``run_consensus`` with ``check_schedule``)
+  replays it to an :class:`~repro.errors.InvariantViolation`;
+* without the mutant patch, the same scenario and schedule are clean —
+  the bug is in the mutant, not the model.
+"""
+
+import pytest
+
+from repro.checking import MUTANTS, Explorer, apply_mutant
+from repro.checking.explorer import _reproduces
+from repro.checking.harness import DEFAULT_MAX_STEPS
+from repro.errors import InvariantViolation
+from repro.orchestration.config import RunConfig
+from repro.orchestration.runner import run_consensus
+
+
+@pytest.fixture(scope="module")
+def found():
+    """Explore every mutant once; the tests below dissect the results."""
+    results = {}
+    for name, mutant in MUTANTS.items():
+        with apply_mutant(name):
+            results[name] = Explorer(
+                mutant.scenario(), **mutant.budgets
+            ).run()
+    return results
+
+
+def test_registry_has_multiple_mutants():
+    assert len(MUTANTS) >= 3
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_mutant_violation_found(found, name):
+    result = found[name]
+    assert result.verdict == "violation"
+    assert result.counterexample is not None
+    assert result.minimized
+    checks = {line.split("]")[0].lstrip("[") for line in result.violations}
+    assert checks & MUTANTS[name].expected_checks
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_counterexample_is_locally_minimal(found, name):
+    mutant = MUTANTS[name]
+    cex = found[name].counterexample
+    with apply_mutant(name):
+        config = mutant.scenario()
+        assert _reproduces(
+            config, cex, mutant.expected_checks, None, DEFAULT_MAX_STEPS
+        ), f"{name}: minimized schedule no longer reproduces"
+        for index in range(len(cex)):
+            shorter = cex[:index] + cex[index + 1 :]
+            assert not _reproduces(
+                config, shorter, mutant.expected_checks, None,
+                DEFAULT_MAX_STEPS,
+            ), f"{name}: choice {index} of {cex} is removable"
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_counterexample_replays_through_standard_runner(found, name):
+    mutant = MUTANTS[name]
+    cex = found[name].counterexample
+    scenario = mutant.scenario()
+    config = RunConfig(
+        n=scenario.n,
+        t=scenario.t,
+        proposals=scenario.proposals,
+        adversaries=scenario.adversaries,
+        variant=scenario.variant,
+        k=scenario.k,
+        max_rounds=scenario.max_rounds,
+        fifo=scenario.fifo,
+        check_schedule=cex,
+    )
+    with apply_mutant(name):
+        with pytest.raises(InvariantViolation):
+            run_consensus(config)
+    # Unmutated, the very same scenario and schedule are clean: the
+    # violation is the planted bug's, not the checker's.
+    result = run_consensus(config)
+    assert result.invariants.ok

@@ -1,0 +1,97 @@
+"""Sharding equivalence: prefix shards cover exactly the unsharded tree.
+
+The partition contract (``repro.checking.sharding``): probing
+enumerates every reachable schedule prefix of depth ``D`` without
+reductions, the roots are strided across shards, and
+
+    union(per-shard visited states) ∪ shallow_states
+        == unsharded visited states  (dedup on, sleep sets off)
+
+with the same verdict.  Sleep sets stay off for the state-set identity
+because a shard's sleep context legitimately differs from the unsharded
+DFS's at the same node; verdicts are compared with the full reductions
+on.
+"""
+
+import pytest
+
+from repro.checking import (
+    MUTANTS,
+    Explorer,
+    apply_mutant,
+    schedule_prefix_roots,
+    shard_roots_slice,
+)
+from repro.orchestration.config import RunConfig
+
+
+def small_model() -> RunConfig:
+    return RunConfig(
+        n=2, t=0, proposals={1: "a", 2: "a"}, max_rounds=1, fifo=True
+    )
+
+
+@pytest.fixture(scope="module")
+def roots():
+    return schedule_prefix_roots(small_model(), depth=2)
+
+
+def test_probe_finds_a_real_partition(roots):
+    assert len(roots.roots) > 1
+    assert roots.probe_executions > 0
+    assert roots.shallow_states
+    # Deterministic order, no duplicate roots.
+    assert roots.roots == tuple(sorted(set(roots.roots)))
+
+
+def test_slices_partition_the_roots(roots):
+    for count in (1, 2, 3):
+        slices = [shard_roots_slice(roots, i, count) for i in range(count)]
+        combined = sorted(root for piece in slices for root in piece)
+        assert combined == sorted(roots.roots)
+
+
+def test_slice_rejects_bad_indices(roots):
+    with pytest.raises(ValueError):
+        shard_roots_slice(roots, 0, 0)
+    with pytest.raises(ValueError):
+        shard_roots_slice(roots, 3, 3)
+
+
+def test_sharded_union_equals_unsharded_state_set(roots):
+    config = small_model()
+    base = Explorer(config, prune=False, keep_states=True).run()
+    assert base.exhausted
+
+    union = set(roots.shallow_states)
+    for index in range(3):
+        piece = shard_roots_slice(roots, index, 3)
+        result = Explorer(
+            config, prune=False, keep_states=True, roots=piece
+        ).run()
+        assert result.exhausted
+        assert result.verdict == "ok"
+        union |= result.visited
+    assert union == set(base.visited)
+
+
+def test_sharded_verdict_matches_unsharded_on_a_mutant():
+    name = "cb-valid-any"
+    mutant = MUTANTS[name]
+    with apply_mutant(name):
+        config = mutant.scenario()
+        roots = schedule_prefix_roots(config, depth=1)
+        verdicts = set()
+        for index in range(2):
+            piece = shard_roots_slice(roots, index, 2)
+            if not piece:
+                continue
+            result = Explorer(config, roots=piece, **mutant.budgets).run()
+            verdicts.add(result.verdict)
+            if result.verdict == "violation":
+                checks = {
+                    line.split("]")[0].lstrip("[")
+                    for line in result.violations
+                }
+                assert checks & mutant.expected_checks
+    assert "violation" in verdicts

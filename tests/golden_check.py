@@ -1,0 +1,126 @@
+"""Golden determinism fixtures for the exhaustive checker.
+
+The checker's value rests on bit-level reproducibility: the DFS visits
+the same executions in the same order every time, and a counterexample
+is a handful of bytes any machine replays to the same violation.  This
+module pins both:
+
+* the **exploration journal** of the n=2 FIFO model — the ordered
+  ``(prefix, status, trail)`` record of every execution the DFS ran,
+  boiled down to a head sample plus a SHA-256 over the full journal,
+  alongside the final counters and a digest of the visited-state set;
+* the **counterexample bytes** of every registered mutant — minimized
+  and raw schedules, the violating checks, and a SHA-256 over the
+  standard-runner replay's full choice trail.
+
+``tests/integration/test_golden_check.py`` recaptures and asserts
+equality.  A mismatch means exploration order (or fingerprinting, or
+minimization) drifted — a determinism bug unless deliberate, in which
+case regenerate::
+
+    PYTHONPATH=src python tests/golden_check.py --write
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+from repro.checking import MUTANTS, Explorer, ScheduleChooser, apply_mutant
+from repro.checking.harness import execute_run
+from repro.orchestration.config import RunConfig
+
+FIXTURE_PATH = pathlib.Path(__file__).parent / "golden" / "golden_check.json"
+FIXTURE_VERSION = 1
+
+#: How many journal entries to store verbatim (readable failure diffs;
+#: the digest covers the rest).
+JOURNAL_HEAD = 8
+
+
+def exploration_model() -> RunConfig:
+    """The pinned model: correct n=2 under FIFO channels (exhaustible)."""
+    return RunConfig(
+        n=2, t=0, proposals={1: "a", 2: "a"}, max_rounds=1, fifo=True
+    )
+
+
+def _sha256(payload: Any) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def exploration_fingerprint() -> dict[str, Any]:
+    journal: list[list[Any]] = []
+    explorer = Explorer(
+        exploration_model(),
+        keep_states=True,
+        on_execution=lambda prefix, outcome: journal.append(
+            [list(prefix), outcome.status, list(outcome.trail)]
+        ),
+    )
+    result = explorer.run()
+    assert result.exhausted, "the pinned model must exhaust"
+    return {
+        "stats": result.stats.as_dict(),
+        "verdict": result.verdict,
+        "journal_head": journal[:JOURNAL_HEAD],
+        "journal_sha256": _sha256(journal),
+        "visited_sha256": _sha256(sorted(result.visited)),
+    }
+
+
+def mutant_fingerprint(name: str) -> dict[str, Any]:
+    mutant = MUTANTS[name]
+    with apply_mutant(name):
+        result = Explorer(mutant.scenario(), **mutant.budgets).run()
+        assert result.verdict == "violation", f"{name} must be found"
+        replay = execute_run(
+            mutant.scenario(), ScheduleChooser(result.counterexample)
+        )
+    return {
+        "counterexample": list(result.counterexample),
+        "raw_counterexample": list(result.raw_counterexample),
+        "violations": list(result.violations),
+        "replay_status": replay.status,
+        "replay_trail_sha256": _sha256(list(replay.trail)),
+    }
+
+
+def capture() -> dict[str, Any]:
+    return {
+        "version": FIXTURE_VERSION,
+        "exploration": exploration_fingerprint(),
+        "mutants": {name: mutant_fingerprint(name) for name in sorted(MUTANTS)},
+    }
+
+
+def load_fixture() -> dict[str, Any]:
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate the frozen fixture")
+    args = parser.parse_args(argv)
+    fresh = capture()
+    if args.write:
+        FIXTURE_PATH.write_text(
+            json.dumps(fresh, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {FIXTURE_PATH}")
+        return 0
+    frozen = load_fixture()
+    print("matches frozen fixture:", fresh == frozen)
+    return 0 if fresh == frozen else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

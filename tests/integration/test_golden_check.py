@@ -1,0 +1,74 @@
+"""Checker determinism: exploration order and counterexample bytes are
+frozen.
+
+The fixture (``tests/golden/golden_check.json``) pins the DFS journal
+of the exhaustible n=2 FIFO model and the minimal counterexample of
+every registered mutant (see ``tests/golden_check.py``).  These tests
+recapture both on the current code and require byte equality — the
+contract that makes a counterexample shared in a bug report replayable
+anywhere.
+
+A failure means exploration order, state fingerprinting, minimization
+or replay drifted.  That is a determinism bug unless deliberate; the
+recapture step is ``PYTHONPATH=src python tests/golden_check.py
+--write``.
+"""
+
+import pytest
+
+from repro.checking import MUTANTS
+from tests.golden_check import (
+    FIXTURE_VERSION,
+    exploration_fingerprint,
+    load_fixture,
+    mutant_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    fixture = load_fixture()
+    assert fixture["version"] == FIXTURE_VERSION
+    return fixture
+
+
+def test_fixture_covers_every_registered_mutant(frozen):
+    assert sorted(frozen["mutants"]) == sorted(MUTANTS)
+
+
+def test_exploration_journal_matches_fixture(frozen):
+    fresh = exploration_fingerprint()
+    expected = frozen["exploration"]
+    # Scalar facts first, for readable failures...
+    assert fresh["verdict"] == expected["verdict"]
+    assert fresh["stats"] == expected["stats"], "exploration counters drifted"
+    # ...then the first executions (prefix, status, trail)...
+    assert fresh["journal_head"] == expected["journal_head"], (
+        "the DFS's first executions drifted"
+    )
+    # ...and the digests over the full journal and the visited set.
+    assert fresh["journal_sha256"] == expected["journal_sha256"], (
+        "exploration order drifted"
+    )
+    assert fresh["visited_sha256"] == expected["visited_sha256"], (
+        "state fingerprints drifted"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_mutant_counterexample_bytes_match_fixture(frozen, name):
+    fresh = mutant_fingerprint(name)
+    expected = frozen["mutants"][name]
+    assert fresh["counterexample"] == expected["counterexample"], (
+        f"{name}: minimized counterexample drifted"
+    )
+    assert fresh["raw_counterexample"] == expected["raw_counterexample"], (
+        f"{name}: raw violating trail drifted"
+    )
+    assert fresh["violations"] == expected["violations"], (
+        f"{name}: violation report drifted"
+    )
+    assert fresh["replay_status"] == expected["replay_status"]
+    assert fresh["replay_trail_sha256"] == expected["replay_trail_sha256"], (
+        f"{name}: standard-runner replay trail drifted"
+    )

@@ -1,0 +1,112 @@
+"""Cross-validation between the exhaustive checker and the sampling
+stack.
+
+The two stacks explore the same system two different ways — seeded
+delay sampling versus schedule enumeration — so their verdicts must
+cohere:
+
+* the checker *exhausted* the n=2 FIFO model and found nothing, so no
+  sampled run and no replayed random schedule may violate an invariant
+  on that model (hypothesis hammers both);
+* on a planted bug, any violation the sampling side stumbles into must
+  also be found by the exhaustive checker (it already was — the cached
+  mutant results below — so the property is that sampling never finds a
+  violation the checker missed);
+* the checker's counterexamples must replay through ``run_scenario``
+  (the sweep entry point, via the ``schedule`` axis) to the *same*
+  invariant failure.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import MUTANTS, Explorer, ScheduleChooser, apply_mutant
+from repro.checking.harness import execute_run
+from repro.orchestration.config import RunConfig
+from repro.orchestration.matrix import ScenarioSpec, run_scenario
+from repro.orchestration.runner import run_consensus
+
+
+def small_model(**overrides) -> RunConfig:
+    kwargs = dict(
+        n=2, t=0, proposals={1: "a", 2: "a"}, max_rounds=1, fifo=True
+    )
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def exhausted_ok():
+    result = Explorer(small_model()).run()
+    assert result.exhausted and result.verdict == "ok"
+    return result
+
+
+@given(schedule=st.lists(st.integers(0, 3), max_size=16))
+@settings(max_examples=30)
+def test_random_schedules_agree_with_exhaustion(exhausted_ok, schedule):
+    """No replayed schedule violates on the exhausted-clean model.
+
+    Indices past a choice point's candidate count diverge (the chooser
+    refuses them) — those runs prove nothing either way and are simply
+    not violations.  Everything else must terminate clean: a single
+    violating schedule here would convict the checker of a false
+    'exhausted: ok' verdict.
+    """
+    outcome = execute_run(small_model(), ScheduleChooser(tuple(schedule)))
+    assert outcome.status in ("complete", "quiescent", "divergence")
+    if outcome.status == "complete":
+        assert outcome.decisions == {1: "a", 2: "a"}
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=20)
+def test_sampled_runs_agree_with_exhaustion(exhausted_ok, seed):
+    """The sampling stack, pointed at the checker's model, stays clean.
+
+    Seeded delay draws pick *one* schedule out of the space the checker
+    enumerated; invariants must hold on every draw.
+    """
+    result = run_consensus(small_model(seed=seed, max_rounds=None))
+    assert result.invariants.ok
+    assert result.decisions == {1: "a", 2: "a"}
+
+
+#: Mutants whose trigger scenario is expressible in the sweep
+#: vocabulary (``ScenarioSpec``): name -> (adversary axis, value).
+_SPEC_MUTANTS = {
+    "decide-any-support": "spam_decide:evil",
+    "cb-valid-any": "collude:evil",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_SPEC_MUTANTS))
+def test_counterexample_replays_through_run_scenario(name):
+    """Checker counterexample -> sweep stack -> same invariant failure.
+
+    The ``schedule`` axis carries the counterexample into
+    ``run_scenario`` exactly as ``repro sweep --axis schedule=...``
+    would; the outcome must report a violation of the check the
+    explorer convicted, and the unmutated protocol must clear the very
+    same spec.
+    """
+    mutant = MUTANTS[name]
+    with apply_mutant(name):
+        result = Explorer(mutant.scenario(), **mutant.budgets).run()
+    assert result.verdict == "violation"
+
+    spec = ScenarioSpec(
+        n=4, t=1, topology="fully_timely",
+        adversary=_SPEC_MUTANTS[name],
+        num_values=1, values=("a",), seed=1,
+        extras=(("schedule", result.counterexample),),
+    )
+    with apply_mutant(name):
+        outcome = run_scenario(spec)
+    assert not outcome.invariants_ok
+    checks = {line.split("]")[0].lstrip("[") for line in outcome.violations}
+    assert checks & mutant.expected_checks
+
+    clean = run_scenario(spec)
+    assert clean.invariants_ok
